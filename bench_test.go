@@ -1,0 +1,199 @@
+package gridgather
+
+import (
+	"fmt"
+	"testing"
+
+	"gridgather/internal/baseline/asyncseq"
+	"gridgather/internal/baseline/gtc"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+	"gridgather/internal/view"
+)
+
+// The benchmarks regenerate the experiment suite under `go test -bench`.
+// Each reports, besides ns/op, the domain metrics that the paper's claims
+// are about: FSYNC rounds and rounds per robot. Table E* numbers in
+// EXPERIMENTS.md come from these and from cmd/gatherbench.
+
+// benchGather runs one full gathering simulation per iteration.
+func benchGather(b *testing.B, build func() *swarm.Swarm, p core.Params) {
+	b.Helper()
+	var rounds, robots int
+	for i := 0; i < b.N; i++ {
+		s := build()
+		g := core.NewGatherer(p)
+		eng := fsync.New(s, g, fsync.Config{MaxRounds: 80*s.Len() + 1000})
+		res := eng.Run()
+		if res.Err != nil || !res.Gathered {
+			b.Fatalf("simulation failed: %+v", res)
+		}
+		rounds = res.Rounds
+		robots = res.InitialRobots
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(rounds)/float64(robots), "rounds/robot")
+}
+
+// BenchmarkTheorem1 is experiment E1: linear-round gathering per workload
+// family and size (the paper's headline O(n) result).
+func BenchmarkTheorem1(b *testing.B) {
+	for _, w := range gen.Catalog() {
+		for _, n := range []int{64, 128, 256} {
+			w := w
+			b.Run(fmt.Sprintf("%s/n=%d", w.Name, n), func(b *testing.B) {
+				benchGather(b, func() *swarm.Swarm { return w.Build(n) }, core.Defaults())
+			})
+		}
+	}
+}
+
+// BenchmarkEuclideanBaseline is experiment E2: the Θ(n²) plane comparator
+// [DKL+11] on circle instances.
+func BenchmarkEuclideanBaseline(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("circle/n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				sim := gtc.NewSim(gtc.CircleInstance(n, 1.0), gtc.DefaultParams())
+				res := sim.Run(2_000_000)
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/float64(n), "rounds/robot")
+		})
+	}
+}
+
+// BenchmarkAsyncBaseline is experiment E3: the fair-sequential ASYNC
+// strategy of the paper's introduction (O(n) rounds trivially).
+func BenchmarkAsyncBaseline(b *testing.B) {
+	for _, n := range []int{100, 300} {
+		b.Run(fmt.Sprintf("blob/n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				s := gen.RandomBlob(n, 42)
+				res := asyncseq.Run(s, 10*n+100)
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkMergeDetection is experiment E5: the per-robot cost of checking
+// the Fig. 2 merge configurations — the inner loop of every round.
+func BenchmarkMergeDetection(b *testing.B) {
+	s := gen.RandomBlob(400, 7)
+	p := core.Defaults()
+	cells := s.Cells()
+	cfg := view.Config{
+		Radius: p.Radius,
+		Occ:    s.Has,
+		State:  func(grid.Point) robot.State { return robot.State{} },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cells[i%len(cells)]
+		v := view.New(cfg, c, 0)
+		core.MergeMove(v, p)
+	}
+}
+
+// BenchmarkEngineRound measures the cost of a single FSYNC round on a
+// large mergeless ring (all robots compute, none can merge — worst case
+// for rule evaluation).
+func BenchmarkEngineRound(b *testing.B) {
+	for _, side := range []int{64, 128} {
+		b.Run(fmt.Sprintf("ring/%dx%d", side, side), func(b *testing.B) {
+			s := gen.Hollow(side, side)
+			g := core.Default()
+			eng := fsync.New(s, g, fsync.Config{MaxRounds: 0})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Step(); err != nil {
+					b.Fatal(err)
+				}
+				if eng.Gathered() {
+					b.StopTimer()
+					eng = fsync.New(s, core.Default(), fsync.Config{})
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkContourTracing measures the outer-boundary tracing substrate
+// used by the analysis tooling (Fig. 18 vector chains).
+func BenchmarkContourTracing(b *testing.B) {
+	s := gen.RandomBlob(600, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OuterContour()
+	}
+}
+
+// BenchmarkAblation is experiment E18: the paper's constants (R=20, L=22)
+// against the §5.3 "easy case" constants (R=11, L=13) — smaller constants
+// still gather, with different round constants.
+func BenchmarkAblation(b *testing.B) {
+	configs := []struct{ r, l int }{{20, 22}, {11, 13}}
+	for _, cfg := range configs {
+		p := core.Defaults()
+		p.Radius, p.L = cfg.r, cfg.l
+		if p.MergeMax > p.Radius-1 {
+			p.MergeMax = p.Radius - 1
+		}
+		if p.SeqStop > p.Radius-2 {
+			p.SeqStop = p.Radius - 2
+		}
+		if p.SeqStop >= p.L-1 {
+			p.SeqStop = p.L - 2
+		}
+		b.Run(fmt.Sprintf("R=%d,L=%d/hollow-160", cfg.r, cfg.l), func(b *testing.B) {
+			benchGather(b, func() *swarm.Swarm { return gen.Hollow(41, 41) }, p)
+		})
+	}
+}
+
+// BenchmarkPipelining is experiment E15: gathering a large ring where the
+// linear bound depends on run pipelining.
+func BenchmarkPipelining(b *testing.B) {
+	benchGather(b, func() *swarm.Swarm { return gen.Hollow(56, 56) }, core.Defaults())
+}
+
+// BenchmarkLowerBound is experiment E20: the line workload that meets the
+// diameter lower bound exactly.
+func BenchmarkLowerBound(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		b.Run(fmt.Sprintf("line/n=%d", n), func(b *testing.B) {
+			benchGather(b, func() *swarm.Swarm { return gen.Line(n) }, core.Defaults())
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end public entry point.
+func BenchmarkPublicAPI(b *testing.B) {
+	cells, err := Workload("blob", 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Gather(cells, Options{})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}

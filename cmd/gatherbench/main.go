@@ -1,0 +1,47 @@
+// Command gatherbench regenerates the experiment tables of the
+// reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// recorded outputs).
+//
+// Usage:
+//
+//	gatherbench            # run the full suite
+//	gatherbench -exp e2    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridgather/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run: all, e1, e1b, e2, e3, e15, e18, e20")
+	flag.Parse()
+
+	w := os.Stdout
+	switch *which {
+	case "all":
+		exp.All(w)
+	case "e1":
+		exp.E1GridScaling(w, exp.Sizes)
+	case "e1b":
+		exp.E1bHollowDetail(w, []int{25, 41, 61, 81, 121})
+	case "e2":
+		exp.E2PlaneComparison(w, exp.PlaneSizes)
+	case "e3":
+		exp.E3AsyncBaseline(w, []int{100, 300})
+	case "e15":
+		exp.E15Pipelining(w, 56)
+	case "e18":
+		exp.E18Ablation(w, 160)
+	case "e20":
+		exp.E20LowerBound(w, []int{50, 100, 200, 400})
+	case "e21":
+		exp.E21Movements(w, []int{160})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,54 @@
+// Command gathersim runs the paper's gathering algorithm on one workload
+// and prints the simulation metrics.
+//
+// Usage:
+//
+//	gathersim -workload hollow -n 200 [-radius 20] [-l 22] [-verify]
+//
+// The -verify flag enables per-round connectivity checking and strict view
+// locality (slower, but proves the run obeyed the model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridgather"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "hollow", "workload family: "+strings.Join(gridgather.Workloads(), ", "))
+		n        = flag.Int("n", 100, "approximate robot count")
+		radius   = flag.Int("radius", 0, "viewing radius (0 = paper default 20)")
+		l        = flag.Int("l", 0, "run start period (0 = paper default 22)")
+		verify   = flag.Bool("verify", false, "check connectivity every round and enforce view locality")
+		quiet    = flag.Bool("q", false, "print only the result line")
+	)
+	flag.Parse()
+
+	cells, err := gridgather.Workload(*workload, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		fmt.Printf("workload %q with %d robots\n", *workload, len(cells))
+	}
+	res := gridgather.Gather(cells, gridgather.Options{
+		Radius:            *radius,
+		L:                 *l,
+		CheckConnectivity: *verify,
+		StrictLocality:    *verify,
+	})
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("gathered=%v rounds=%d merges=%d runs=%d moves=%d robots=%d->%d rounds/n=%.2f\n",
+		res.Gathered, res.Rounds, res.Merges, res.RunsStarted, res.Moves,
+		res.InitialRobots, res.FinalRobots,
+		float64(res.Rounds)/float64(res.InitialRobots))
+}

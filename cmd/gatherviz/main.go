@@ -1,0 +1,74 @@
+// Command gatherviz animates a gathering run as ASCII frames, making the
+// merge waves and the runner pipeline of the paper visible.
+//
+// Usage:
+//
+//	gatherviz -workload hollow -n 120 -every 4
+//	gatherviz -workload hollow -n 120 -live       # redraw in place
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "hollow", "workload family")
+		n        = flag.Int("n", 120, "approximate robot count")
+		every    = flag.Int("every", 2, "capture every k-th round")
+		live     = flag.Bool("live", false, "animate in place with ANSI clear codes")
+		delay    = flag.Duration("delay", 60*time.Millisecond, "frame delay in -live mode")
+	)
+	flag.Parse()
+
+	var found bool
+	for _, w := range gen.Catalog() {
+		if w.Name == *workload {
+			s := w.Build(*n)
+			rec := trace.NewRecorder(*every, s.Bounds())
+			g := core.Default()
+			eng := fsync.New(s, g, fsync.Config{
+				MaxRounds: 80*s.Len() + 1000,
+				OnRound:   rec.Hook(),
+			})
+			rec.Snapshot(eng)
+			res := eng.Run()
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "simulation failed: %v\n", res.Err)
+				os.Exit(1)
+			}
+			if *live {
+				for _, f := range rec.Frames {
+					fmt.Print("\033[H\033[2J")
+					fmt.Printf("round %d | robots %d | merges %d | runners %d\n%s",
+						f.Round, f.Robots, f.Merges, f.Runners, f.Art)
+					time.Sleep(*delay)
+				}
+			} else if err := rec.Play(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("gathered in %d rounds (%d merges, %d runs)\n",
+				res.Rounds, res.Merges, res.RunsStarted)
+			found = true
+			break
+		}
+	}
+	if !found {
+		names := []string{}
+		for _, w := range gen.Catalog() {
+			names = append(names, w.Name)
+		}
+		fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", *workload, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+}

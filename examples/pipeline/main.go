@@ -1,0 +1,60 @@
+// Pipeline: watch the run states of §3.2 travel along the boundary of a
+// large mergeless ring. Every L = 22 rounds new runs start at the corners
+// while earlier runs are still rolling robots into the hole — the paper's
+// pipelining (§4.2, Fig. 15) that makes the total time linear.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridgather"
+)
+
+func main() {
+	cells, err := gridgather.Workload("hollow", 220)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mergeless ring with %d robots; runner count per round:\n\n", len(cells))
+
+	history := []int{}
+	res := gridgather.Gather(cells, gridgather.Options{
+		OnRound: func(ri gridgather.RoundInfo) {
+			history = append(history, len(ri.Runners))
+		},
+	})
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+
+	// A sparkline of concurrent runners: the sawtooth shows batches of runs
+	// starting every L rounds and dying in merges.
+	const cols = 110
+	step := (len(history) + cols - 1) / cols
+	fmt.Print("runners ")
+	maxR := 1
+	for _, h := range history {
+		if h > maxR {
+			maxR = h
+		}
+	}
+	marks := []rune(" ▁▂▃▄▅▆▇█")
+	for i := 0; i < len(history); i += step {
+		peak := 0
+		for j := i; j < i+step && j < len(history); j++ {
+			if history[j] > peak {
+				peak = history[j]
+			}
+		}
+		idx := peak * (len(marks) - 1) / maxR
+		fmt.Print(string(marks[idx]))
+	}
+	fmt.Println()
+	fmt.Printf("\nmax concurrent runners: %d\n", maxR)
+	fmt.Printf("runs started:           %d\n", res.RunsStarted)
+	fmt.Printf("rounds:                 %d (%.2f per robot)\n",
+		res.Rounds, float64(res.Rounds)/float64(res.InitialRobots))
+}

@@ -1,0 +1,244 @@
+// Package gridgather is a simulation library for local gathering of robot
+// swarms on the two-dimensional grid, reproducing
+//
+//	Cord-Landwehr, Fischer, Jung, Meyer auf der Heide:
+//	"Asymptotically Optimal Gathering on a Grid" (SPAA 2016,
+//	arXiv:1602.03303)
+//
+// The paper's algorithm gathers n indistinguishable robots — connected by
+// horizontal/vertical adjacency, with no compass, no IDs, no global
+// communication and only constant-radius vision — into a 2×2 square in
+// O(n) fully synchronous rounds, which is asymptotically optimal.
+//
+// The package exposes the high-level simulation API; the algorithm itself
+// and its substrates (grid geometry, swarm state, FSYNC engine, local
+// views, baselines) live in the internal packages.
+//
+// Quick start:
+//
+//	cells, _ := gridgather.Workload("hollow", 100)
+//	res := gridgather.Gather(cells, gridgather.Options{})
+//	fmt.Printf("gathered in %d rounds\n", res.Rounds)
+package gridgather
+
+import (
+	"errors"
+	"fmt"
+
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// Point is a grid cell. Robots occupy points; two robots are connected when
+// their points are horizontal or vertical neighbors.
+type Point struct {
+	X, Y int
+}
+
+// Options configure a simulation. The zero value uses the paper's
+// constants and safe defaults.
+type Options struct {
+	// Radius is the viewing radius (L1). Default 20 (the paper's value).
+	Radius int
+	// L is the run-start period. Default 22 (the paper's value).
+	L int
+	// MaxRounds aborts the simulation if gathering takes longer. Default
+	// 60·n + 500.
+	MaxRounds int
+	// CheckConnectivity validates swarm connectivity after every round.
+	CheckConnectivity bool
+	// StrictLocality makes the simulation panic if the algorithm reads any
+	// cell outside the viewing radius (a proof of locality; small
+	// overhead).
+	StrictLocality bool
+	// OnRound, if non-nil, receives a snapshot after every round.
+	OnRound func(RoundInfo)
+}
+
+// RoundInfo is the per-round snapshot passed to Options.OnRound.
+type RoundInfo struct {
+	// Round is the number of completed rounds.
+	Round int
+	// Robots are the current robot positions.
+	Robots []Point
+	// Runners are the positions of robots holding run states.
+	Runners []Point
+	// Merges is the cumulative number of removed robots.
+	Merges int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Gathered reports whether all robots ended within one 2×2 square.
+	Gathered bool
+	// Rounds is the number of FSYNC rounds executed.
+	Rounds int
+	// Merges is the number of robots removed by merge operations.
+	Merges int
+	// RunsStarted counts the run states created (§3.2 reshapement).
+	RunsStarted int
+	// Moves counts individual robot hops.
+	Moves int
+	// InitialRobots and FinalRobots give the population before and after.
+	InitialRobots, FinalRobots int
+	// Err reports an aborted simulation (round limit, disconnection, or a
+	// stuck watchdog) and is nil on success.
+	Err error
+}
+
+// ErrNotConnected is returned when the input cells do not form a connected
+// swarm — the algorithm's precondition ("given an arbitrarily distributed
+// (yet connected) swarm").
+var ErrNotConnected = errors.New("gridgather: input swarm is not connected")
+
+// ErrEmpty is returned for an empty input.
+var ErrEmpty = errors.New("gridgather: input swarm is empty")
+
+// toSwarm validates and converts public points.
+func toSwarm(cells []Point) (*swarm.Swarm, error) {
+	if len(cells) == 0 {
+		return nil, ErrEmpty
+	}
+	s := swarm.New()
+	for _, c := range cells {
+		s.Add(grid.Pt(c.X, c.Y))
+	}
+	if !s.Connected() {
+		return nil, ErrNotConnected
+	}
+	return s, nil
+}
+
+func fromSwarm(s *swarm.Swarm) []Point {
+	cells := s.Cells()
+	out := make([]Point, len(cells))
+	for i, c := range cells {
+		out[i] = Point{X: c.X, Y: c.Y}
+	}
+	return out
+}
+
+func toPoints(cells []grid.Point) []Point {
+	out := make([]Point, len(cells))
+	for i, c := range cells {
+		out[i] = Point{X: c.X, Y: c.Y}
+	}
+	return out
+}
+
+// params builds the core parameters from Options.
+func (o Options) params() core.Params {
+	p := core.Defaults()
+	if o.Radius > 0 {
+		p.Radius = o.Radius
+		if p.MergeMax > p.Radius-1 {
+			p.MergeMax = p.Radius - 1
+		}
+		if p.SeqStop > p.Radius-2 {
+			p.SeqStop = p.Radius - 2
+		}
+	}
+	if o.L > 0 {
+		p.L = o.L
+		if p.SeqStop >= p.L-1 {
+			p.SeqStop = p.L - 2
+		}
+	}
+	return p
+}
+
+// Gather runs the paper's algorithm on the given connected swarm until it
+// gathers (all robots within a 2×2 square) and returns the result. The
+// input slice is not modified.
+func Gather(cells []Point, opt Options) Result {
+	s, err := toSwarm(cells)
+	if err != nil {
+		return Result{Err: err, InitialRobots: len(cells)}
+	}
+	p := opt.params()
+	if err := p.Validate(); err != nil {
+		return Result{Err: err, InitialRobots: s.Len()}
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 60*s.Len() + 500
+	}
+	g := core.NewGatherer(p)
+	var hook func(*fsync.Engine)
+	if opt.OnRound != nil {
+		hook = func(e *fsync.Engine) {
+			opt.OnRound(RoundInfo{
+				Round:   e.Round(),
+				Robots:  toPoints(e.Swarm().Cells()),
+				Runners: toPoints(e.Runners()),
+				Merges:  e.Merges(),
+			})
+		}
+	}
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds:         maxRounds,
+		CheckConnectivity: opt.CheckConnectivity,
+		StrictViews:       opt.StrictLocality,
+		OnRound:           hook,
+	})
+	r := eng.Run()
+	return Result{
+		Gathered:      r.Gathered,
+		Rounds:        r.Rounds,
+		Merges:        r.Merges,
+		RunsStarted:   r.RunsStarted,
+		Moves:         r.Moves,
+		InitialRobots: r.InitialRobots,
+		FinalRobots:   r.FinalRobots,
+		Err:           r.Err,
+	}
+}
+
+// Workload builds one of the named workload families at (approximately)
+// the requested robot count. See Workloads for the available names.
+func Workload(name string, n int) ([]Point, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gridgather: workload size %d", n)
+	}
+	for _, w := range gen.Catalog() {
+		if w.Name == name {
+			return fromSwarm(w.Build(n)), nil
+		}
+	}
+	return nil, fmt.Errorf("gridgather: unknown workload %q (have %v)", name, Workloads())
+}
+
+// Workloads lists the available workload family names.
+func Workloads() []string {
+	var out []string
+	for _, w := range gen.Catalog() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Connected reports whether the cells form a connected swarm under the
+// paper's horizontal/vertical adjacency.
+func Connected(cells []Point) bool {
+	if len(cells) == 0 {
+		return false
+	}
+	s := swarm.New()
+	for _, c := range cells {
+		s.Add(grid.Pt(c.X, c.Y))
+	}
+	return s.Connected()
+}
+
+// Render draws the cells as ASCII art ('#' robots, '·' free), highest y
+// first — a convenience for demos and debugging.
+func Render(cells []Point) string {
+	s := swarm.New()
+	for _, c := range cells {
+		s.Add(grid.Pt(c.X, c.Y))
+	}
+	return s.String()
+}

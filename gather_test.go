@@ -1,0 +1,117 @@
+package gridgather
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGatherPublicAPI(t *testing.T) {
+	cells, err := Workload("hollow", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Gather(cells, Options{CheckConnectivity: true, StrictLocality: true})
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.InitialRobots != len(cells) || res.FinalRobots > 4 {
+		t.Errorf("population accounting: %+v", res)
+	}
+}
+
+func TestGatherRejectsDisconnected(t *testing.T) {
+	res := Gather([]Point{{0, 0}, {5, 5}}, Options{})
+	if res.Err != ErrNotConnected {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestGatherRejectsEmpty(t *testing.T) {
+	if res := Gather(nil, Options{}); res.Err != ErrEmpty {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestGatherDoesNotMutateInput(t *testing.T) {
+	cells := []Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	Gather(cells, Options{})
+	want := []Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	for i := range cells {
+		if cells[i] != want[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestOnRoundHook(t *testing.T) {
+	cells, _ := Workload("line", 20)
+	var rounds []int
+	var lastRobots int
+	res := Gather(cells, Options{OnRound: func(ri RoundInfo) {
+		rounds = append(rounds, ri.Round)
+		lastRobots = len(ri.Robots)
+	}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(rounds) != res.Rounds {
+		t.Errorf("hook called %d times for %d rounds", len(rounds), res.Rounds)
+	}
+	if lastRobots != res.FinalRobots {
+		t.Errorf("hook robots = %d, final = %d", lastRobots, res.FinalRobots)
+	}
+}
+
+func TestWorkloadsCatalog(t *testing.T) {
+	names := Workloads()
+	if len(names) < 5 {
+		t.Fatalf("workloads = %v", names)
+	}
+	for _, name := range names {
+		cells, err := Workload(name, 40)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !Connected(cells) {
+			t.Errorf("%s: disconnected workload", name)
+		}
+	}
+	if _, err := Workload("nope", 10); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	if _, err := Workload("line", 0); err == nil {
+		t.Error("expected error for n=0")
+	}
+}
+
+func TestCustomRadiusAndL(t *testing.T) {
+	cells, _ := Workload("hollow", 80)
+	res := Gather(cells, Options{Radius: 11, L: 13, CheckConnectivity: true})
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("radius-11/L-13 run failed: %+v", res)
+	}
+}
+
+func TestRenderHelper(t *testing.T) {
+	art := Render([]Point{{0, 0}, {1, 0}, {1, 1}})
+	if !strings.Contains(art, "#") {
+		t.Errorf("render = %q", art)
+	}
+	lines := strings.Split(strings.TrimSpace(art), "\n")
+	if len(lines) != 2 {
+		t.Errorf("render lines = %d", len(lines))
+	}
+}
+
+func TestConnectedHelper(t *testing.T) {
+	if !Connected([]Point{{0, 0}, {0, 1}}) {
+		t.Error("adjacent pair should be connected")
+	}
+	if Connected([]Point{{0, 0}, {1, 1}}) {
+		t.Error("diagonal pair must not be connected")
+	}
+	if Connected(nil) {
+		t.Error("empty must not be connected")
+	}
+}

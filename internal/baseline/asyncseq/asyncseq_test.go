@@ -1,0 +1,109 @@
+package asyncseq
+
+import (
+	"testing"
+
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+func TestDeletableLineEnd(t *testing.T) {
+	s := gen.Line(4)
+	if _, ok := deletable(s, grid.Pt(0, 0)); !ok {
+		t.Error("line end must be deletable")
+	}
+	if _, ok := deletable(s, grid.Pt(1, 0)); ok {
+		t.Error("line middle must not be deletable")
+	}
+}
+
+func TestDeletableCornerWithDiagonal(t *testing.T) {
+	// Corner with occupied diagonal: ring stays connected through it.
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1), grid.Pt(1, 1))
+	if _, ok := deletable(s, grid.Pt(0, 0)); !ok {
+		t.Error("block corner must be deletable")
+	}
+}
+
+func TestCuttableRingCorner(t *testing.T) {
+	s := gen.Hollow(5, 5)
+	q, ok := cuttable(s, grid.Pt(0, 0))
+	if !ok {
+		t.Fatal("ring corner must be cuttable")
+	}
+	if q != grid.Pt(1, 1) {
+		t.Errorf("cut target = %v", q)
+	}
+	// Wall middle: two opposite neighbors — not a corner.
+	if _, ok := cuttable(s, grid.Pt(2, 0)); ok {
+		t.Error("wall middle must not be cuttable")
+	}
+}
+
+func TestRunGathersShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		s    *swarm.Swarm
+	}{
+		{"line", gen.Line(40)},
+		{"hollow", gen.Hollow(12, 9)},
+		{"solid", gen.Solid(9, 9)},
+		{"tree", gen.RandomTree(120, 5)},
+		{"blob", gen.RandomBlob(120, 5)},
+		{"spiral", gen.Spiral(14)},
+	}
+	for _, sh := range shapes {
+		n := sh.s.Len()
+		res := Run(sh.s, 10*n+50)
+		if res.Err != nil || !res.Gathered {
+			t.Fatalf("%s: %+v", sh.name, res)
+		}
+		if res.Rounds > 3*n {
+			t.Errorf("%s: %d rounds for n=%d — not linear", sh.name, res.Rounds, n)
+		}
+		t.Logf("%-7s n=%-4d rounds=%d activations=%d merges=%d cuts=%d",
+			sh.name, n, res.Rounds, res.Activations, res.Merges, res.Cuts)
+	}
+}
+
+func TestRunDoesNotMutateInput(t *testing.T) {
+	s := gen.Line(10)
+	Run(s, 100)
+	if s.Len() != 10 {
+		t.Error("input swarm mutated")
+	}
+}
+
+// TestWhyFSYNCNeedsThePaper demonstrates the remark the baseline
+// illustrates: executing the same "merge if locally deletable, else cut
+// corners" rules simultaneously (FSYNC) can disconnect a swarm — the
+// Fig. 5 hazard — which is why the paper introduces runs. The zigzag
+// below disconnects when both its corners cut simultaneously.
+func TestWhyFSYNCNeedsThePaper(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 1), grid.Pt(1, 1), grid.Pt(1, 0), grid.Pt(2, 0))
+	// Simultaneous (FSYNC) application of the sequential rules:
+	moves := map[grid.Point]grid.Point{}
+	for _, p := range s.Cells() {
+		if _, ok := deletable(s, p); ok {
+			continue // deletions would merge: ignore for the hazard demo
+		}
+		if q, ok := cuttable(s, p); ok {
+			moves[p] = q
+		}
+	}
+	if len(moves) < 2 {
+		t.Skip("shape did not trigger simultaneous cuts")
+	}
+	after := swarm.New()
+	for _, p := range s.Cells() {
+		if q, ok := moves[p]; ok {
+			after.Add(q)
+		} else {
+			after.Add(p)
+		}
+	}
+	if after.Connected() {
+		t.Error("expected simultaneous corner cuts to disconnect the zigzag (Fig. 5 hazard)")
+	}
+}

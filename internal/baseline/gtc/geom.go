@@ -1,0 +1,114 @@
+// Package gtc implements the Euclidean-plane baseline the paper compares
+// against (§1, §2): the local go-to-center gathering algorithm of Degener,
+// Kempkes, Langner, Meyer auf der Heide, Pietrzyk and Wattenhofer
+// [DKL+11], which gathers n robots with limited visibility in Θ(n²) FSYNC
+// rounds: "every robot synchronously computes the smallest enclosing circle
+// only of the robots within its restricted viewing range and then moves
+// towards its center."
+//
+// The package provides the geometric substrate (smallest enclosing circles
+// via Welzl's algorithm) and an FSYNC plane simulator with the
+// connectivity-preserving movement limit of the algorithm.
+package gtc
+
+import "math"
+
+// Vec is a point/vector in the Euclidean plane.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.X * k, v.Y * k} }
+
+// Dot returns the dot product.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func Dist(v, w Vec) float64 { return v.Sub(w).Norm() }
+
+// Mid returns the midpoint of v and w.
+func Mid(v, w Vec) Vec { return Vec{(v.X + w.X) / 2, (v.Y + w.Y) / 2} }
+
+// Circle is a disk given by center and radius.
+type Circle struct {
+	C Vec
+	R float64
+}
+
+// Contains reports whether p lies in the closed disk (with a small epsilon
+// for floating point robustness).
+func (c Circle) Contains(p Vec) bool {
+	return Dist(c.C, p) <= c.R+1e-9
+}
+
+// circleFrom2 returns the smallest circle through two points.
+func circleFrom2(a, b Vec) Circle {
+	return Circle{C: Mid(a, b), R: Dist(a, b) / 2}
+}
+
+// circleFrom3 returns the circumcircle of three points; degenerate
+// (collinear) triples fall back to the widest two-point circle.
+func circleFrom3(a, b, c Vec) Circle {
+	ax, ay := a.X, a.Y
+	bx, by := b.X, b.Y
+	cx, cy := c.X, c.Y
+	d := 2 * (ax*(by-cy) + bx*(cy-ay) + cx*(ay-by))
+	if math.Abs(d) < 1e-12 {
+		// Collinear: the diametral circle of the farthest pair.
+		best := circleFrom2(a, b)
+		if cand := circleFrom2(a, c); cand.R > best.R {
+			best = cand
+		}
+		if cand := circleFrom2(b, c); cand.R > best.R {
+			best = cand
+		}
+		return best
+	}
+	ux := ((ax*ax+ay*ay)*(by-cy) + (bx*bx+by*by)*(cy-ay) + (cx*cx+cy*cy)*(ay-by)) / d
+	uy := ((ax*ax+ay*ay)*(cx-bx) + (bx*bx+by*by)*(ax-cx) + (cx*cx+cy*cy)*(bx-ax)) / d
+	center := Vec{ux, uy}
+	return Circle{C: center, R: Dist(center, a)}
+}
+
+// SmallestEnclosingCircle returns the minimal disk containing all points
+// (Welzl's algorithm, iterative move-to-front variant; deterministic).
+// It panics on an empty input.
+func SmallestEnclosingCircle(pts []Vec) Circle {
+	if len(pts) == 0 {
+		panic("gtc: SEC of empty point set")
+	}
+	// Copy so move-to-front reordering does not disturb the caller.
+	ps := make([]Vec, len(pts))
+	copy(ps, pts)
+
+	c := Circle{C: ps[0], R: 0}
+	for i := 1; i < len(ps); i++ {
+		if c.Contains(ps[i]) {
+			continue
+		}
+		c = Circle{C: ps[i], R: 0}
+		for j := 0; j < i; j++ {
+			if c.Contains(ps[j]) {
+				continue
+			}
+			c = circleFrom2(ps[i], ps[j])
+			for k := 0; k < j; k++ {
+				if c.Contains(ps[k]) {
+					continue
+				}
+				c = circleFrom3(ps[i], ps[j], ps[k])
+			}
+		}
+	}
+	return c
+}

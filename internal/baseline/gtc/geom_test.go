@@ -1,0 +1,94 @@
+package gtc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVecOps(t *testing.T) {
+	v, w := Vec{3, 4}, Vec{1, -2}
+	if v.Add(w) != (Vec{4, 2}) || v.Sub(w) != (Vec{2, 6}) {
+		t.Error("add/sub wrong")
+	}
+	if v.Norm() != 5 {
+		t.Errorf("norm = %f", v.Norm())
+	}
+	if v.Dot(w) != 3-8 {
+		t.Errorf("dot = %f", v.Dot(w))
+	}
+	if Mid(v, w) != (Vec{2, 1}) {
+		t.Error("mid wrong")
+	}
+}
+
+func TestSECSmallCases(t *testing.T) {
+	c := SmallestEnclosingCircle([]Vec{{1, 1}})
+	if c.R != 0 || c.C != (Vec{1, 1}) {
+		t.Errorf("singleton SEC = %+v", c)
+	}
+	c = SmallestEnclosingCircle([]Vec{{0, 0}, {2, 0}})
+	if math.Abs(c.R-1) > 1e-9 || Dist(c.C, Vec{1, 0}) > 1e-9 {
+		t.Errorf("pair SEC = %+v", c)
+	}
+	// Equilateral-ish triangle: circumcircle.
+	c = SmallestEnclosingCircle([]Vec{{0, 0}, {2, 0}, {1, 2}})
+	for _, p := range []Vec{{0, 0}, {2, 0}, {1, 2}} {
+		if !c.Contains(p) {
+			t.Errorf("triangle SEC misses %v", p)
+		}
+	}
+	// Obtuse triangle: diametral circle of the long side.
+	c = SmallestEnclosingCircle([]Vec{{0, 0}, {10, 0}, {5, 0.1}})
+	if math.Abs(c.R-5) > 1e-6 {
+		t.Errorf("obtuse SEC radius = %f, want 5", c.R)
+	}
+}
+
+func TestSECCollinear(t *testing.T) {
+	c := SmallestEnclosingCircle([]Vec{{0, 0}, {1, 0}, {2, 0}, {3, 0}})
+	if math.Abs(c.R-1.5) > 1e-9 {
+		t.Errorf("collinear SEC radius = %f", c.R)
+	}
+}
+
+// Property: the SEC contains all points and is minimal in the sense that
+// shrinking its radius by epsilon excludes at least one point; it is also
+// no larger than the trivial bounding circle.
+func TestSECProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		pts := make([]Vec, n)
+		for i := range pts {
+			pts[i] = Vec{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		c := SmallestEnclosingCircle(pts)
+		maxDist := 0.0
+		for _, p := range pts {
+			d := Dist(c.C, p)
+			if d > c.R+1e-7 {
+				t.Fatalf("iter %d: point %v outside SEC (%f > %f)", iter, p, d, c.R)
+			}
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+		// Tight: some point lies on (near) the boundary.
+		if n > 1 && c.R-maxDist > 1e-6 {
+			t.Fatalf("iter %d: SEC not tight (R=%f, max=%f)", iter, c.R, maxDist)
+		}
+	}
+}
+
+func TestSECDoesNotMutateInput(t *testing.T) {
+	pts := []Vec{{5, 5}, {0, 0}, {1, 9}}
+	orig := make([]Vec, len(pts))
+	copy(orig, pts)
+	SmallestEnclosingCircle(pts)
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}

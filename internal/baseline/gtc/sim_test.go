@@ -1,0 +1,115 @@
+package gtc
+
+import (
+	"testing"
+)
+
+func TestLineInstance(t *testing.T) {
+	pts := LineInstance(5, 1.5)
+	if len(pts) != 5 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if Dist(pts[0], pts[1]) != 1.5 {
+		t.Errorf("spacing = %f", Dist(pts[0], pts[1]))
+	}
+}
+
+func TestCircleInstanceSpacing(t *testing.T) {
+	pts := CircleInstance(12, 1.0)
+	d := Dist(pts[0], pts[1])
+	if d < 0.99 || d > 1.01 {
+		t.Errorf("chord spacing = %f, want 1.0", d)
+	}
+}
+
+func TestSimGathersSmallLine(t *testing.T) {
+	sim := NewSim(LineInstance(6, 1.0), DefaultParams())
+	if !sim.Connected() {
+		t.Fatal("instance not connected")
+	}
+	res := sim.Run(5000)
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if !res.Gathered {
+		t.Fatal("not gathered")
+	}
+	t.Logf("line n=6: %d rounds", res.Rounds)
+}
+
+func TestSimPreservesConnectivity(t *testing.T) {
+	sim := NewSim(LineInstance(12, 1.0), DefaultParams())
+	for i := 0; i < 200 && !sim.Gathered(); i++ {
+		sim.Step()
+		if !sim.Connected() {
+			t.Fatalf("disconnected after round %d", sim.Rounds())
+		}
+	}
+}
+
+func TestSimDiameterMonotonicOnLine(t *testing.T) {
+	// The go-to-center rule never expands the swarm: the diameter is
+	// non-increasing (each robot moves into the convex hull region).
+	sim := NewSim(LineInstance(10, 1.0), DefaultParams())
+	prev := sim.Diameter()
+	for i := 0; i < 300 && !sim.Gathered(); i++ {
+		sim.Step()
+		d := sim.Diameter()
+		if d > prev+1e-9 {
+			t.Fatalf("diameter grew: %f -> %f at round %d", prev, d, sim.Rounds())
+		}
+		prev = d
+	}
+}
+
+// TestQuadraticGrowthShape verifies the headline comparison claim: the
+// plane algorithm's round count grows clearly super-linearly with n
+// (Θ(n²) per [DKL+11]), in contrast to the grid algorithm's linear rounds.
+// The quadratic behaviour appears on ring configurations, where each
+// robot's local SEC center lies only the chord sagitta Θ(1/n) inside the
+// ring, so the diameter Θ(n) shrinks by Θ(1/n) per round.
+func TestQuadraticGrowthShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rounds := map[int]int{}
+	for _, n := range []int{16, 32, 64} {
+		sim := NewSim(CircleInstance(n, 1.0), DefaultParams())
+		res := sim.Run(500000)
+		if res.Err != nil {
+			t.Fatalf("n=%d: %v", n, res.Err)
+		}
+		rounds[n] = res.Rounds
+		t.Logf("gtc circle n=%d: rounds=%d", n, res.Rounds)
+	}
+	// Doubling n should much more than double the rounds; quadratic
+	// quadruples. Accept ≥ 3× as "clearly super-linear".
+	if r := float64(rounds[32]) / float64(rounds[16]); r < 3 {
+		t.Errorf("rounds(32)/rounds(16) = %.2f, expected ≥ 3 (super-linear)", r)
+	}
+	if r := float64(rounds[64]) / float64(rounds[32]); r < 3 {
+		t.Errorf("rounds(64)/rounds(32) = %.2f, expected ≥ 3 (super-linear)", r)
+	}
+}
+
+func TestSnapMergeCollapsesCoincidentRobots(t *testing.T) {
+	sim := NewSim([]Vec{{0, 0}, {0, 0}, {1, 0}}, DefaultParams())
+	sim.Step()
+	if len(sim.Positions()) > 2 {
+		t.Errorf("coincident robots not merged: %d left", len(sim.Positions()))
+	}
+}
+
+func TestMaxTInDisk(t *testing.T) {
+	// Moving from the center of a unit disk along x: can go exactly to the
+	// boundary.
+	tm := maxTInDisk(Vec{0, 0}, Vec{2, 0}, Vec{0, 0}, 1)
+	if tm < 0.49 || tm > 0.51 {
+		t.Errorf("tMax = %f, want 0.5", tm)
+	}
+	// Target inside the disk: full step allowed.
+	tm = maxTInDisk(Vec{0, 0}, Vec{0.3, 0}, Vec{0, 0}, 1)
+	if tm != 1 {
+		t.Errorf("tMax = %f, want 1", tm)
+	}
+}

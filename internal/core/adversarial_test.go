@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// Adversarial shapes: configurations engineered against specific
+// mechanisms — thick walls (no sideways staples), diamond rings (no long
+// aligned runs except at the four apexes), nested rings (multiple inner
+// boundaries), and pinched shapes (width-1 contour overlaps).
+
+// nestedRings returns a ring inside a ring, joined by a one-robot bridge.
+func nestedRings(outer int) *swarm.Swarm {
+	s := gen.Hollow(outer, outer).Clone()
+	inner := outer - 6
+	for x := 3; x < 3+inner; x++ {
+		for y := 3; y < 3+inner; y++ {
+			if x == 3 || y == 3 || x == 3+inner-1 || y == 3+inner-1 {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	// Bridge between the rings.
+	s.Add(grid.Pt(1, outer/2))
+	s.Add(grid.Pt(2, outer/2))
+	return s
+}
+
+// pinched returns two solid blocks joined by a width-1 neck.
+func pinched(side, neck int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			s.Add(grid.Pt(x, y))
+			s.Add(grid.Pt(x+side+neck, y))
+		}
+	}
+	for i := 0; i < neck; i++ {
+		s.Add(grid.Pt(side+i, side/2))
+	}
+	return s
+}
+
+func TestAdversarialThickRings(t *testing.T) {
+	for _, th := range []int{2, 3} {
+		s := gen.ThickRing(26, 26, th)
+		res := corpusRun(t, "thick-ring", s)
+		t.Logf("thick ring th=%d: n=%d rounds=%d runs=%d", th, res.InitialRobots, res.Rounds, res.RunsStarted)
+	}
+}
+
+func TestAdversarialDiamondRing(t *testing.T) {
+	for _, r := range []int{6, 12, 20} {
+		s := gen.DiamondRing(r)
+		s.Validate()
+		res := corpusRun(t, "diamond-ring", s)
+		t.Logf("diamond ring r=%d: n=%d rounds=%d", r, res.InitialRobots, res.Rounds)
+	}
+}
+
+func TestAdversarialNestedRings(t *testing.T) {
+	s := nestedRings(30)
+	s.Validate()
+	res := corpusRun(t, "nested-rings", s)
+	t.Logf("nested rings: n=%d rounds=%d runs=%d", res.InitialRobots, res.Rounds, res.RunsStarted)
+}
+
+func TestAdversarialPinched(t *testing.T) {
+	s := pinched(8, 5)
+	s.Validate()
+	res := corpusRun(t, "pinched", s)
+	t.Logf("pinched: n=%d rounds=%d", res.InitialRobots, res.Rounds)
+}
+
+func TestAdversarialCheckerHoles(t *testing.T) {
+	// A solid block with a regular pattern of single-cell holes: many
+	// tiny inner boundaries.
+	s := gen.Solid(15, 15).Clone()
+	for x := 2; x < 14; x += 3 {
+		for y := 2; y < 14; y += 3 {
+			s.Remove(grid.Pt(x, y))
+		}
+	}
+	s.Validate()
+	res := corpusRun(t, "checker-holes", s)
+	t.Logf("checker holes: n=%d rounds=%d", res.InitialRobots, res.Rounds)
+}
+
+func TestAdversarialLongCorridor(t *testing.T) {
+	// A U-corridor: two long parallel walls joined at one end — quasi
+	// lines facing each other across a width-1 gap.
+	s := swarm.New()
+	for x := 0; x < 40; x++ {
+		s.Add(grid.Pt(x, 0))
+		s.Add(grid.Pt(x, 2))
+	}
+	s.Add(grid.Pt(0, 1))
+	s.Validate()
+	res := corpusRun(t, "corridor", s)
+	t.Logf("corridor: n=%d rounds=%d", res.InitialRobots, res.Rounds)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/swarm"
+)
+
+// The corpus test is the central robustness check of the reproduction:
+// every randomly generated connected swarm must gather within a linear
+// round budget while the engine verifies connectivity after every round and
+// views enforce the radius. This empirically validates Theorem 1 on
+// arbitrary inputs, not just the figure scenarios.
+
+func corpusRun(t *testing.T, name string, s *swarm.Swarm) fsync.Result {
+	t.Helper()
+	n := s.Len()
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds:         60*n + 500,
+		CheckConnectivity: true,
+		StrictViews:       true,
+		NoMergeLimit:      30*n + 300,
+	})
+	res := eng.Run()
+	if res.Err != nil {
+		t.Fatalf("%s (n=%d) failed: %v\nstate after %d rounds (%d robots):\n%s",
+			name, n, res.Err, res.Rounds, eng.Swarm().Len(), eng.Swarm())
+	}
+	if !res.Gathered {
+		t.Fatalf("%s (n=%d): not gathered after %d rounds", name, n, res.Rounds)
+	}
+	return res
+}
+
+func TestCorpusRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 30 + int(seed)*15
+		s := gen.RandomTree(n, seed)
+		res := corpusRun(t, fmt.Sprintf("tree-%d", seed), s)
+		if res.Rounds > 40*n+100 {
+			t.Errorf("tree seed=%d n=%d took %d rounds (super-linear?)", seed, n, res.Rounds)
+		}
+	}
+}
+
+func TestCorpusRandomBlobs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 30 + int(seed)*15
+		s := gen.RandomBlob(n, seed)
+		corpusRun(t, fmt.Sprintf("blob-%d", seed), s)
+	}
+}
+
+func TestCorpusRandomWalks(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 30 + int(seed)*12
+		s := gen.RandomWalk(n, seed)
+		corpusRun(t, fmt.Sprintf("walk-%d", seed), s)
+	}
+}
+
+func TestCorpusShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		s    *swarm.Swarm
+	}{
+		{"comb", gen.Comb(21, 5)},
+		{"spiral", gen.Spiral(16)},
+		{"table-short", gen.Table(10, 4)},
+		{"table-long", gen.Table(40, 4)},
+		{"h-shape", gen.HShape(11, 7)},
+		{"diamond", gen.Diamond(6)},
+		{"staircase2", gen.Staircase(40, 2)},
+		{"hollow-rect", gen.Hollow(26, 9)},
+		{"solid-rect", gen.Solid(9, 26)},
+		{"plus", gen.Plus(12)},
+	}
+	for _, sh := range shapes {
+		res := corpusRun(t, sh.name, sh.s)
+		t.Logf("%-12s n=%-4d rounds=%-5d merges=%d runs=%d",
+			sh.name, res.InitialRobots, res.Rounds, res.Merges, res.RunsStarted)
+	}
+}
+
+func TestCorpusLargeMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	shapes := []struct {
+		name string
+		s    *swarm.Swarm
+	}{
+		{"tree-300", gen.RandomTree(300, 99)},
+		{"blob-300", gen.RandomBlob(300, 99)},
+		{"walk-300", gen.RandomWalk(300, 99)},
+		{"hollow-60", gen.Hollow(60, 60)},
+		{"line-300", gen.Line(300)},
+	}
+	for _, sh := range shapes {
+		res := corpusRun(t, sh.name, sh.s)
+		ratio := float64(res.Rounds) / float64(res.InitialRobots)
+		t.Logf("%-10s n=%-4d rounds=%-5d rounds/n=%.2f runs=%d",
+			sh.name, res.InitialRobots, res.Rounds, ratio, res.RunsStarted)
+	}
+}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"gridgather/internal/gen"
+	"gridgather/internal/swarm"
+)
+
+// randomConnected returns a random connected swarm of n robots, cycling
+// through the three random generator families by seed.
+func randomConnected(n int, seed int64) *swarm.Swarm {
+	switch seed % 3 {
+	case 0:
+		return gen.RandomTree(n, seed)
+	case 1:
+		return gen.RandomBlob(n, seed)
+	default:
+		return gen.RandomWalk(n, seed)
+	}
+}

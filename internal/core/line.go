@@ -1,0 +1,94 @@
+package core
+
+import (
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/view"
+)
+
+// This file contains the boundary-walking helpers runs use to find their
+// next robot and to evaluate the look-ahead termination conditions of
+// Table 1. A run's moving direction is fixed at start ("its ... moving
+// direction always remains unchanged"), so walking follows the quasi line
+// in that direction, tolerating the ≤ 2-cell perpendicular jogs that
+// Definition 1 allows.
+
+// successor returns the next robot along the line after rel (relative
+// coordinates), given the walk arrived from prev. Candidates are, in order:
+// straight ahead, the outward jog, the inward jog. Returns ok=false when no
+// candidate is occupied (the line ends) and horizon=true when a candidate
+// could not be inspected because it lies outside the viewing radius.
+func successor(v *view.View, rel, prev, dir, inside grid.Point) (next grid.Point, ok, horizon bool) {
+	out := inside.Neg()
+	for _, c := range [3]grid.Point{rel.Add(dir), rel.Add(out), rel.Add(inside)} {
+		if c == prev {
+			continue
+		}
+		if c.L1() > v.Radius() {
+			return grid.Zero, false, true
+		}
+		if v.Occ(c) {
+			return c, true, false
+		}
+	}
+	return grid.Zero, false, false
+}
+
+// walkResult reports what a look-ahead walk along the run's line found.
+// Distances are in steps along the boundary (the paper's run distance,
+// Fig. 10); 0 means "not found".
+type walkResult struct {
+	// EndpointAt is the distance at which the quasi line visibly ends:
+	// either the walk dead-ends or it makes three consecutive perpendicular
+	// steps (a vertical subboundary of length ≥ 3 violates Definition 1).
+	EndpointAt int
+	// SequentAt is the distance of the nearest run ahead moving in the same
+	// direction (Table 1, condition 1).
+	SequentAt int
+	// OncomingAt is the distance of the nearest run ahead moving toward
+	// this one (run passing trigger, Fig. 9b).
+	OncomingAt int
+}
+
+// walkAhead walks up to maxSteps robots ahead of the origin along the run's
+// line and collects the termination-relevant observations.
+func walkAhead(v *view.View, run robot.Run, maxSteps int) walkResult {
+	var res walkResult
+	cur := grid.Zero
+	prev := run.Dir.Neg() // don't walk backwards out of the gate
+	perpendicular := 0
+	for step := 1; step <= maxSteps; step++ {
+		next, ok, horizon := successor(v, cur, prev, run.Dir, run.Inside)
+		if horizon {
+			return res // cannot see further; report what we have
+		}
+		if !ok {
+			res.EndpointAt = step
+			return res
+		}
+		// Track perpendicular (zero progress along Dir) streaks: two in a
+		// row means a perpendicular subboundary of ≥ 3 aligned robots ahead
+		// — past the quasi line's endpoint by Definition 1.3.
+		delta := next.Sub(cur)
+		if delta.X*run.Dir.X+delta.Y*run.Dir.Y == 0 {
+			perpendicular++
+			if perpendicular >= 2 && res.EndpointAt == 0 {
+				res.EndpointAt = step
+				return res
+			}
+		} else {
+			perpendicular = 0
+		}
+		st := v.StateAt(next)
+		for _, other := range st.Runs {
+			if run.Sequent(other) && res.SequentAt == 0 {
+				res.SequentAt = step
+			}
+			if run.Oncoming(other) && res.OncomingAt == 0 {
+				res.OncomingAt = step
+			}
+		}
+		prev, cur = cur, next
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"gridgather/internal/grid"
+	"gridgather/internal/view"
+)
+
+// This file implements the merge operations of §3.1 (Fig. 2) and their
+// overlap handling (Fig. 3).
+//
+// A merge configuration of length k, oriented so the hop direction is
+// "down" (d), consists of k black robots forming a maximal straight
+// subboundary perpendicular to d such that
+//
+//   - every cell on the far side (-d) of a black robot is empty (the
+//     subboundary is exposed),
+//   - the two cells extending the black line at its ends are empty
+//     (maximality — the paper's white cells beside the line),
+//   - the landing cells under the interior black robots are empty (white
+//     cells; this is what rules out the swap livelock of Fig. 3a: robots
+//     never hop through an occupied row),
+//   - at least one of the two landing cells under the end robots is
+//     occupied (a grey anchor robot that does not move; "by requiring at
+//     least one grey cell ... at least one robot from a grey cell will be
+//     located at the same cell as a robot from a formerly black cell and
+//     hence one robot is merged").
+//
+// Every black robot verifies the whole configuration inside its own viewing
+// range and hops one cell toward d; grey robots stay. k is bounded by
+// MergeMax ≤ Radius-1 so the farthest verified cell is within the radius.
+//
+// Overlaps (Fig. 3): a robot that is black in two configurations with
+// perpendicular hop directions performs the diagonal hop of Fig. 3b. Black
+// robots of opposing configurations never interleave because interior
+// landing cells must be free, and simultaneous hops that land on a shared
+// cell merge, exactly as in the figure ("afterwards, r, a, b occupy the
+// same grid cell and a, b are removed").
+
+// MergeMove decides whether the robot at the view's origin participates in
+// a merge operation this round, and returns its hop. The second return is
+// false if the robot is not a black robot of any configuration.
+func MergeMove(v *view.View, p Params) (grid.Point, bool) {
+	var dirs []grid.Point
+	for _, d := range grid.Axis4 {
+		if blackIn(v, d, p) {
+			dirs = append(dirs, d)
+		}
+	}
+	switch len(dirs) {
+	case 1:
+		return dirs[0], true
+	case 2:
+		if sum := dirs[0].Add(dirs[1]); sum != grid.Zero {
+			// Perpendicular overlap: diagonal hop (Fig. 3b).
+			return sum, true
+		}
+	}
+	// Zero matches, two opposing matches, or more: no safe single hop.
+	return grid.Zero, false
+}
+
+// blackIn reports whether the origin robot is a black robot of a merge
+// configuration whose hop direction is d.
+func blackIn(v *view.View, d grid.Point, p Params) bool {
+	axis := d.PerpCW() // the line axis of the black subboundary
+
+	// Extent of the straight run of robots through the origin along ±axis.
+	neg := 0
+	for v.Occ(axis.Scale(-(neg + 1))) {
+		neg++
+		if neg >= p.MergeMax {
+			return false // too long to verify within the radius
+		}
+	}
+	pos := 0
+	for v.Occ(axis.Scale(pos + 1)) {
+		pos++
+		if neg+pos+1 > p.MergeMax {
+			return false
+		}
+	}
+	// Maximality holds by loop exit: the cells extending the run at both
+	// ends are free.
+
+	// Far side (outside) must be fully exposed.
+	for m := -neg; m <= pos; m++ {
+		if v.Occ(axis.Scale(m).Sub(d)) {
+			return false
+		}
+	}
+	// Interior landing cells must be free.
+	for m := -neg + 1; m <= pos-1; m++ {
+		if v.Occ(axis.Scale(m).Add(d)) {
+			return false
+		}
+	}
+	// At least one end landing cell must hold a grey anchor.
+	landA := axis.Scale(-neg).Add(d)
+	landB := axis.Scale(pos).Add(d)
+	return v.Occ(landA) || v.Occ(landB)
+}

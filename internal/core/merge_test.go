@@ -1,0 +1,245 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// fromASCII builds a swarm from a picture ('#'/'X' robots). Bottom-left is
+// (0,0); the top line is the highest y.
+func fromASCII(pic string) *swarm.Swarm {
+	lines := strings.Split(strings.Trim(pic, "\n"), "\n")
+	s := swarm.New()
+	h := len(lines)
+	for row, line := range lines {
+		y := h - 1 - row
+		for x, ch := range line {
+			if ch == '#' || ch == 'X' {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+// stepOnce runs exactly one FSYNC round of the default algorithm and
+// returns the engine (checking connectivity).
+func stepOnce(t *testing.T, s *swarm.Swarm) *fsync.Engine {
+	t.Helper()
+	eng := fsync.New(s, Default(), fsync.Config{CheckConnectivity: true, StrictViews: true})
+	if err := eng.Step(); err != nil {
+		t.Fatalf("step failed: %v\n%s", err, eng.Swarm())
+	}
+	return eng
+}
+
+// TestFigure2_Length1 reproduces the k=1 merge: "only a single robot hops
+// onto a grid cell occupied by another robot."
+func TestFigure2_Length1(t *testing.T) {
+	// A tip exposed on three sides with its anchor below. The anchor row
+	// extends to both sides so no perpendicular configuration overlaps the
+	// tip (pure k=1, no Fig. 3b case).
+	s := swarm.New(grid.Pt(0, 1), grid.Pt(-1, 0), grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	v := analysisView(s, Defaults(), grid.Pt(0, 1), 0)
+	d, ok := MergeMove(v, Defaults())
+	if !ok {
+		t.Fatal("tip robot must match a merge configuration")
+	}
+	if d != grid.South {
+		t.Errorf("hop = %v, want South", d)
+	}
+	eng := stepOnce(t, s)
+	if eng.Merges() < 1 {
+		t.Error("no robot merged")
+	}
+	if !eng.Swarm().Connected() {
+		t.Error("disconnected")
+	}
+}
+
+// TestFigure2_LengthK verifies the general merge subboundary of length
+// k > 1: the black robots hop simultaneously in the same direction onto the
+// row with the grey anchors; at least one robot merges; connectivity holds.
+func TestFigure2_LengthK(t *testing.T) {
+	for k := 2; k <= 19; k++ {
+		// Black row of length k at y=1 with grey anchors under both ends.
+		s := swarm.New()
+		for x := 0; x < k; x++ {
+			s.Add(grid.Pt(x, 1))
+		}
+		s.Add(grid.Pt(0, 0))
+		s.Add(grid.Pt(k-1, 0))
+		// A base row keeps the two anchors connected without occupying the
+		// landing row (y=0 stays free between the anchors). It extends one
+		// cell beyond each end so the end columns do not form perpendicular
+		// merge configurations of their own (this test isolates the single
+		// k-configuration; overlaps are Figure 3's subject).
+		for x := -1; x <= k; x++ {
+			s.Add(grid.Pt(x, -1))
+		}
+		if !s.Connected() {
+			t.Fatalf("k=%d: test shape disconnected", k)
+		}
+		p := Defaults()
+		blacks := MergeBlacks(s, p)
+		for x := 0; x < k; x++ {
+			if d, ok := blacks[grid.Pt(x, 1)]; !ok || d != grid.South {
+				t.Fatalf("k=%d: black (%d,1) hop=%v ok=%v", k, x, d, ok)
+			}
+		}
+		before := s.Len()
+		eng := stepOnce(t, s)
+		if eng.Swarm().Len() >= before {
+			t.Errorf("k=%d: no robot removed", k)
+		}
+		if !eng.Swarm().Connected() {
+			t.Errorf("k=%d: disconnected", k)
+		}
+	}
+}
+
+// TestFigure2_WhiteCellsBlock verifies that occupied "white cells" veto the
+// merge: a robot above the black row, beside its ends, or under its
+// interior makes the configuration invalid (else connectivity might break).
+func TestFigure2_WhiteCellsBlock(t *testing.T) {
+	base := func() *swarm.Swarm {
+		return fromASCII(`
+####
+#..#
+`)
+	}
+	p := Defaults()
+	// Baseline sanity: the 4-row on end anchors merges.
+	if len(MergeBlacks(base(), p)) == 0 {
+		t.Fatal("baseline configuration should merge")
+	}
+	// A robot above an interior black vetoes that black's row... and in
+	// fact the whole configuration for every black that sees it.
+	s := base()
+	s.Add(grid.Pt(1, 2))
+	for pos, d := range MergeBlacks(s, p) {
+		if pos.Y == 1 && d == grid.South {
+			t.Errorf("black %v still hops south despite robot above", pos)
+		}
+	}
+	// A robot extending the row sideways shifts maximality — the
+	// configuration with ends-clear changes.
+	s2 := base()
+	s2.Add(grid.Pt(4, 1)) // extend top row; now right end lacks an anchor below
+	blacks := MergeBlacks(s2, p)
+	if d, ok := blacks[grid.Pt(4, 1)]; ok && d == grid.South {
+		// The extended row may still merge via the left anchor — that is
+		// allowed; what must not happen is a hop that disconnects. Run a
+		// round and check.
+		_ = d
+	}
+	stepOnce(t, s2) // connectivity is asserted inside
+	// A robot under an interior black (k ≥ 3) vetoes the merge.
+	s3 := fromASCII(`
+#####
+#.#.#
+`)
+	for pos, d := range MergeBlacks(s3, p) {
+		if pos.Y == 1 && d == grid.South && pos.X != 0 && pos.X != 4 {
+			t.Errorf("interior black %v hops despite occupied interior landing", pos)
+		}
+	}
+}
+
+// TestFigure2_NoAnchorNoMerge: without any grey anchor no merge happens (a
+// bare line's interior, for example, must not hop sideways).
+func TestFigure2_NoAnchorNoMerge(t *testing.T) {
+	s := swarm.New()
+	for x := 0; x < 8; x++ {
+		s.Add(grid.Pt(x, 0))
+	}
+	blacks := MergeBlacks(s, Defaults())
+	// The two end robots merge inward (k=1 with the neighbor as anchor);
+	// interior robots must not move.
+	for pos := range blacks {
+		if pos != grid.Pt(0, 0) && pos != grid.Pt(7, 0) {
+			t.Errorf("interior line robot %v matched a merge", pos)
+		}
+	}
+}
+
+// TestFigure3a_OpposingConfigurationsDontSwap: two opposing merge
+// configurations facing the same landing row collide and merge rather than
+// swapping through each other (the landing-interior-empty white cells rule
+// out pass-through livelocks).
+func TestFigure3a_OpposingConfigurations(t *testing.T) {
+	// Two vertical bars bridged at top: both staple toward the middle
+	// column, landing on the same cells — they must merge, not swap.
+	s := fromASCII(`
+###
+#.#
+#.#
+#.#
+`)
+	before := s.Len()
+	eng := stepOnce(t, s)
+	if eng.Swarm().Len() >= before {
+		t.Error("opposing configurations did not merge")
+	}
+	if !eng.Swarm().Connected() {
+		t.Error("disconnected")
+	}
+	// And crucially: the result is strictly smaller, no livelock. Run to
+	// completion.
+	g := Default()
+	eng2 := fsync.New(s, g, fsync.Config{MaxRounds: 500, CheckConnectivity: true, StrictViews: true})
+	res := eng2.Run()
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("did not gather: %+v", res)
+	}
+}
+
+// TestFigure3b_DiagonalHop: a robot that is black in two perpendicular
+// configurations performs the diagonal hop, and the three involved robots
+// end on the same cell ("r, a, b occupy the same grid cell and a, b are
+// removed without breaking the connectivity").
+func TestFigure3b_DiagonalHop(t *testing.T) {
+	// A small hollow square: every wall staples toward the hole, the
+	// corners belong to two perpendicular configurations at once.
+	s := fromASCII(`
+####
+#..#
+#..#
+####
+`)
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{CheckConnectivity: true, StrictViews: true})
+	if err := eng.Step(); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if g.Stats().DiagonalHops == 0 {
+		t.Error("no diagonal hop executed at the corners")
+	}
+	if eng.Merges() == 0 {
+		t.Error("no merges from the overlapping configurations")
+	}
+	if !eng.Swarm().Connected() {
+		t.Error("disconnected")
+	}
+}
+
+// TestMergePreservesConnectivityOnCorpus applies a single synchronized
+// merge round to randomized swarms and asserts the global safety property:
+// connectivity never breaks and the population never grows.
+func TestMergePreservesConnectivityOnCorpus(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		s := randomConnected(60+int(seed%5)*17, seed)
+		before := s.Len()
+		eng := fsync.New(s, Default(), fsync.Config{CheckConnectivity: true, StrictViews: true})
+		if err := eng.Step(); err != nil {
+			t.Fatalf("seed %d: %v\nbefore:\n%s\nafter:\n%s", seed, err, s, eng.Swarm())
+		}
+		if eng.Swarm().Len() > before {
+			t.Fatalf("seed %d: robots increased", seed)
+		}
+	}
+}

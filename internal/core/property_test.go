@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// transformSwarm maps every cell of s through frame f.
+func transformSwarm(s *swarm.Swarm, f grid.Frame) *swarm.Swarm {
+	out := swarm.New()
+	for _, c := range s.Cells() {
+		out.Add(f.Apply(c))
+	}
+	return out
+}
+
+// TestPropertyNoCompass verifies the model's central symmetry requirement:
+// the robots have no compass, so every decision must commute with the
+// dihedral symmetries of the grid. For random swarms and every frame f,
+// the merge hops and start points of the transformed swarm are exactly the
+// transformed merge hops and start points of the original.
+func TestPropertyNoCompass(t *testing.T) {
+	p := Defaults()
+	f := func(seed int64, frameIdx uint8) bool {
+		s := randomConnected(40+int(seed%41), seed)
+		fr := grid.Frames[int(frameIdx)%len(grid.Frames)]
+		ts := transformSwarm(s, fr)
+
+		// Merge decisions commute.
+		orig := MergeBlacks(s, p)
+		trans := MergeBlacks(ts, p)
+		if len(orig) != len(trans) {
+			return false
+		}
+		for c, d := range orig {
+			td, ok := trans[fr.Apply(c)]
+			if !ok || td != fr.Apply(d) {
+				return false
+			}
+		}
+
+		// Start decisions commute (compare the start positions and the
+		// transformed orientations).
+		so := StartPoints(s, p)
+		st := StartPoints(ts, p)
+		if len(so) != len(st) {
+			return false
+		}
+		for c, ms := range so {
+			tms, ok := st[fr.Apply(c)]
+			if !ok || len(tms) != len(ms) {
+				return false
+			}
+			// Every original orientation must appear transformed.
+			for _, m := range ms {
+				found := false
+				for _, tm := range tms {
+					if tm.Dir() == fr.Apply(m.Dir()) && tm.Inside() == fr.Apply(m.Inside()) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFullRunEquivariance runs entire simulations on a swarm and
+// its mirror image: the gathering outcome (rounds, merges) must be
+// identical — the algorithm cannot secretly depend on orientation.
+func TestPropertyFullRunEquivariance(t *testing.T) {
+	f := func(seed int64, frameIdx uint8) bool {
+		s := randomConnected(30+int(seed%61), seed)
+		fr := grid.Frames[int(frameIdx)%len(grid.Frames)]
+		ts := transformSwarm(s, fr)
+		run := func(sw *swarm.Swarm) fsync.Result {
+			g := Default()
+			eng := fsync.New(sw, g, fsync.Config{MaxRounds: 60*sw.Len() + 500})
+			return eng.Run()
+		}
+		a, b := run(s), run(ts)
+		return a.Err == nil && b.Err == nil &&
+			a.Rounds == b.Rounds && a.Merges == b.Merges &&
+			a.RunsStarted == b.RunsStarted
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMergeSafety: for random connected swarms, one synchronized
+// round never disconnects the swarm, never grows the population, and
+// never moves any robot more than one cell (checked by the engine).
+func TestPropertyMergeSafety(t *testing.T) {
+	f := func(seed int64, roundOffset uint8) bool {
+		s := randomConnected(30+int(seed%91), seed)
+		before := s.Len()
+		eng := fsync.New(s, Default(), fsync.Config{CheckConnectivity: true, StrictViews: true})
+		eng.SetRound(int(roundOffset) % 44) // exercise tick and non-tick rounds
+		if err := eng.Step(); err != nil {
+			return false
+		}
+		return eng.Swarm().Len() <= before
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGatheredIsFixedPoint: a gathered swarm stays gathered — the
+// algorithm never un-gathers (robots in a 2×2 square perform no harmful
+// moves; the engine stops at the fixed point).
+func TestPropertyGatheredIsFixedPoint(t *testing.T) {
+	f := func(x, y int8, wide, tall bool) bool {
+		base := grid.Pt(int(x), int(y))
+		s := swarm.New(base)
+		if wide {
+			s.Add(base.Add(grid.East))
+		}
+		if tall {
+			s.Add(base.Add(grid.North))
+		}
+		if wide && tall {
+			s.Add(base.Add(grid.NorthEast))
+		}
+		g := Default()
+		eng := fsync.New(s, g, fsync.Config{MaxRounds: 5})
+		res := eng.Run()
+		return res.Gathered && res.Rounds == 0
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

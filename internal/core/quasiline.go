@@ -1,0 +1,131 @@
+package core
+
+import (
+	"gridgather/internal/grid"
+)
+
+// This file implements Definition 1 (quasi lines) and the boundary-shape
+// analysis used by the Lemma 1 experiments: segmenting a boundary path into
+// maximal straight runs and classifying quasi lines and stairways
+// (Fig. 6/16).
+
+// Segment is a maximal straight run of robots along a boundary path.
+type Segment struct {
+	// Axis is 'h' for horizontal, 'v' for vertical, 'd' for a diagonal
+	// step (possible where the contour crosses a width-1 pinch).
+	Axis byte
+	// Robots is the number of robots in the aligned run (steps + 1).
+	Robots int
+	// Start is the index of the run's first cell in the path.
+	Start int
+}
+
+// PathSegments splits a cell path into maximal aligned runs. Consecutive
+// path cells must be king-move adjacent.
+func PathSegments(path []grid.Point) []Segment {
+	if len(path) < 2 {
+		if len(path) == 1 {
+			return []Segment{{Axis: 'h', Robots: 1, Start: 0}}
+		}
+		return nil
+	}
+	axisOf := func(d grid.Point) byte {
+		switch {
+		case d.Y == 0 && d.X != 0:
+			return 'h'
+		case d.X == 0 && d.Y != 0:
+			return 'v'
+		default:
+			return 'd'
+		}
+	}
+	var segs []Segment
+	cur := Segment{Axis: axisOf(path[1].Sub(path[0])), Robots: 2, Start: 0}
+	prevDir := path[1].Sub(path[0])
+	for i := 2; i < len(path); i++ {
+		d := path[i].Sub(path[i-1])
+		if axisOf(d) == cur.Axis && d == prevDir {
+			cur.Robots++
+		} else {
+			segs = append(segs, cur)
+			cur = Segment{Axis: axisOf(d), Robots: 2, Start: i - 1}
+		}
+		prevDir = d
+	}
+	segs = append(segs, cur)
+	return segs
+}
+
+// IsQuasiLine reports whether the path satisfies Definition 1 for either
+// orientation, returning the line axis ('h' or 'v') when it does:
+//
+//  1. at least its first and last three robots are aligned along the line
+//     axis,
+//  2. all its aligned subboundaries along the line axis contain at least
+//     three robots,
+//  3. all its aligned subboundaries along the perpendicular axis contain at
+//     most two robots.
+func IsQuasiLine(path []grid.Point) (axis byte, ok bool) {
+	if isQuasiLineAxis(path, 'h') {
+		return 'h', true
+	}
+	if isQuasiLineAxis(path, 'v') {
+		return 'v', true
+	}
+	return 0, false
+}
+
+func isQuasiLineAxis(path []grid.Point, lineAxis byte) bool {
+	if len(path) < 3 {
+		return false
+	}
+	segs := PathSegments(path)
+	if len(segs) == 0 {
+		return false
+	}
+	perp := byte('v')
+	if lineAxis == 'v' {
+		perp = 'h'
+	}
+	first, last := segs[0], segs[len(segs)-1]
+	if first.Axis != lineAxis || first.Robots < 3 {
+		return false
+	}
+	if last.Axis != lineAxis || last.Robots < 3 {
+		return false
+	}
+	for _, s := range segs {
+		switch s.Axis {
+		case lineAxis:
+			if s.Robots < 3 {
+				return false
+			}
+		case perp:
+			if s.Robots > 2 {
+				return false
+			}
+		default:
+			return false // diagonal pinch steps disqualify
+		}
+	}
+	return true
+}
+
+// IsStairway reports whether the path is a stairway (Fig. 16): a subchain
+// of alternating single perpendicular turns — every maximal aligned run
+// contains exactly two robots and consecutive runs alternate axes.
+func IsStairway(path []grid.Point) bool {
+	if len(path) < 2 {
+		return false
+	}
+	segs := PathSegments(path)
+	for i, s := range segs {
+		if s.Axis == 'd' || s.Robots != 2 {
+			return false
+		}
+		if i > 0 && s.Axis == segs[i-1].Axis {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+)
+
+func hpath(y int, xs ...int) []grid.Point {
+	var out []grid.Point
+	for _, x := range xs {
+		out = append(out, grid.Pt(x, y))
+	}
+	return out
+}
+
+func TestPathSegmentsStraight(t *testing.T) {
+	path := hpath(0, 0, 1, 2, 3, 4)
+	segs := PathSegments(path)
+	if len(segs) != 1 || segs[0].Axis != 'h' || segs[0].Robots != 5 {
+		t.Errorf("segs = %+v", segs)
+	}
+}
+
+func TestPathSegmentsWithJog(t *testing.T) {
+	// (0,0)(1,0)(2,0)(2,1)(3,1)(4,1): h3, v2, h3 (corner robots shared).
+	path := []grid.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 1}, {X: 4, Y: 1}}
+	segs := PathSegments(path)
+	if len(segs) != 3 {
+		t.Fatalf("segs = %+v", segs)
+	}
+	if segs[0].Axis != 'h' || segs[0].Robots != 3 {
+		t.Errorf("seg0 = %+v", segs[0])
+	}
+	if segs[1].Axis != 'v' || segs[1].Robots != 2 {
+		t.Errorf("seg1 = %+v", segs[1])
+	}
+	if segs[2].Axis != 'h' || segs[2].Robots != 3 {
+		t.Errorf("seg2 = %+v", segs[2])
+	}
+}
+
+func TestPathSegmentsDirectionFlipSplits(t *testing.T) {
+	// Going right then back left must split even though the axis is equal.
+	path := []grid.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0}}
+	segs := PathSegments(path)
+	if len(segs) != 2 {
+		t.Errorf("backtrack should split segments: %+v", segs)
+	}
+}
+
+func TestPathSegmentsSingleton(t *testing.T) {
+	segs := PathSegments(hpath(0, 5))
+	if len(segs) != 1 || segs[0].Robots != 1 {
+		t.Errorf("segs = %+v", segs)
+	}
+	if PathSegments(nil) != nil {
+		t.Error("nil path should give nil segments")
+	}
+}
+
+// TestDefinition1_StraightLine: a straight line of ≥3 robots is a
+// horizontal quasi line.
+func TestDefinition1_StraightLine(t *testing.T) {
+	axis, ok := IsQuasiLine(hpath(0, 0, 1, 2, 3, 4, 5))
+	if !ok || axis != 'h' {
+		t.Errorf("axis=%c ok=%v", axis, ok)
+	}
+	// Too short.
+	if _, ok := IsQuasiLine(hpath(0, 0, 1)); ok {
+		t.Error("2 robots must not be a quasi line")
+	}
+}
+
+// TestDefinition1_Figure6 reconstructs the quasi line of Fig. 6: long
+// horizontal runs joined by single vertical jogs, first and last three
+// robots aligned.
+func TestDefinition1_Figure6(t *testing.T) {
+	path := []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0},
+		{X: 3, Y: 1}, // jog up (2 vertically aligned robots)
+		{X: 4, Y: 1}, {X: 5, Y: 1}, {X: 6, Y: 1},
+		{X: 6, Y: 0}, // jog down
+		{X: 7, Y: 0}, {X: 8, Y: 0}, {X: 9, Y: 0},
+	}
+	axis, ok := IsQuasiLine(path)
+	if !ok || axis != 'h' {
+		t.Fatalf("Figure 6 path rejected: axis=%c ok=%v", axis, ok)
+	}
+}
+
+// TestDefinition1_Violations checks each clause of Definition 1.
+func TestDefinition1_Violations(t *testing.T) {
+	// Clause 2: a horizontal subrun of two robots.
+	clause2 := []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+		{X: 2, Y: 1},
+		{X: 3, Y: 1}, {X: 4, Y: 1}, // only 2 aligned... plus corner = 2? (2,1),(3,1),(4,1) = 3. Make it shorter:
+	}
+	// Rebuild: h3, jog, h2, jog, h3 — middle run too short.
+	clause2 = []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+		{X: 2, Y: 1}, {X: 3, Y: 1},
+		{X: 3, Y: 2}, {X: 4, Y: 2}, {X: 5, Y: 2},
+	}
+	if axis, ok := IsQuasiLine(clause2); ok && axis == 'h' {
+		t.Error("middle horizontal run of 2 must violate Definition 1.2")
+	}
+	// Clause 3: a vertical subrun of three robots.
+	clause3 := []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+		{X: 2, Y: 1}, {X: 2, Y: 2},
+		{X: 3, Y: 2}, {X: 4, Y: 2}, {X: 5, Y: 2},
+	}
+	if axis, ok := IsQuasiLine(clause3); ok && axis == 'h' {
+		t.Error("vertical run of 3 must violate Definition 1.3")
+	}
+	// Clause 1: endpoint not aligned (ends with a jog).
+	clause1 := []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+		{X: 2, Y: 1},
+	}
+	if axis, ok := IsQuasiLine(clause1); ok && axis == 'h' {
+		t.Error("path ending in a jog must violate Definition 1.1")
+	}
+}
+
+// TestDefinition1_Vertical: the transposed definition holds analogously.
+func TestDefinition1_Vertical(t *testing.T) {
+	var path []grid.Point
+	for y := 0; y < 6; y++ {
+		path = append(path, grid.Pt(0, y))
+	}
+	axis, ok := IsQuasiLine(path)
+	if !ok || axis != 'v' {
+		t.Errorf("vertical line: axis=%c ok=%v", axis, ok)
+	}
+}
+
+// TestIsStairway checks Fig. 16's stairway shape: alternating single turns.
+func TestIsStairway(t *testing.T) {
+	stairs := []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 2},
+	}
+	if !IsStairway(stairs) {
+		t.Error("staircase rejected")
+	}
+	// A straight 3-run is not a stairway.
+	if IsStairway(hpath(0, 0, 1, 2)) {
+		t.Error("straight run accepted as stairway")
+	}
+	// Two consecutive same-axis short segments (a 2-step) are not.
+	twoStep := []grid.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 1},
+	}
+	if IsStairway(twoStep) {
+		t.Error("2-step accepted as stairway")
+	}
+	if IsStairway(nil) || IsStairway(hpath(0, 1)) {
+		t.Error("degenerate paths accepted")
+	}
+}
+
+// TestLemma1_HollowRectangleDecomposition: the canonical mergeless swarm's
+// outer boundary decomposes into quasi lines (the four walls) — the
+// structure the proof of Lemma 1 derives.
+func TestLemma1_HollowRectangleDecomposition(t *testing.T) {
+	s := hollow(24, 24)
+	if !Mergeless(s, Defaults()) {
+		t.Fatal("hollow 24x24 should be mergeless (walls exceed MergeMax)")
+	}
+	contour := s.OuterContour()
+	// The top wall (y = 23) is a horizontal quasi line.
+	var top []grid.Point
+	for _, p := range contour {
+		if p.Y == 23 {
+			top = append(top, p)
+		}
+	}
+	if len(top) != 24 {
+		t.Fatalf("top wall robots on contour = %d", len(top))
+	}
+	if axis, ok := IsQuasiLine(top); !ok || axis != 'h' {
+		t.Errorf("top wall not a horizontal quasi line: %c %v", axis, ok)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// §6 of the paper classifies the situations where two runs must pass along
+// each other (Fig. 21, cases a–e) by how their quasi lines q and q'
+// overlap. These tests construct the observable cases and verify the
+// passing protocol: oncoming runs within the passing distance glide
+// without reshapement hops, connectivity holds throughout, and gathering
+// still completes.
+
+// zTable builds the case-(a)-like scenario: one shared quasi line (the top
+// row) whose two endpoint supports hang on opposite sides, so the runs
+// started at its ends are oriented with opposite insides and can never
+// form a good pair: they must pass.
+//
+//	                     #
+//	                     #   <- right leg (up)
+//	#####################
+//	#   <- left leg (down)
+func zTable(width, leg int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < width; x++ {
+		s.Add(grid.Pt(x, 0))
+	}
+	for y := 1; y <= leg; y++ {
+		s.Add(grid.Pt(0, -y).Add(grid.Pt(0, 0)))
+		s.Add(grid.Pt(width-1, y))
+	}
+	return s
+}
+
+// TestRunPassing_CaseA_SharedLine: both runs live on the same quasi line
+// (q = q', Fig. 21a). They approach, enter the passing operation, glide
+// past each other, and the swarm still gathers.
+func TestRunPassing_CaseA_SharedLine(t *testing.T) {
+	s := zTable(30, 21) // legs longer than MergeMax: ends can't merge away fast
+	s.Validate()
+	n := s.Len()
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds:         60*n + 500,
+		CheckConnectivity: true,
+		StrictViews:       true,
+		NoMergeLimit:      30*n + 300,
+	})
+	res := eng.Run()
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("z-table did not gather: %+v", res)
+	}
+	if g.Stats().PassEnters == 0 {
+		t.Error("opposite-inside runs on a shared line never passed (Fig. 21a)")
+	}
+}
+
+// TestRunPassing_NoHopsDuringPass: during the passing operation runners
+// move the state but perform no diagonal hops (the definition of the run
+// passing operation).
+func TestRunPassing_NoHopsDuringPass(t *testing.T) {
+	// A long line, no supports: planted oncoming runs can never roll (no
+	// inside anchors), so every state movement is a glide; the test pins
+	// the passing bookkeeping: both states survive the crossing.
+	s := swarm.New()
+	for x := 0; x < 40; x++ {
+		s.Add(grid.Pt(x, 0))
+	}
+	eng, g := engineOn(s)
+	eng.SetRound(1) // no starts
+	plantRun(eng, grid.Pt(15, 0), grid.East, grid.South)
+	plantRun(eng, grid.Pt(22, 0), grid.West, grid.North)
+	for i := 0; i < 8; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Stats().Rolls != 0 {
+		t.Errorf("rolls during passing = %d, want 0", g.Stats().Rolls)
+	}
+	if g.Stats().PassEnters == 0 {
+		t.Error("runs never entered passing")
+	}
+	// Both runs survived the crossing and continue in their own directions:
+	// the east run is now east of the west run.
+	runners := eng.Runners()
+	if len(runners) != 2 {
+		t.Fatalf("runners = %v", runners)
+	}
+	var eastAt, westAt grid.Point
+	for _, p := range runners {
+		for _, r := range eng.StateAt(p).Runs {
+			if r.Dir == grid.East {
+				eastAt = p
+			}
+			if r.Dir == grid.West {
+				westAt = p
+			}
+		}
+	}
+	if eastAt == (grid.Point{}) || westAt == (grid.Point{}) {
+		t.Fatalf("missing a run after passing: %v", runners)
+	}
+	if eastAt.X <= westAt.X {
+		t.Errorf("runs did not pass: east run at %v, west run at %v", eastAt, westAt)
+	}
+}
+
+// TestRunPassing_CaseCD_DisjointLines: runs on different, vertically
+// separated quasi lines (Fig. 21 c/d) approach along parallel walls of a
+// zig-ring. Nothing may disconnect and gathering completes; passing may or
+// may not trigger depending on which side the contours face, so only the
+// safety properties are asserted.
+func TestRunPassing_CaseCD_DisjointLines(t *testing.T) {
+	// A ring with a jogged top wall: runs started at the four outer corners
+	// travel on overlapping but non-identical quasi lines.
+	s := joggedRing()
+	n := s.Len()
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds:         60*n + 500,
+		CheckConnectivity: true,
+		StrictViews:       true,
+		NoMergeLimit:      30*n + 300,
+	})
+	res := eng.Run()
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("jogged ring did not gather: %+v", res)
+	}
+	if res.RunsStarted == 0 {
+		t.Error("no runs on the jogged ring")
+	}
+}
+
+// TestRunPassing_ResumeAfterPass: after the passing glide expires, a run
+// resumes normal operation (Phase back to roll).
+func TestRunPassing_ResumeAfterPass(t *testing.T) {
+	s := swarm.New()
+	for x := 0; x < 40; x++ {
+		s.Add(grid.Pt(x, 0))
+	}
+	eng, _ := engineOn(s)
+	eng.SetRound(1)
+	plantRun(eng, grid.Pt(15, 0), grid.East, grid.South)
+	plantRun(eng, grid.Pt(22, 0), grid.West, grid.North)
+	// Glide long enough for PassGlide (6) to expire after the crossing.
+	for i := 0; i < 12; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range eng.Runners() {
+		for _, r := range eng.StateAt(p).Runs {
+			if r.Phase != 0 { // robot.PhaseRoll
+				t.Errorf("run at %v still in phase %v after passing window", p, r.Phase)
+			}
+		}
+	}
+}

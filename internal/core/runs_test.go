@@ -1,0 +1,365 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+)
+
+// engineOn builds a checked engine over s with a fresh default gatherer.
+func engineOn(s *swarm.Swarm) (*fsync.Engine, *Gatherer) {
+	g := Default()
+	return fsync.New(s, g, fsync.Config{CheckConnectivity: true, StrictViews: true}), g
+}
+
+// plantRun puts a run state on the robot at p.
+func plantRun(eng *fsync.Engine, p grid.Point, dir, inside grid.Point) {
+	eng.SetState(p, robot.State{Runs: []robot.Run{{Dir: dir, Inside: inside}}})
+}
+
+// TestFigure8_OPA: "The runner and at least the next 3 robots are located
+// on a straight line. Here, the runner first performs a diagonal hop, then
+// moves the run to the next robot. The operation takes only one round."
+func TestFigure8_OPA(t *testing.T) {
+	// Runner at the left end of the top wall of a big mergeless ring.
+	s := gen.Hollow(26, 26)
+	// Emulate a freshly started run: corner already hopped away; the state
+	// sits on (1,25) moving east, inside south, with the corner's landing
+	// robot at (1,24).
+	s.Remove(grid.Pt(0, 25))
+	s.Add(grid.Pt(1, 24))
+	eng, g := engineOn(s)
+	plantRun(eng, grid.Pt(1, 25), grid.East, grid.South)
+
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// The runner hopped diagonally to (2,24).
+	if !eng.Swarm().Has(grid.Pt(2, 24)) {
+		t.Errorf("runner did not hop to (2,24):\n%s", eng.Swarm())
+	}
+	if eng.Swarm().Has(grid.Pt(1, 25)) {
+		t.Error("runner still at origin")
+	}
+	// The run state moved to the next robot (2,25).
+	if st := eng.StateAt(grid.Pt(2, 25)); !st.HasRuns() {
+		t.Error("run state was not transferred to the next robot")
+	}
+	if g.Stats().Rolls != 1 {
+		t.Errorf("rolls = %d, want 1", g.Stats().Rolls)
+	}
+}
+
+// joggedRing builds a mergeless hollow rectangle whose top wall contains a
+// single downward jog at x = 20: wall cells (0..20, 39) and (20..39, 38),
+// joined by the vertical pair (20,39)/(20,38). All straight wall pieces are
+// longer than MergeMax, so no merge fires anywhere.
+func joggedRing() *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x <= 20; x++ {
+		s.Add(grid.Pt(x, 39))
+	}
+	for x := 20; x <= 39; x++ {
+		s.Add(grid.Pt(x, 38))
+	}
+	for y := 0; y <= 38; y++ {
+		s.Add(grid.Pt(0, y))
+		s.Add(grid.Pt(39, y))
+	}
+	for x := 0; x <= 39; x++ {
+		s.Add(grid.Pt(x, 0))
+	}
+	return s
+}
+
+// TestFigure8_OPB: "The runner and only the next 2 robots are located on a
+// straight line. Then, for 3 times the runners just move the run to the
+// next robot without any diagonal hops. Afterwards, it is located at the
+// target corner c." A run gliding along a jogged quasi line crosses the jog
+// without reshaping it.
+func TestFigure8_OPB(t *testing.T) {
+	s := joggedRing()
+	if !Mergeless(s, Defaults()) {
+		t.Fatal("jogged ring must be mergeless")
+	}
+	eng, g := engineOn(s)
+	eng.SetRound(1) // not an L-tick: no new starts interfere
+	plantRun(eng, grid.Pt(16, 39), grid.East, grid.South)
+
+	var positions []grid.Point
+	for i := 0; i < 7; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		positions = append(positions, eng.Runners()...)
+	}
+	if g.Stats().Rolls != 0 {
+		t.Errorf("gliding across a jog must not perform diagonal hops, rolls = %d", g.Stats().Rolls)
+	}
+	want := []grid.Point{
+		{X: 17, Y: 39}, {X: 18, Y: 39}, {X: 19, Y: 39},
+		{X: 20, Y: 39}, // the corner c at the top of the jog
+		{X: 20, Y: 38}, // around the jog, no hops
+		{X: 21, Y: 38}, {X: 22, Y: 38},
+	}
+	if len(positions) != len(want) {
+		t.Fatalf("runner positions = %v", positions)
+	}
+	for i, w := range want {
+		if positions[i] != w {
+			t.Errorf("round %d: runner at %v, want %v", i+1, positions[i], w)
+		}
+	}
+	// The wall shape is unchanged — OP-B does not reshape (Lemma 3.2).
+	if !eng.Swarm().Equal(s) {
+		t.Error("gliding run reshaped the swarm")
+	}
+}
+
+// TestFigure4_LongPlateau: the Fig. 4 scenario — a plateau longer than the
+// merge limit standing on two legs. Runs started at its endpoints shrink it
+// until a merge happens; the whole table gathers in linear time.
+func TestFigure4_LongPlateau(t *testing.T) {
+	// Legs taller than MergeMax cannot merge sideways, so only the runs
+	// started at the plateau's endpoints can shorten it.
+	s := gen.Table(40, 22)
+	n := s.Len()
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds: 60*n + 500, CheckConnectivity: true, StrictViews: true,
+		NoMergeLimit: 30*n + 300,
+	})
+	res := eng.Run()
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("table did not gather: %+v", res)
+	}
+	if res.RunsStarted == 0 {
+		t.Error("expected runs on the long plateau")
+	}
+}
+
+// TestFigure9a_ConvergingPairEnablesMerge: two runs of a good pair move
+// toward each other on the top wall; when the remaining segment is short
+// enough, the merge fires and both runs stop (they were part of the merge).
+func TestFigure9a_ConvergingPair(t *testing.T) {
+	s := gen.Hollow(30, 30)
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds: 4000, CheckConnectivity: true, StrictViews: true,
+	})
+	// Run until the first merge happens; runs must have been started and
+	// moved first (the ring is mergeless initially).
+	if !Mergeless(s, g.Params()) {
+		t.Fatal("precondition: ring must be mergeless")
+	}
+	for eng.Merges() == 0 {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Round() > 200 {
+			t.Fatal("no merge within 200 rounds")
+		}
+	}
+	if eng.RunsStarted() < 2 {
+		t.Errorf("merge happened with %d runs started", eng.RunsStarted())
+	}
+	if g.Stats().Rolls == 0 {
+		t.Error("no reshapement hops before the first merge")
+	}
+}
+
+// TestFigure9b_RunPassing: two oncoming runs that do not form a good pair
+// (their insides point to opposite sides) pass along each other without
+// reshapement hops.
+func TestFigure9b_RunPassing(t *testing.T) {
+	// A long 1-thick line with run states planted mid-line moving toward
+	// each other, insides on opposite sides. (On a bare line both sides are
+	// empty, which makes gliding safe — exactly the passing behaviour.)
+	s := swarm.New()
+	for x := 0; x < 30; x++ {
+		s.Add(grid.Pt(x, 0))
+	}
+	eng, g := engineOn(s)
+	plantRun(eng, grid.Pt(10, 0), grid.East, grid.South)
+	plantRun(eng, grid.Pt(18, 0), grid.West, grid.North)
+
+	// Let them approach and pass. The line's ends merge inward during
+	// this, which is fine; we only assert the passing happened and nothing
+	// broke.
+	for i := 0; i < 6; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Stats().PassEnters == 0 {
+		t.Error("oncoming runs did not enter the passing operation")
+	}
+}
+
+// TestTable1_Condition1_SequentRunStops: a run seeing a sequent run (same
+// direction) in front of it within the viewing radius stops.
+func TestTable1_Condition1(t *testing.T) {
+	s := gen.Hollow(40, 40)
+	eng, g := engineOn(s)
+	eng.SetRound(1) // suppress corner starts
+	// Two sequent runs on the top wall, 8 apart (< SeqStop), both heading
+	// east.
+	plantRun(eng, grid.Pt(5, 39), grid.East, grid.South)
+	plantRun(eng, grid.Pt(13, 39), grid.East, grid.South)
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().StopSequent == 0 {
+		t.Error("rear sequent run did not stop (Table 1.1)")
+	}
+	// Only the front run remains.
+	if got := len(eng.Runners()); got != 1 {
+		t.Errorf("runners after step = %d, want 1", got)
+	}
+}
+
+// TestTable1_Condition2_EndpointStops: a run seeing its quasi line's
+// endpoint ahead stops.
+func TestTable1_Condition2(t *testing.T) {
+	s := gen.Hollow(40, 40)
+	eng, g := engineOn(s)
+	eng.SetRound(1) // suppress corner starts
+	// A run heading east on the top wall, one robot before the corner
+	// (39,39); past the corner the wall drops vertically — the endpoint.
+	plantRun(eng, grid.Pt(38, 39), grid.East, grid.South)
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().StopEndpoint == 0 {
+		t.Error("run did not stop at the quasi line endpoint (Table 1.2)")
+	}
+	if got := len(eng.Runners()); got != 0 {
+		t.Errorf("runners after step = %d, want 0", got)
+	}
+}
+
+// TestTable1_Condition3_MergeStops: a runner that participates in a merge
+// operation loses its run.
+func TestTable1_Condition3(t *testing.T) {
+	// A mergeable bump whose black robot carries a run.
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(0, 1), grid.Pt(1, 0), grid.Pt(2, 0), grid.Pt(3, 0))
+	eng, _ := engineOn(s)
+	plantRun(eng, grid.Pt(0, 1), grid.East, grid.South)
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Merges() == 0 {
+		t.Fatal("expected the bump to merge")
+	}
+	if got := len(eng.Runners()); got != 0 {
+		t.Errorf("run survived its merge (Table 1.3): %d runners", got)
+	}
+}
+
+// TestTable1_Condition45_GeometryChangeStops: a run whose outside becomes
+// occupied (the boundary reshaped beneath it) stops.
+func TestTable1_Condition45(t *testing.T) {
+	s := gen.Solid(30, 30)
+	eng, g := engineOn(s)
+	// Plant a run on an interior-ish robot: outside (north) occupied.
+	plantRun(eng, grid.Pt(15, 15), grid.East, grid.South)
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().StopGeometry == 0 {
+		t.Error("run with occupied outside did not stop (Table 1.4/5)")
+	}
+}
+
+// TestTable1_Condition6_OntoOccupied: an OP-A hop onto an occupied cell
+// merges and terminates the run.
+func TestTable1_Condition6(t *testing.T) {
+	// Plateau directly on a solid base: the forward-inside diagonal is
+	// occupied.
+	s := swarm.New()
+	for x := 0; x < 26; x++ {
+		s.Add(grid.Pt(x, 1)) // plateau row
+		s.Add(grid.Pt(x, 0)) // base row
+		s.Add(grid.Pt(x, -1))
+	}
+	// Expose the plateau's left end: remove base overhang to the left.
+	s.Remove(grid.Pt(0, 1))
+	eng, g := engineOn(s)
+	// Runner at the plateau's new left end (1,1), rolling east, inside
+	// south; behind it is free, the anchor below occupied, the next three
+	// plateau robots straight — but the hop cell (2,0) is occupied.
+	plantRun(eng, grid.Pt(1, 1), grid.East, grid.South)
+	before := eng.Swarm().Len()
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().StopOntoOcc == 0 {
+		t.Error("onto-occupied hop not counted (Table 1.6)")
+	}
+	if eng.Swarm().Len() >= before {
+		t.Error("no merge from the onto-occupied hop")
+	}
+	if got := len(eng.Runners()); got != 0 {
+		t.Errorf("run survived an onto-occupied hop: %d runners", got)
+	}
+}
+
+// TestFigure15_Pipelining: on a large mergeless ring, new runs start every
+// L rounds while earlier runs are still active — multiple runs are alive
+// simultaneously, and different pairs lead to different merges.
+func TestFigure15_Pipelining(t *testing.T) {
+	s := gen.Hollow(56, 56)
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds: 3 * g.Params().L, CheckConnectivity: true, StrictViews: true,
+	})
+	maxConcurrent := 0
+	mergeRounds := map[int]bool{}
+	for eng.Round() < 3*g.Params().L {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if c := len(eng.Runners()); c > maxConcurrent {
+			maxConcurrent = c
+		}
+		if eng.RoundMerges() > 0 {
+			mergeRounds[eng.Round()] = true
+		}
+	}
+	if maxConcurrent < 4 {
+		t.Errorf("max concurrent runners = %d, want ≥ 4 (pipelining)", maxConcurrent)
+	}
+	t.Logf("concurrent runners: %d, merge rounds: %d", maxConcurrent, len(mergeRounds))
+}
+
+// TestLemma3_RunSpeed: "Every round, S moves one robot further in moving
+// direction" — an active run's holder changes every round until the run
+// terminates.
+func TestLemma3_RunSpeed(t *testing.T) {
+	s := gen.Hollow(40, 40)
+	eng, _ := engineOn(s)
+	eng.SetRound(1) // suppress corner starts so only the planted run exists
+	plantRun(eng, grid.Pt(10, 39), grid.East, grid.South)
+	prev := grid.Pt(10, 39)
+	for i := 0; i < 15; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		runners := eng.Runners()
+		if len(runners) == 0 {
+			t.Fatalf("run terminated unexpectedly at round %d", eng.Round())
+		}
+		cur := runners[0]
+		if cur == prev {
+			t.Errorf("round %d: run did not advance (still at %v)", eng.Round(), cur)
+		}
+		if d := cur.Sub(prev); d.X < 1 || d.X > 2 {
+			t.Errorf("round %d: run moved %v, expected one robot east", eng.Round(), d)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// simulate runs the default gatherer on s with full invariant checking and
+// a linear round budget, failing the test on any violation.
+func simulate(t *testing.T, s *swarm.Swarm) fsync.Result {
+	t.Helper()
+	s.Validate()
+	n := s.Len()
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds:         60*n + 400,
+		CheckConnectivity: true,
+		StrictViews:       true,
+		NoMergeLimit:      30*n + 300,
+	})
+	res := eng.Run()
+	if res.Err != nil {
+		t.Fatalf("simulation failed (n=%d): %v\nfinal state (%d robots):\n%s",
+			n, res.Err, eng.Swarm().Len(), eng.Swarm())
+	}
+	if !res.Gathered {
+		t.Fatalf("not gathered after %d rounds", res.Rounds)
+	}
+	return res
+}
+
+func hline(n int) *swarm.Swarm {
+	s := swarm.New()
+	for i := 0; i < n; i++ {
+		s.Add(grid.Pt(i, 0))
+	}
+	return s
+}
+
+func solid(w, h int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			s.Add(grid.Pt(x, y))
+		}
+	}
+	return s
+}
+
+func hollow(w, h int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x == 0 || y == 0 || x == w-1 || y == h-1 {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+func TestGatherSingleton(t *testing.T) {
+	res := simulate(t, swarm.New(grid.Pt(0, 0)))
+	if res.Rounds != 0 {
+		t.Errorf("singleton took %d rounds", res.Rounds)
+	}
+}
+
+func TestGatherPair(t *testing.T) {
+	res := simulate(t, swarm.New(grid.Pt(0, 0), grid.Pt(0, 1)))
+	if res.Rounds != 0 {
+		t.Errorf("adjacent pair is already gathered, took %d rounds", res.Rounds)
+	}
+}
+
+func TestGatherSmallLines(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		res := simulate(t, hline(n))
+		t.Logf("line n=%d: rounds=%d merges=%d", n, res.Rounds, res.Merges)
+	}
+}
+
+func TestGatherLongLine(t *testing.T) {
+	res := simulate(t, hline(60))
+	t.Logf("line n=60: rounds=%d merges=%d runs=%d", res.Rounds, res.Merges, res.RunsStarted)
+}
+
+func TestGatherSolidSquares(t *testing.T) {
+	for _, w := range []int{3, 4, 5, 8} {
+		res := simulate(t, solid(w, w))
+		t.Logf("solid %dx%d: rounds=%d merges=%d runs=%d", w, w, res.Rounds, res.Merges, res.RunsStarted)
+	}
+}
+
+func TestGatherSolidRects(t *testing.T) {
+	res := simulate(t, solid(12, 3))
+	t.Logf("solid 12x3: rounds=%d", res.Rounds)
+	res = simulate(t, solid(2, 15))
+	t.Logf("solid 2x15: rounds=%d", res.Rounds)
+}
+
+func TestGatherHollowSmall(t *testing.T) {
+	for _, w := range []int{3, 4, 5, 8, 12} {
+		res := simulate(t, hollow(w, w))
+		t.Logf("hollow %dx%d: rounds=%d merges=%d runs=%d", w, w, res.Rounds, res.Merges, res.RunsStarted)
+	}
+}
+
+func TestGatherHollowLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := simulate(t, hollow(30, 30))
+	t.Logf("hollow 30x30: rounds=%d merges=%d runs=%d", res.Rounds, res.Merges, res.RunsStarted)
+}
+
+func TestGatherStaircase(t *testing.T) {
+	s := swarm.New()
+	x, y := 0, 0
+	for i := 0; i < 30; i++ {
+		s.Add(grid.Pt(x, y))
+		if i%2 == 0 {
+			x++
+		} else {
+			y++
+		}
+		s.Add(grid.Pt(x, y))
+	}
+	res := simulate(t, s)
+	t.Logf("staircase: rounds=%d", res.Rounds)
+}
+
+func TestGatherPlus(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0))
+	for i := 1; i <= 10; i++ {
+		s.Add(grid.Pt(i, 0))
+		s.Add(grid.Pt(-i, 0))
+		s.Add(grid.Pt(0, i))
+		s.Add(grid.Pt(0, -i))
+	}
+	res := simulate(t, s)
+	t.Logf("plus: rounds=%d", res.Rounds)
+}
+
+func TestGatherLShape(t *testing.T) {
+	s := swarm.New()
+	for i := 0; i < 15; i++ {
+		s.Add(grid.Pt(i, 0))
+		s.Add(grid.Pt(0, i))
+	}
+	res := simulate(t, s)
+	t.Logf("L: rounds=%d", res.Rounds)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// TestFigure7_StartA: the endpoint of a horizontal quasi line with a
+// perpendicular support starts exactly one run whose direction points into
+// the line.
+func TestFigure7_StartA(t *testing.T) {
+	// Plateau with a single support robot under its endpoint (the vertical
+	// side is too short to be a second quasi line, so this is Start-A, not
+	// Start-B):
+	//   S##########
+	//   #..........
+	s := swarm.New()
+	for x := 0; x < 11; x++ {
+		s.Add(grid.Pt(x, 2))
+	}
+	s.Add(grid.Pt(0, 1))
+	v := analysisView(s, Defaults(), grid.Pt(0, 2), 0)
+	matches := startMatches(v)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1 (Start-A)", len(matches))
+	}
+	if matches[0].Dir() != grid.East || matches[0].Inside() != grid.South {
+		t.Errorf("match = dir %v inside %v", matches[0].Dir(), matches[0].Inside())
+	}
+}
+
+// TestFigure7_StartB: a robot that ends a horizontal and a vertical quasi
+// line at once starts two runs "moving in both directions along the
+// boundary".
+func TestFigure7_StartB(t *testing.T) {
+	// Walls longer than MergeMax, so the ring is mergeless and the corners
+	// start runs instead of merging.
+	s := gen.Hollow(26, 26)
+	v := analysisView(s, Defaults(), grid.Pt(0, 25), 0) // top-left corner
+	matches := startMatches(v)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d, want 2 (Start-B)", len(matches))
+	}
+	// Both initial hops agree on the forward-inside diagonal into the hole.
+	hop := matches[0].Dir().Add(matches[0].Inside())
+	if hop != matches[1].Dir().Add(matches[1].Inside()) {
+		t.Error("Start-B hops disagree")
+	}
+	if hop != grid.Pt(1, -1) {
+		t.Errorf("corner hop = %v, want (1,-1) into the hole", hop)
+	}
+	if s.Has(grid.Pt(1, 24)) {
+		t.Error("hop target (1,24) should be in the hole (free)")
+	}
+	// Executing the start: the corner hops and two runs appear on the two
+	// wall neighbors.
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{CheckConnectivity: true, StrictViews: true})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Stats().StartsB; got < 1 {
+		t.Errorf("StartsB = %d", got)
+	}
+	if eng.RunsStarted() < 2 {
+		t.Errorf("runs started = %d, want ≥ 2", eng.RunsStarted())
+	}
+}
+
+// TestFigure7_NoStartMidLine: robots in the middle of a quasi line never
+// start runs (only endpoints do).
+func TestFigure7_NoStartMidLine(t *testing.T) {
+	s := gen.Hollow(26, 26)
+	for _, p := range []grid.Point{{X: 5, Y: 25}, {X: 5, Y: 0}, {X: 0, Y: 6}} {
+		v := analysisView(s, Defaults(), p, 0)
+		if got := startMatches(v); len(got) != 0 {
+			t.Errorf("mid-wall robot %v matched %d starts", p, len(got))
+		}
+	}
+}
+
+// TestFigure5_SymmetricStartSuppressed reproduces the Fig. 5 hazard: two
+// quasi line endpoints r, r' that support each other. If both started and
+// hopped, the swarm would disconnect; the white-cell/support rule makes
+// both suppress their start.
+func TestFigure5_SymmetricStartSuppressed(t *testing.T) {
+	// S/Z configuration: column down at x=0 from (0,0), column up at x=1
+	// from (1,0); (0,0) and (1,0) support each other.
+	s := swarm.New()
+	for y := 0; y >= -3; y-- {
+		s.Add(grid.Pt(0, y))
+	}
+	for y := 0; y <= 3; y++ {
+		s.Add(grid.Pt(1, y))
+	}
+	s.Validate()
+	p := Defaults()
+	for _, c := range []grid.Point{{X: 0, Y: 0}, {X: 1, Y: 0}} {
+		v := analysisView(s, p, c, 0)
+		if got := startMatches(v); len(got) != 0 {
+			t.Errorf("hazardous endpoint %v started %d runs", c, len(got))
+		}
+	}
+	// The swarm must still make progress (its far tips merge).
+	if !HasProgress(s, p) {
+		t.Error("S-shape has no progress source")
+	}
+	// And a full simulation gathers it safely.
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{MaxRounds: 2000, CheckConnectivity: true, StrictViews: true})
+	res := eng.Run()
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("S-shape did not gather: %+v", res)
+	}
+}
+
+// TestStartRespectsL: starts only fire on rounds divisible by L.
+func TestStartRespectsL(t *testing.T) {
+	s := gen.Hollow(26, 26)
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{CheckConnectivity: true, StrictViews: true})
+	if err := eng.Step(); err != nil { // round 0: starts allowed
+		t.Fatal(err)
+	}
+	started := eng.RunsStarted()
+	if started == 0 {
+		t.Fatal("no runs started at round 0")
+	}
+	// Rounds 1..L-1: no new starts (runs move, but none are created).
+	for r := 1; r < g.Params().L-1; r++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.RunsStarted() != started {
+		t.Errorf("runs started grew from %d to %d between L-ticks", started, eng.RunsStarted())
+	}
+}
+
+// TestStartHopOntoOccupiedMerges: when the initial diagonal hop lands on an
+// occupied cell, the start immediately merges (Table 1.6) — the solid
+// square case.
+func TestStartHopOntoOccupiedMerges(t *testing.T) {
+	s := gen.Solid(7, 7)
+	g := Default()
+	eng := fsync.New(s, g, fsync.Config{CheckConnectivity: true, StrictViews: true})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Merges() == 0 {
+		t.Error("corner starts on a solid square must merge immediately")
+	}
+	if g.Stats().StopOntoOcc == 0 {
+		t.Error("Table 1.6 counter not incremented")
+	}
+	if eng.RunsStarted() != 0 {
+		t.Errorf("no run state should survive an onto-occupied start, got %d", eng.RunsStarted())
+	}
+}

@@ -1,0 +1,284 @@
+// Package exp is the experiment harness: it regenerates the quantitative
+// results of the reproduction (the experiment index E1–E20 in DESIGN.md)
+// as plain-text tables. The cmd/gatherbench tool prints them; the recorded
+// outputs live in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"gridgather/internal/baseline/asyncseq"
+	"gridgather/internal/baseline/gtc"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/metrics"
+)
+
+// gridResult runs the gatherer on one workload instance.
+func gridResult(w gen.Workload, n int, p core.Params) fsync.Result {
+	s := w.Build(n)
+	actual := s.Len()
+	g := core.NewGatherer(p)
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds:    80*actual + 1000,
+		NoMergeLimit: 40*actual + 500,
+	})
+	return eng.Run()
+}
+
+// E1GridScaling regenerates the headline result (Theorem 1): rounds grow
+// linearly in n for every workload family.
+func E1GridScaling(w io.Writer, sizes []int) {
+	fmt.Fprintln(w, "E1 — Theorem 1: rounds vs n on the grid (paper: O(n), optimal)")
+	tab := metrics.Table{Header: append([]string{"workload"}, func() []string {
+		var h []string
+		for _, n := range sizes {
+			h = append(h, fmt.Sprintf("n=%d", n))
+		}
+		return append(h, "rounds/n", "exponent")
+	}()...)}
+	p := core.Defaults()
+	for _, wl := range gen.Catalog() {
+		row := []string{wl.Name}
+		var series metrics.Series
+		for _, n := range sizes {
+			res := gridResult(wl, n, p)
+			if res.Err != nil {
+				row = append(row, "ERR")
+				continue
+			}
+			row = append(row, fmt.Sprint(res.Rounds))
+			series.Append(float64(res.InitialRobots), float64(res.Rounds))
+		}
+		last := series.Len() - 1
+		row = append(row,
+			fmt.Sprintf("%.2f", series.Y[last]/series.X[last]),
+			fmt.Sprintf("%.2f", series.Exponent()))
+		tab.AddRow(row...)
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// E2PlaneComparison regenerates the comparison against the Euclidean
+// baseline [DKL+11]: the grid's worst cases gather in O(n) rounds, the
+// plane's worst cases need Θ(n²) — "our runtime of O(n) ... beats the best
+// known algorithm, which requires time O(n²)". The grid line meets the
+// Ω(n) diameter bound exactly; the plane circle realizes the quadratic
+// behaviour (per-round progress is the chord sagitta Θ(1/n)); the grid
+// ring is the shape-matched instance (linear with a large constant — its
+// incremental slope is constant, see E1b).
+func E2PlaneComparison(w io.Writer, sizes []int) {
+	fmt.Fprintln(w, "E2 — grid O(n) vs Euclidean-plane go-to-center O(n²) [DKL+11]")
+	tab := metrics.Table{Header: []string{"n", "grid line", "grid ring", "plane circle", "plane/grid-line"}}
+	var lineSeries, ringSeries, planeSeries metrics.Series
+	p := core.Defaults()
+	for _, n := range sizes {
+		lineRes := func() fsync.Result {
+			s := gen.Line(n)
+			eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: 80*n + 1000})
+			return eng.Run()
+		}()
+
+		ringSide := n/4 + 1
+		s := gen.Hollow(ringSide, ringSide)
+		actual := s.Len()
+		eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: 80*actual + 1000})
+		ringRes := eng.Run()
+
+		sim := gtc.NewSim(gtc.CircleInstance(n, 1.0), gtc.DefaultParams())
+		planeRes := sim.Run(2_000_000)
+
+		ratio := float64(planeRes.Rounds) / float64(max(1, lineRes.Rounds))
+		tab.AddRowf(n, lineRes.Rounds, ringRes.Rounds, planeRes.Rounds, ratio)
+		lineSeries.Append(float64(n), float64(lineRes.Rounds))
+		ringSeries.Append(float64(actual), float64(ringRes.Rounds))
+		planeSeries.Append(float64(n), float64(planeRes.Rounds))
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintf(w, "growth exponents: grid line %.2f (linear, meets the diameter bound),\n",
+		lineSeries.Exponent())
+	fmt.Fprintf(w, "  plane circle %.2f (quadratic); grid ring %.2f — inflated by a negative\n",
+		planeSeries.Exponent(), ringSeries.Exponent())
+	fmt.Fprintln(w, "  intercept; its incremental slope is constant (E1b), i.e. linear.")
+	fmt.Fprintln(w)
+}
+
+// E1bHollowDetail demonstrates that the hollow ring family — whose power
+// exponent over small sizes looks super-linear — is exactly linear: the
+// measured rounds follow 11·w + c, with constant incremental slope.
+func E1bHollowDetail(w io.Writer, sides []int) {
+	fmt.Fprintln(w, "E1b — hollow ring detail: rounds are linear in the side length w")
+	tab := metrics.Table{Header: []string{"w", "n", "rounds", "Δrounds/Δw"}}
+	p := core.Defaults()
+	prevW, prevRounds := 0, 0
+	for _, side := range sides {
+		s := gen.Hollow(side, side)
+		actual := s.Len()
+		eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: 80*actual + 1000})
+		res := eng.Run()
+		slope := "-"
+		if prevW > 0 {
+			slope = fmt.Sprintf("%.1f", float64(res.Rounds-prevRounds)/float64(side-prevW))
+		}
+		tab.AddRow(fmt.Sprint(side), fmt.Sprint(actual), fmt.Sprint(res.Rounds), slope)
+		prevW, prevRounds = side, res.Rounds
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// E3AsyncBaseline regenerates the introduction's remark: a fair sequential
+// ASYNC scheduler admits a simple O(n)-round strategy.
+func E3AsyncBaseline(w io.Writer, sizes []int) {
+	fmt.Fprintln(w, "E3 — ASYNC fair-scheduler simple strategy (paper §1: O(n) rounds)")
+	tab := metrics.Table{Header: []string{"workload", "n", "rounds", "rounds/n"}}
+	for _, wl := range gen.Catalog() {
+		for _, n := range sizes {
+			s := wl.Build(n)
+			actual := s.Len()
+			res := asyncseq.Run(s, 10*actual+100)
+			if res.Err != nil {
+				tab.AddRow(wl.Name, fmt.Sprint(actual), "ERR", "-")
+				continue
+			}
+			tab.AddRowf(wl.Name, actual, res.Rounds, float64(res.Rounds)/float64(actual))
+		}
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// E15Pipelining regenerates the §4.2 observation: on large mergeless rings,
+// runs pipeline — many are active concurrently and merges arrive at a
+// steady rate ≈ one batch per L rounds.
+func E15Pipelining(w io.Writer, side int) {
+	fmt.Fprintf(w, "E15 — pipelining on a %dx%d mergeless ring (L=22)\n", side, side)
+	s := gen.Hollow(side, side)
+	g := core.Default()
+	maxConcurrent, mergeRounds := 0, 0
+	eng := fsync.New(s, g, fsync.Config{
+		MaxRounds: 100000,
+		OnRound: func(e *fsync.Engine) {
+			if c := len(e.Runners()); c > maxConcurrent {
+				maxConcurrent = c
+			}
+			if e.RoundMerges() > 0 {
+				mergeRounds++
+			}
+		},
+	})
+	res := eng.Run()
+	tab := metrics.Table{Header: []string{"n", "rounds", "runs started", "max concurrent runners", "rounds with merges"}}
+	tab.AddRowf(res.InitialRobots, res.Rounds, res.RunsStarted, maxConcurrent, mergeRounds)
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// E18Ablation regenerates the §5.3 constants discussion: the paper proves
+// L = 22 / radius 20 sufficient and notes radius 11 / L ≥ 13 suffice in the
+// easy passing case; smaller radii change constants, not the linear shape.
+func E18Ablation(w io.Writer, n int) {
+	fmt.Fprintf(w, "E18 — ablation of the constants (viewing radius R, start period L) at n≈%d\n", n)
+	tab := metrics.Table{Header: []string{"R", "L", "workload", "rounds", "runs", "gathered"}}
+	configs := []struct{ r, l int }{{20, 22}, {11, 13}, {20, 13}, {11, 22}, {8, 9}}
+	for _, cfg := range configs {
+		p := core.Defaults()
+		p.Radius = cfg.r
+		p.L = cfg.l
+		if p.MergeMax > p.Radius-1 {
+			p.MergeMax = p.Radius - 1
+		}
+		if p.SeqStop > p.Radius-2 {
+			p.SeqStop = p.Radius - 2
+		}
+		if p.SeqStop >= p.L-1 {
+			p.SeqStop = p.L - 2
+		}
+		for _, wl := range gen.Catalog() {
+			if wl.Name != "hollow" && wl.Name != "blob" {
+				continue
+			}
+			res := gridResult(wl, n, p)
+			gathered := "yes"
+			if res.Err != nil || !res.Gathered {
+				gathered = "NO"
+			}
+			tab.AddRowf(cfg.r, cfg.l, wl.Name, res.Rounds, res.RunsStarted, gathered)
+		}
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// E20LowerBound regenerates the Ω(n) direction of Theorem 1: the diameter
+// argument — a line of n robots cannot gather faster than (diam-1)/2
+// rounds, and the algorithm meets the bound exactly.
+func E20LowerBound(w io.Writer, sizes []int) {
+	fmt.Fprintln(w, "E20 — Ω(n) lower bound: line workload vs diameter bound")
+	tab := metrics.Table{Header: []string{"n", "diameter", "lower bound", "measured rounds"}}
+	p := core.Defaults()
+	for _, n := range sizes {
+		s := gen.Line(n)
+		diam := s.Diameter()
+		g := core.NewGatherer(p)
+		eng := fsync.New(s, g, fsync.Config{MaxRounds: 80 * n})
+		res := eng.Run()
+		tab.AddRowf(n, diam, (diam-1)/2, res.Rounds)
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// E21Movements records the total number of robot movements per workload —
+// the cost measure of the [SN14] line of work (§2: gathering "optimal
+// concerning the total number of movements" under global vision). The
+// paper's local algorithm optimizes rounds, not movements; this table
+// shows its movement cost stays modest (O(n) per family, a few hops per
+// robot) even though no movement optimality is claimed.
+func E21Movements(w io.Writer, sizes []int) {
+	fmt.Fprintln(w, "E21 — total robot movements (the [SN14] cost measure; informational)")
+	tab := metrics.Table{Header: []string{"workload", "n", "rounds", "moves", "moves/robot"}}
+	p := core.Defaults()
+	for _, wl := range gen.Catalog() {
+		for _, n := range sizes {
+			res := gridResult(wl, n, p)
+			if res.Err != nil {
+				tab.AddRow(wl.Name, fmt.Sprint(n), "ERR", "-", "-")
+				continue
+			}
+			tab.AddRowf(wl.Name, res.InitialRobots, res.Rounds, res.Moves,
+				float64(res.Moves)/float64(res.InitialRobots))
+		}
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w)
+}
+
+// Sizes are the default sweep sizes of the suite.
+var Sizes = []int{40, 80, 160, 320}
+
+// PlaneSizes are smaller (the plane baseline is quadratic — large sizes
+// take minutes by design).
+var PlaneSizes = []int{32, 64, 128, 256}
+
+// All regenerates every experiment with the default sweep sizes.
+func All(w io.Writer) {
+	E1GridScaling(w, Sizes)
+	E1bHollowDetail(w, []int{25, 41, 61, 81, 121})
+	E2PlaneComparison(w, PlaneSizes)
+	E3AsyncBaseline(w, []int{100, 300})
+	E15Pipelining(w, 56)
+	E18Ablation(w, 160)
+	E20LowerBound(w, []int{50, 100, 200, 400})
+	E21Movements(w, []int{160})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1Small(t *testing.T) {
+	var b strings.Builder
+	E1GridScaling(&b, []int{24, 48})
+	out := b.String()
+	if !strings.Contains(out, "line") || !strings.Contains(out, "exponent") {
+		t.Errorf("E1 output:\n%s", out)
+	}
+	if strings.Contains(out, "ERR") {
+		t.Errorf("E1 contains errors:\n%s", out)
+	}
+}
+
+func TestE2Small(t *testing.T) {
+	var b strings.Builder
+	E2PlaneComparison(&b, []int{12, 24})
+	out := b.String()
+	if !strings.Contains(out, "plane/grid") || !strings.Contains(out, "growth exponents") {
+		t.Errorf("E2 output:\n%s", out)
+	}
+}
+
+func TestE1bSmall(t *testing.T) {
+	var b strings.Builder
+	E1bHollowDetail(&b, []int{15, 21})
+	if !strings.Contains(b.String(), "Δrounds/Δw") {
+		t.Errorf("E1b output:\n%s", b.String())
+	}
+}
+
+func TestE3Small(t *testing.T) {
+	var b strings.Builder
+	E3AsyncBaseline(&b, []int{40})
+	if strings.Contains(b.String(), "ERR") {
+		t.Errorf("E3 contains errors:\n%s", b.String())
+	}
+}
+
+func TestE15Small(t *testing.T) {
+	var b strings.Builder
+	E15Pipelining(&b, 30)
+	if !strings.Contains(b.String(), "max concurrent runners") {
+		t.Errorf("E15 output:\n%s", b.String())
+	}
+}
+
+func TestE18Small(t *testing.T) {
+	var b strings.Builder
+	E18Ablation(&b, 60)
+	out := b.String()
+	if strings.Contains(out, "NO") {
+		t.Errorf("ablation config failed to gather:\n%s", out)
+	}
+}
+
+func TestE20Small(t *testing.T) {
+	var b strings.Builder
+	E20LowerBound(&b, []int{30, 60})
+	if !strings.Contains(b.String(), "lower bound") {
+		t.Errorf("E20 output:\n%s", b.String())
+	}
+}
+
+func TestE21Small(t *testing.T) {
+	var b strings.Builder
+	E21Movements(&b, []int{40})
+	out := b.String()
+	if !strings.Contains(out, "moves/robot") || strings.Contains(out, "ERR") {
+		t.Errorf("E21 output:\n%s", out)
+	}
+}

@@ -1,0 +1,37 @@
+package fsync
+
+import (
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+)
+
+// Action is the result of one robot's compute step: the move it performs and
+// the disposition of its run states. All coordinates are relative to the
+// robot's position at the start of the round.
+type Action struct {
+	// Move is the relative cell the robot hops to this round. grid.Zero
+	// means stay. Must satisfy L∞ ≤ 1 (a robot "can move to one of its
+	// eight neighboring grid cells").
+	Move grid.Point
+	// Keep lists run states the robot retains (at its new position).
+	Keep []robot.Run
+	// Transfers lists run states handed to boundary neighbors. Any held run
+	// that is neither kept nor transferred terminates (Table 1).
+	Transfers []Transfer
+}
+
+// Transfer hands a run state to the robot located at the relative cell To
+// (position before this round's moves), implementing "move runstate" of
+// §3.2. If no robot occupies the target after the round — because the
+// target hopped away or merged — the run terminates (Table 1, conditions
+// 3–5: the operation was interrupted).
+type Transfer struct {
+	To  grid.Point
+	Run robot.Run
+}
+
+// Stay is the do-nothing action.
+var Stay = Action{}
+
+// MoveTo returns an action that only moves.
+func MoveTo(d grid.Point) Action { return Action{Move: d} }

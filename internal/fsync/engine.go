@@ -1,0 +1,337 @@
+// Package fsync implements the fully synchronous (FSYNC) time model of the
+// paper: time is divided into equal rounds; in every round all robots
+// simultaneously execute one look-compute-move cycle. The engine owns the
+// global state, builds each robot's radius-limited view, applies all moves
+// simultaneously, merges robots that end up on the same cell ("if two or
+// more robots move to the same location they are merged to be only one
+// robot"), delivers run-state transfers, and checks model invariants.
+package fsync
+
+import (
+	"fmt"
+	"sort"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+	"gridgather/internal/view"
+)
+
+// Algorithm is a distributed robot program: a pure function from a local
+// view to an action, executed synchronously by every robot every round.
+type Algorithm interface {
+	// Compute runs the compute step for one robot.
+	Compute(v *view.View) Action
+	// Radius returns the viewing radius (L1) the algorithm requires.
+	Radius() int
+}
+
+// Config controls engine behaviour.
+type Config struct {
+	// MaxRounds aborts the simulation after this many rounds (0 = no limit;
+	// use with care).
+	MaxRounds int
+	// CheckConnectivity verifies after every CheckEvery rounds that the
+	// swarm is still connected, and aborts with an error if not. The
+	// paper's central safety property is that "robot movements must not
+	// harm the (only globally checkable) swarm connectivity".
+	CheckConnectivity bool
+	// CheckEvery is the connectivity check period (default 1).
+	CheckEvery int
+	// StrictViews makes views panic on out-of-radius reads, proving the
+	// algorithm local. Slightly slower; on by default in tests.
+	StrictViews bool
+	// NoMergeLimit aborts with ErrStuck when this many consecutive rounds
+	// pass without a merge (0 disables). Gathering must merge at least
+	// every O(L + n) rounds, so tests set a generous linear budget.
+	NoMergeLimit int
+	// OnRound, if non-nil, is called after every completed round with the
+	// engine in its post-round state (used by tracing and tests).
+	OnRound func(e *Engine)
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Gathered reports whether the swarm reached a 2×2 square.
+	Gathered bool
+	// Rounds is the number of FSYNC rounds executed.
+	Rounds int
+	// Merges is the total number of robots removed by merges.
+	Merges int
+	// RunsStarted is the number of run states created.
+	RunsStarted int
+	// Moves is the total number of robot hops performed.
+	Moves int
+	// InitialRobots and FinalRobots count the population.
+	InitialRobots, FinalRobots int
+	// Err is non-nil if the simulation aborted (disconnection, stuck, or
+	// round limit).
+	Err error
+}
+
+// Engine drives one swarm under one algorithm.
+type Engine struct {
+	cfg   Config
+	alg   Algorithm
+	s     *swarm.Swarm
+	state map[grid.Point]robot.State
+
+	round      int
+	merges     int
+	moves      int
+	runsStart  int
+	nextRunID  int
+	lastMerge  int
+	roundMerge int // merges in the most recent round
+
+	// scratch buffers reused across rounds
+	order []grid.Point
+}
+
+// ErrDisconnected is returned when a round broke swarm connectivity.
+type ErrDisconnected struct{ Round int }
+
+func (e ErrDisconnected) Error() string {
+	return fmt.Sprintf("fsync: swarm disconnected after round %d", e.Round)
+}
+
+// ErrStuck is returned when the watchdog sees no merge for too long.
+type ErrStuck struct{ Round, SinceMerge int }
+
+func (e ErrStuck) Error() string {
+	return fmt.Sprintf("fsync: no merge for %d rounds (round %d)", e.SinceMerge, e.Round)
+}
+
+// ErrRoundLimit is returned when MaxRounds elapsed without gathering.
+type ErrRoundLimit struct{ Rounds int }
+
+func (e ErrRoundLimit) Error() string {
+	return fmt.Sprintf("fsync: round limit %d reached before gathering", e.Rounds)
+}
+
+// New creates an engine simulating the given swarm (which it clones) under
+// the given algorithm.
+func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 1
+	}
+	e := &Engine{
+		cfg:       cfg,
+		alg:       alg,
+		s:         s.Clone(),
+		state:     make(map[grid.Point]robot.State),
+		nextRunID: 1,
+	}
+	return e
+}
+
+// Swarm exposes the current swarm (read-only by convention).
+func (e *Engine) Swarm() *swarm.Swarm { return e.s }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Merges returns the total robots removed so far.
+func (e *Engine) Merges() int { return e.merges }
+
+// RoundMerges returns the number of robots removed in the last round.
+func (e *Engine) RoundMerges() int { return e.roundMerge }
+
+// RunsStarted returns the number of run states created so far.
+func (e *Engine) RunsStarted() int { return e.runsStart }
+
+// StateAt returns the state of the robot at p (zero state if free).
+func (e *Engine) StateAt(p grid.Point) robot.State { return e.state[p] }
+
+// Runners returns the positions of all robots currently holding run states,
+// in deterministic order.
+func (e *Engine) Runners() []grid.Point {
+	var out []grid.Point
+	for p, st := range e.state {
+		if st.HasRuns() {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// SetRound overrides the round counter (test scaffolding: starting at a
+// round that is not a multiple of L suppresses run starts while planted
+// run states are observed).
+func (e *Engine) SetRound(r int) { e.round = r }
+
+// SetState overrides the state of the robot at p (test scaffolding for
+// constructing mid-run scenarios).
+func (e *Engine) SetState(p grid.Point, st robot.State) {
+	if !e.s.Has(p) {
+		panic("fsync: SetState on free cell")
+	}
+	if st.HasRuns() {
+		for i := range st.Runs {
+			if st.Runs[i].ID == 0 {
+				st.Runs[i].ID = e.nextRunID
+				e.nextRunID++
+			}
+		}
+		e.state[p] = st
+	} else {
+		delete(e.state, p)
+	}
+}
+
+// Gathered reports whether the swarm fits in a 2×2 square.
+func (e *Engine) Gathered() bool { return e.s.Gathered() }
+
+// viewConfig builds the view accessor bundle against current state.
+func (e *Engine) viewConfig() view.Config {
+	return view.Config{
+		Radius:  e.alg.Radius(),
+		Checked: e.cfg.StrictViews,
+		Occ:     e.s.Has,
+		State:   func(p grid.Point) robot.State { return e.state[p] },
+	}
+}
+
+// Step executes one FSYNC round. It returns an error if an invariant broke.
+func (e *Engine) Step() error {
+	vc := e.viewConfig()
+
+	// Look + Compute: every robot simultaneously, from the same snapshot.
+	// The pre-round state is immutable during this phase, so no cloning is
+	// required.
+	e.order = e.order[:0]
+	e.order = append(e.order, e.s.Cells()...)
+	type computed struct {
+		from grid.Point
+		act  Action
+	}
+	acts := make([]computed, 0, len(e.order))
+	for _, p := range e.order {
+		v := view.New(vc, p, e.round)
+		a := e.alg.Compute(v)
+		if a.Move.Linf() > 1 {
+			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move)
+		}
+		acts = append(acts, computed{from: p, act: a})
+	}
+
+	// Move: apply all hops simultaneously.
+	newOcc := make(map[grid.Point]int, len(acts))           // arrival count
+	newState := make(map[grid.Point]robot.State, len(acts)) // survivor states
+	transfers := make(map[grid.Point][]robot.Run)
+	moved := 0
+	for _, c := range acts {
+		dst := c.from.Add(c.act.Move)
+		if dst != c.from {
+			moved++
+		}
+		newOcc[dst]++
+		if newOcc[dst] == 1 {
+			// Sole arrival so far: provisional survivor keeps its runs.
+			if len(c.act.Keep) > 0 {
+				runs := make([]robot.Run, 0, len(c.act.Keep))
+				for _, r := range c.act.Keep {
+					runs = append(runs, e.adoptRun(r))
+				}
+				newState[dst] = robot.State{Runs: runs}
+			}
+		} else {
+			// Collision: robots merge; run states of merged robots stop
+			// (Table 1, condition 3/6).
+			delete(newState, dst)
+		}
+		for _, tr := range c.act.Transfers {
+			to := c.from.Add(tr.To)
+			transfers[to] = append(transfers[to], e.adoptRun(tr.Run))
+		}
+	}
+
+	// Merge accounting: every cell keeps exactly one robot.
+	removed := 0
+	next := swarm.New()
+	for dst, cnt := range newOcc {
+		next.Add(dst)
+		if cnt > 1 {
+			removed += cnt - 1
+		}
+	}
+
+	// Deliver transfers to robots occupying the target cells after moves.
+	// Targets that merged this round do not accept states (the run was
+	// interrupted by the merge); targets that are empty drop the state.
+	for to, runs := range transfers {
+		if newOcc[to] != 1 {
+			continue
+		}
+		st := newState[to]
+		// Deterministic delivery order.
+		sort.Slice(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
+		for _, r := range runs {
+			if len(st.Runs) >= robot.MaxRuns {
+				break
+			}
+			st.Runs = append(st.Runs, r)
+		}
+		if st.HasRuns() {
+			newState[to] = st
+		}
+	}
+
+	e.s = next
+	e.state = newState
+	e.round++
+	e.moves += moved
+	e.merges += removed
+	e.roundMerge = removed
+	if removed > 0 {
+		e.lastMerge = e.round
+	}
+
+	if e.cfg.CheckConnectivity && e.round%e.cfg.CheckEvery == 0 {
+		if !e.s.Connected() {
+			return ErrDisconnected{Round: e.round}
+		}
+	}
+	if e.cfg.NoMergeLimit > 0 && e.round-e.lastMerge >= e.cfg.NoMergeLimit && !e.Gathered() {
+		return ErrStuck{Round: e.round, SinceMerge: e.round - e.lastMerge}
+	}
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(e)
+	}
+	return nil
+}
+
+// adoptRun assigns an engine-unique ID to newly created runs and counts
+// them.
+func (e *Engine) adoptRun(r robot.Run) robot.Run {
+	if r.ID == 0 {
+		r.ID = e.nextRunID
+		e.nextRunID++
+		e.runsStart++
+	}
+	return r
+}
+
+// Run simulates until the swarm gathers, an invariant breaks, or the round
+// limit is hit.
+func (e *Engine) Run() Result {
+	res := Result{InitialRobots: e.s.Len()}
+	for !e.Gathered() {
+		if e.cfg.MaxRounds > 0 && e.round >= e.cfg.MaxRounds {
+			res.Err = ErrRoundLimit{Rounds: e.round}
+			break
+		}
+		if err := e.Step(); err != nil {
+			res.Err = err
+			break
+		}
+	}
+	res.Gathered = e.Gathered()
+	res.Rounds = e.round
+	res.Merges = e.merges
+	res.Moves = e.moves
+	res.RunsStarted = e.runsStart
+	res.FinalRobots = e.s.Len()
+	return res
+}

@@ -1,0 +1,223 @@
+package fsync
+
+import (
+	"errors"
+	"testing"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+	"gridgather/internal/view"
+)
+
+// scripted is a test algorithm driven by a per-position action table.
+type scripted struct {
+	radius  int
+	actions map[grid.Point]Action
+}
+
+func (s *scripted) Radius() int { return s.radius }
+func (s *scripted) Compute(v *view.View) Action {
+	// Views do not expose the origin; the scripted algorithm marks each
+	// robot by probing its surroundings is overkill — instead we look the
+	// action up via a closure-bound position channel. Simplest: actions
+	// keyed by a unique local signature is fragile, so scripted tests use
+	// one action for all robots unless the position key matches.
+	return s.actions[s.originOf(v)]
+}
+
+// originOf recovers the origin by probing Occ over a small neighborhood —
+// not possible in general. Instead tests plant distinct state IDs.
+func (s *scripted) originOf(v *view.View) grid.Point {
+	// Identify the robot by its run ID planted by the test.
+	if runs := v.Self().Runs; len(runs) > 0 {
+		return grid.Pt(runs[0].ID, 0) // tests encode the key in the ID
+	}
+	return grid.Point{}
+}
+
+func TestEngineCollisionMerges(t *testing.T) {
+	// Three robots in a row; the outer two hop onto the middle.
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): MoveTo(grid.East), // robot with run ID 1 (planted at (0,0)) hops east
+		grid.Pt(2, 0): MoveTo(grid.West), // robot with run ID 2 (planted at (2,0)) hops west
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{{ID: 1, Dir: grid.East, Inside: grid.North}}})
+	eng.SetState(grid.Pt(2, 0), robot.State{Runs: []robot.Run{{ID: 2, Dir: grid.West, Inside: grid.North}}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Swarm().Len() != 1 {
+		t.Errorf("robots = %d, want 1 (two merges)", eng.Swarm().Len())
+	}
+	if eng.Merges() != 2 {
+		t.Errorf("merges = %d", eng.Merges())
+	}
+	// The survivor of a collision loses all run states (Table 1.3).
+	if st := eng.StateAt(grid.Pt(1, 0)); st.HasRuns() {
+		t.Error("collision survivor kept run states")
+	}
+}
+
+func TestEngineRejectsFastMoves(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0))
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): MoveTo(grid.Pt(2, 0)),
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{{ID: 1, Dir: grid.East, Inside: grid.North}}})
+	if err := eng.Step(); err == nil {
+		t.Fatal("expected speed-limit error")
+	}
+}
+
+func TestEngineDetectsDisconnection(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	// The middle robot walks away north, splitting the line.
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): MoveTo(grid.North),
+	}}
+	eng := New(s, alg, Config{CheckConnectivity: true})
+	eng.SetState(grid.Pt(1, 0), robot.State{Runs: []robot.Run{{ID: 1, Dir: grid.East, Inside: grid.North}}})
+	err := eng.Step()
+	var dis ErrDisconnected
+	if !errors.As(err, &dis) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestEngineTransferDelivery(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0))
+	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: run}}},
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.StateAt(grid.Pt(1, 0)); !st.HasRuns() {
+		t.Fatal("transfer not delivered")
+	}
+	if st := eng.StateAt(grid.Pt(0, 0)); st.HasRuns() {
+		t.Error("sender kept the run")
+	}
+}
+
+func TestEngineTransferToVacatedCellDies(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(1, 1))
+	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: run}}},
+		grid.Pt(2, 0): MoveTo(grid.North), // the target robot hops away onto (1,1): merge
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
+	eng.SetState(grid.Pt(1, 0), robot.State{Runs: []robot.Run{{ID: 2, Dir: grid.East, Inside: grid.North}}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range eng.Runners() {
+		t.Errorf("unexpected runner at %v", p)
+	}
+}
+
+func TestEngineRunCapRespected(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0), grid.Pt(1, 1))
+	// Two senders transfer to the same target that already keeps one run:
+	// the cap of two runs per robot must hold.
+	mk := func(id int) robot.Run { return robot.Run{ID: id, Dir: grid.East, Inside: grid.North} }
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: mk(1)}}},      // from (0,0) to (1,0)
+		grid.Pt(2, 0): {Keep: []robot.Run{mk(2)}},                                // (1,0) keeps its run
+		grid.Pt(3, 0): {Transfers: []Transfer{{To: grid.West, Run: mk(3)}}},      // from (2,0) to (1,0)
+		grid.Pt(4, 0): {Transfers: []Transfer{{To: grid.SouthEast, Run: mk(4)}}}, // from (1,1)... wait SouthEast of (1,1) is (2,0)
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{mk(1)}})
+	eng.SetState(grid.Pt(1, 0), robot.State{Runs: []robot.Run{mk(2)}})
+	eng.SetState(grid.Pt(2, 0), robot.State{Runs: []robot.Run{mk(3)}})
+	eng.SetState(grid.Pt(1, 1), robot.State{Runs: []robot.Run{mk(4)}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.StateAt(grid.Pt(1, 0))
+	if len(st.Runs) > robot.MaxRuns {
+		t.Errorf("robot holds %d runs, cap is %d", len(st.Runs), robot.MaxRuns)
+	}
+}
+
+func TestEngineGatheredStopsRun(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1), grid.Pt(1, 1))
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{}}
+	eng := New(s, alg, Config{MaxRounds: 10})
+	res := eng.Run()
+	if !res.Gathered || res.Rounds != 0 {
+		t.Errorf("2x2 block: %+v", res)
+	}
+}
+
+func TestEngineRoundLimit(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{}} // nobody moves
+	eng := New(s, alg, Config{MaxRounds: 7})
+	res := eng.Run()
+	var lim ErrRoundLimit
+	if !errors.As(res.Err, &lim) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if res.Rounds != 7 || res.Gathered {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestEngineWatchdog(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{}}
+	eng := New(s, alg, Config{MaxRounds: 100, NoMergeLimit: 5})
+	res := eng.Run()
+	var stuck ErrStuck
+	if !errors.As(res.Err, &stuck) {
+		t.Fatalf("err = %v", res.Err)
+	}
+}
+
+func TestEngineDoesNotMutateInput(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): MoveTo(grid.East),
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{{ID: 1, Dir: grid.East, Inside: grid.North}}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || !s.Has(grid.Pt(0, 0)) {
+		t.Error("input swarm mutated")
+	}
+}
+
+func TestEngineOnRoundHook(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	calls := 0
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{}}
+	eng := New(s, alg, Config{MaxRounds: 3, OnRound: func(e *Engine) { calls++ }})
+	eng.Run()
+	if calls != 3 {
+		t.Errorf("hook calls = %d", calls)
+	}
+}
+
+func TestSetStatePanicsOnFreeCell(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0))
+	eng := New(s, &scripted{radius: 5}, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	eng.SetState(grid.Pt(5, 5), robot.State{Runs: []robot.Run{{Dir: grid.East, Inside: grid.North}}})
+}

@@ -1,0 +1,346 @@
+// Package gen generates the workload swarms for the experiments: the
+// regular shapes the paper's figures use (lines, plateaus on supports,
+// hollow rectangles, staircases, spirals, combs) plus randomized connected
+// swarms for corpus/fuzz testing. Every generator returns a connected swarm
+// and is deterministic given its parameters (random generators take an
+// explicit seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// Line returns a horizontal line of n robots — the diameter worst case
+// behind the Ω(n) lower bound.
+func Line(n int) *swarm.Swarm {
+	s := swarm.New()
+	for i := 0; i < n; i++ {
+		s.Add(grid.Pt(i, 0))
+	}
+	return s
+}
+
+// VLine returns a vertical line of n robots.
+func VLine(n int) *swarm.Swarm {
+	s := swarm.New()
+	for i := 0; i < n; i++ {
+		s.Add(grid.Pt(0, i))
+	}
+	return s
+}
+
+// Solid returns a filled w×h rectangle.
+func Solid(w, h int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			s.Add(grid.Pt(x, y))
+		}
+	}
+	return s
+}
+
+// Hollow returns a w×h rectangle ring of wall thickness 1 — the canonical
+// mergeless swarm whose long walls only runs can shorten.
+func Hollow(w, h int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x == 0 || y == 0 || x == w-1 || y == h-1 {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+// Staircase returns a staircase of n robots with the given step size
+// (Fig. 16's stairways use step 1).
+func Staircase(n, step int) *swarm.Swarm {
+	if step < 1 {
+		step = 1
+	}
+	s := swarm.New()
+	x, y := 0, 0
+	horiz := true
+	placed := 1
+	s.Add(grid.Pt(0, 0))
+	run := 0
+	for placed < n {
+		if horiz {
+			x++
+		} else {
+			y++
+		}
+		run++
+		if run >= step {
+			horiz = !horiz
+			run = 0
+		}
+		s.Add(grid.Pt(x, y))
+		placed++
+	}
+	return s
+}
+
+// Plus returns a plus/cross of four arms of the given length.
+func Plus(arm int) *swarm.Swarm {
+	s := swarm.New(grid.Pt(0, 0))
+	for i := 1; i <= arm; i++ {
+		s.Add(grid.Pt(i, 0))
+		s.Add(grid.Pt(-i, 0))
+		s.Add(grid.Pt(0, i))
+		s.Add(grid.Pt(0, -i))
+	}
+	return s
+}
+
+// Comb returns a spine of length w with upward teeth of the given height
+// every other column.
+func Comb(w, tooth int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		s.Add(grid.Pt(x, 0))
+		if x%2 == 0 {
+			for y := 1; y <= tooth; y++ {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+// Spiral returns a rectangular inward spiral with the given number of arms
+// of decreasing length, wall gap 2 (so arms don't touch).
+func Spiral(size int) *swarm.Swarm {
+	s := swarm.New()
+	x, y := 0, 0
+	dir := grid.East
+	length := size
+	s.Add(grid.Pt(x, y))
+	for length > 2 {
+		for i := 0; i < length; i++ {
+			x += dir.X
+			y += dir.Y
+			s.Add(grid.Pt(x, y))
+		}
+		dir = dir.PerpCW()
+		if dir == grid.North || dir == grid.South {
+			length -= 3
+		}
+	}
+	return s
+}
+
+// Table returns the Fig. 4 scenario: a long top plateau of width w standing
+// on two vertical legs of the given height at its ends — the subboundary
+// that is too long to merge and needs runners to shrink.
+func Table(w, leg int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		s.Add(grid.Pt(x, leg))
+	}
+	for y := 0; y < leg; y++ {
+		s.Add(grid.Pt(0, y))
+		s.Add(grid.Pt(w-1, y))
+	}
+	return s
+}
+
+// HShape returns two vertical bars of the given height bridged in the
+// middle by a horizontal bar of the given width.
+func HShape(h, bridge int) *swarm.Swarm {
+	s := swarm.New()
+	for y := 0; y < h; y++ {
+		s.Add(grid.Pt(0, y))
+		s.Add(grid.Pt(bridge+1, y))
+	}
+	mid := h / 2
+	for x := 1; x <= bridge; x++ {
+		s.Add(grid.Pt(x, mid))
+	}
+	return s
+}
+
+// Diamond returns a solid diamond (L1 ball) of the given radius.
+func Diamond(r int) *swarm.Swarm {
+	s := swarm.New()
+	for x := -r; x <= r; x++ {
+		for y := -r; y <= r; y++ {
+			if grid.Pt(x, y).L1() <= r {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+// RandomTree grows a random connected swarm of n robots by attaching each
+// new robot 4-adjacent to a uniformly chosen existing robot (a random
+// "diffusion" tree — thin, twisty shapes with many tips).
+func RandomTree(n int, seed int64) *swarm.Swarm {
+	rng := rand.New(rand.NewSource(seed))
+	s := swarm.New(grid.Pt(0, 0))
+	cells := []grid.Point{grid.Pt(0, 0)}
+	for s.Len() < n {
+		base := cells[rng.Intn(len(cells))]
+		d := grid.Axis4[rng.Intn(4)]
+		q := base.Add(d)
+		if !s.Has(q) {
+			s.Add(q)
+			cells = append(cells, q)
+		}
+	}
+	return s
+}
+
+// RandomBlob grows a random connected swarm of n robots preferring cells
+// with more occupied neighbors (compact, blobby shapes with occasional
+// holes).
+func RandomBlob(n int, seed int64) *swarm.Swarm {
+	rng := rand.New(rand.NewSource(seed))
+	s := swarm.New(grid.Pt(0, 0))
+	frontier := map[grid.Point]struct{}{}
+	addFrontier := func(p grid.Point) {
+		for _, q := range grid.Neighbors4(p) {
+			if !s.Has(q) {
+				frontier[q] = struct{}{}
+			}
+		}
+	}
+	addFrontier(grid.Pt(0, 0))
+	var keys []grid.Point
+	for s.Len() < n {
+		// Weighted pick: probability proportional to occupied neighbors².
+		// Iterate the frontier in sorted order so the generator is
+		// deterministic for a fixed seed (map order is randomized).
+		keys = keys[:0]
+		for q := range frontier {
+			keys = append(keys, q)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		var best grid.Point
+		bestScore := -1.0
+		for _, q := range keys {
+			deg := 0
+			for _, r := range grid.Neighbors4(q) {
+				if s.Has(r) {
+					deg++
+				}
+			}
+			score := float64(deg*deg) * (0.25 + rng.Float64())
+			if score > bestScore {
+				bestScore = score
+				best = q
+			}
+		}
+		s.Add(best)
+		delete(frontier, best)
+		addFrontier(best)
+	}
+	return s
+}
+
+// RandomWalk grows a connected swarm of n robots along a self-avoiding-ish
+// random walk (long snaky shapes).
+func RandomWalk(n int, seed int64) *swarm.Swarm {
+	rng := rand.New(rand.NewSource(seed))
+	s := swarm.New(grid.Pt(0, 0))
+	cur := grid.Pt(0, 0)
+	stall := 0
+	for s.Len() < n {
+		d := grid.Axis4[rng.Intn(4)]
+		q := cur.Add(d)
+		if s.Has(q) {
+			cur = q // slide along the existing body
+			stall++
+			if stall > 64 {
+				// Restart from a random existing cell to avoid dead ends.
+				cells := s.Cells()
+				cur = cells[rng.Intn(len(cells))]
+				stall = 0
+			}
+			continue
+		}
+		s.Add(q)
+		cur = q
+		stall = 0
+	}
+	return s
+}
+
+// Catalog is the named workload family table used by the experiment
+// harness: name → builder parameterized only by n (robot count), seeded
+// deterministically where random.
+type Workload struct {
+	Name  string
+	Build func(n int) *swarm.Swarm
+}
+
+// Catalog returns the standard workload families of the experiment suite.
+func Catalog() []Workload {
+	return []Workload{
+		{Name: "line", Build: Line},
+		{Name: "solid", Build: func(n int) *swarm.Swarm { return Solid(isqrt(n), isqrt(n)) }},
+		{Name: "hollow", Build: func(n int) *swarm.Swarm { w := n/4 + 1; return Hollow(w, w) }},
+		{Name: "staircase", Build: func(n int) *swarm.Swarm { return Staircase(n, 1) }},
+		{Name: "spiral", Build: func(n int) *swarm.Swarm { return Spiral(spiralSize(n)) }},
+		{Name: "tree", Build: func(n int) *swarm.Swarm { return RandomTree(n, 42) }},
+		{Name: "blob", Build: func(n int) *swarm.Swarm { return RandomBlob(n, 42) }},
+	}
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// spiralSize finds a spiral parameter yielding roughly n robots.
+func spiralSize(n int) int {
+	for size := 4; size < 4*n; size++ {
+		if Spiral(size).Len() >= n {
+			return size
+		}
+	}
+	panic(fmt.Sprintf("gen: no spiral size for n=%d", n))
+}
+
+// ThickRing returns a w×h rectangle ring with the given wall thickness —
+// thick walls admit no sideways merge configurations, so erosion is
+// driven by corner starts.
+func ThickRing(w, h, thickness int) *swarm.Swarm {
+	s := swarm.New()
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x < thickness || y < thickness || x >= w-thickness || y >= h-thickness {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+// DiamondRing returns a hollow diamond: all cells at L1 distance r or r-1
+// from the origin (two shells keep it 4-connected). Its boundary has no
+// aligned runs of three robots except at the four apexes — the minimal
+// foothold for merge configurations.
+func DiamondRing(r int) *swarm.Swarm {
+	s := swarm.New()
+	for x := -r; x <= r; x++ {
+		for y := -r; y <= r; y++ {
+			d := grid.Pt(x, y).L1()
+			if d == r || d == r-1 {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}

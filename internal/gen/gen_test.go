@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+)
+
+func TestAllGeneratorsConnected(t *testing.T) {
+	shapes := map[string]interface{ Len() int }{}
+	_ = shapes
+	cases := []struct {
+		name string
+		n    int
+		len  int // expected robot count, -1 to skip
+	}{
+		{"line", 0, -1},
+	}
+	_ = cases
+
+	check := func(name string, s interface {
+		Connected() bool
+		Len() int
+	}) {
+		t.Helper()
+		if s.Len() == 0 {
+			t.Errorf("%s: empty", name)
+		}
+		if !s.Connected() {
+			t.Errorf("%s: not connected", name)
+		}
+	}
+
+	check("line", Line(17))
+	check("vline", VLine(9))
+	check("solid", Solid(6, 4))
+	check("hollow", Hollow(8, 5))
+	check("staircase1", Staircase(23, 1))
+	check("staircase2", Staircase(23, 2))
+	check("plus", Plus(7))
+	check("comb", Comb(15, 4))
+	check("spiral", Spiral(20))
+	check("table", Table(25, 4))
+	check("h", HShape(9, 5))
+	check("diamond", Diamond(5))
+	check("tree", RandomTree(120, 7))
+	check("blob", RandomBlob(120, 7))
+	check("walk", RandomWalk(120, 7))
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	if got := Line(12).Len(); got != 12 {
+		t.Errorf("line len = %d", got)
+	}
+	if got := Solid(5, 4).Len(); got != 20 {
+		t.Errorf("solid len = %d", got)
+	}
+	if got := Hollow(6, 5).Len(); got != 2*6+2*3 {
+		t.Errorf("hollow len = %d", got)
+	}
+	if got := Staircase(31, 1).Len(); got != 31 {
+		t.Errorf("staircase len = %d", got)
+	}
+	if got := Plus(4).Len(); got != 17 {
+		t.Errorf("plus len = %d", got)
+	}
+	if got := RandomTree(77, 3).Len(); got != 77 {
+		t.Errorf("tree len = %d", got)
+	}
+	if got := RandomBlob(77, 3).Len(); got != 77 {
+		t.Errorf("blob len = %d", got)
+	}
+	if got := RandomWalk(77, 3).Len(); got != 77 {
+		t.Errorf("walk len = %d", got)
+	}
+	if got := Diamond(3).Len(); got != 25 {
+		t.Errorf("diamond len = %d", got)
+	}
+}
+
+func TestRandomGeneratorsDeterministic(t *testing.T) {
+	a := RandomTree(64, 11)
+	b := RandomTree(64, 11)
+	if !a.Equal(b) {
+		t.Error("RandomTree not deterministic for equal seed")
+	}
+	c := RandomBlob(64, 11)
+	d := RandomBlob(64, 11)
+	if !c.Equal(d) {
+		t.Error("RandomBlob not deterministic")
+	}
+	if a.Equal(RandomTree(64, 12)) {
+		t.Error("different seeds produced identical trees (suspicious)")
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	s := Table(10, 3)
+	// Top plateau at y=3 spanning x=0..9, legs at x=0 and x=9.
+	for x := 0; x < 10; x++ {
+		if !s.Has(grid.Pt(x, 3)) {
+			t.Errorf("missing plateau cell (%d,3)", x)
+		}
+	}
+	if !s.Has(grid.Pt(0, 0)) || !s.Has(grid.Pt(9, 0)) {
+		t.Error("missing leg feet")
+	}
+	if s.Has(grid.Pt(5, 0)) {
+		t.Error("unexpected cell under plateau middle")
+	}
+}
+
+func TestCatalogBuildsConnectedSwarms(t *testing.T) {
+	for _, w := range Catalog() {
+		for _, n := range []int{16, 60} {
+			s := w.Build(n)
+			if s.Len() == 0 || !s.Connected() {
+				t.Errorf("catalog %s(n=%d): bad swarm", w.Name, n)
+			}
+		}
+	}
+}
+
+func TestHollowHasHole(t *testing.T) {
+	if holes := Hollow(6, 6).Holes(); len(holes) != 1 {
+		t.Errorf("hollow holes = %d", len(holes))
+	}
+}
+
+func TestThickRing(t *testing.T) {
+	s := ThickRing(10, 8, 2)
+	if !s.Connected() {
+		t.Fatal("thick ring disconnected")
+	}
+	// Hole is (10-4)x(8-4) = 6x4: total = 80 - 24.
+	if got := s.Len(); got != 80-24 {
+		t.Errorf("len = %d, want 56", got)
+	}
+	if holes := s.Holes(); len(holes) != 1 || len(holes[0]) != 24 {
+		t.Errorf("holes = %v", holes)
+	}
+}
+
+func TestDiamondRing(t *testing.T) {
+	s := DiamondRing(5)
+	if !s.Connected() {
+		t.Fatal("diamond ring disconnected")
+	}
+	// Two L1 shells of radius r and r-1 hold 4r + 4(r-1) cells.
+	if got := s.Len(); got != 4*5+4*4 {
+		t.Errorf("len = %d, want 36", got)
+	}
+	if holes := s.Holes(); len(holes) != 1 {
+		t.Errorf("holes = %d, want 1", len(holes))
+	}
+	if !s.Has(grid.Pt(5, 0)) || s.Has(grid.Pt(0, 0)) {
+		t.Error("shell membership wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package grid
+
+// Directions of the grid. The four axis directions define connectivity
+// (horizontal/vertical neighbors); the eight king-move directions define the
+// cells a robot may hop to in one round.
+var (
+	North = Point{0, 1}
+	South = Point{0, -1}
+	East  = Point{1, 0}
+	West  = Point{-1, 0}
+
+	NorthEast = Point{1, 1}
+	NorthWest = Point{-1, 1}
+	SouthEast = Point{1, -1}
+	SouthWest = Point{-1, -1}
+
+	// Zero is the stay-in-place "direction".
+	Zero = Point{0, 0}
+)
+
+// Axis4 lists the four axis-aligned unit vectors (the connectivity
+// neighborhood) in a fixed deterministic order: E, N, W, S.
+var Axis4 = [4]Point{East, North, West, South}
+
+// King8 lists the eight king-move unit vectors in counterclockwise order
+// starting at East. A robot can move to any of these relative cells.
+var King8 = [8]Point{East, NorthEast, North, NorthWest, West, SouthWest, South, SouthEast}
+
+// Neighbors4 returns the four horizontally/vertically adjacent cells of p in
+// the order of Axis4.
+func Neighbors4(p Point) [4]Point {
+	return [4]Point{p.Add(East), p.Add(North), p.Add(West), p.Add(South)}
+}
+
+// Neighbors8 returns the eight king-adjacent cells of p in the order of
+// King8.
+func Neighbors8(p Point) [8]Point {
+	var out [8]Point
+	for i, d := range King8 {
+		out[i] = p.Add(d)
+	}
+	return out
+}
+
+// Adjacent4 reports whether p and q are horizontal or vertical neighbors,
+// i.e. connected in the sense of the paper.
+func Adjacent4(p, q Point) bool { return L1Dist(p, q) == 1 }
+
+// Adjacent8 reports whether p and q are king-move neighbors.
+func Adjacent8(p, q Point) bool { d := p.Sub(q); return d.Linf() == 1 }

@@ -1,0 +1,112 @@
+package grid
+
+import "testing"
+
+func TestFramesAreDistinct(t *testing.T) {
+	probe := []Point{Pt(1, 0), Pt(0, 1), Pt(2, 3)}
+	seen := map[[3]Point]int{}
+	for i, f := range Frames {
+		var key [3]Point
+		for j, p := range probe {
+			key[j] = f.Apply(p)
+		}
+		if prev, ok := seen[key]; ok {
+			t.Errorf("frames %d and %d coincide", prev, i)
+		}
+		seen[key] = i
+	}
+}
+
+func TestFramesPreserveNorms(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 2), Pt(-3, 5), Pt(7, -7)}
+	for i, f := range Frames {
+		for _, p := range pts {
+			q := f.Apply(p)
+			if q.L1() != p.L1() || q.Linf() != p.Linf() {
+				t.Errorf("frame %d does not preserve norms: %v -> %v", i, p, q)
+			}
+		}
+	}
+}
+
+func TestFramesAreLinear(t *testing.T) {
+	a, b := Pt(2, -1), Pt(-4, 3)
+	for i, f := range Frames {
+		if f.Apply(a.Add(b)) != f.Apply(a).Add(f.Apply(b)) {
+			t.Errorf("frame %d not additive", i)
+		}
+		if f.Apply(a.Scale(3)) != f.Apply(a).Scale(3) {
+			t.Errorf("frame %d not homogeneous", i)
+		}
+	}
+}
+
+func TestIdentityFrame(t *testing.T) {
+	id := Frames[0]
+	for _, p := range []Point{Pt(0, 0), Pt(5, -2)} {
+		if id.Apply(p) != p {
+			t.Errorf("identity moved %v", p)
+		}
+	}
+}
+
+func TestRotationDeterminants(t *testing.T) {
+	for i, f := range RotationFrames {
+		if f.Det() != 1 {
+			t.Errorf("rotation frame %d has det %d", i, f.Det())
+		}
+	}
+	reflections := 0
+	for _, f := range Frames {
+		if f.Det() == -1 {
+			reflections++
+		}
+	}
+	if reflections != 4 {
+		t.Errorf("want 4 reflections, got %d", reflections)
+	}
+}
+
+func TestComposeMatchesSequentialApplication(t *testing.T) {
+	p := Pt(3, 1)
+	for _, f := range Frames {
+		for _, g := range Frames {
+			if f.Compose(g).Apply(p) != f.Apply(g.Apply(p)) {
+				t.Fatalf("compose mismatch")
+			}
+		}
+	}
+}
+
+func TestGroupClosure(t *testing.T) {
+	// D4 is closed under composition: every composition equals one of the
+	// eight listed frames.
+	for _, f := range Frames {
+		for _, g := range Frames {
+			c := f.Compose(g)
+			found := false
+			for _, h := range Frames {
+				if c == h {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("composition %v not in Frames", c)
+			}
+		}
+	}
+}
+
+func TestFrameFor(t *testing.T) {
+	f := FrameFor(East, South)
+	if f.Apply(Pt(1, 0)) != East || f.Apply(Pt(0, 1)) != South {
+		t.Error("FrameFor mapped wrong axes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-perpendicular axes")
+		}
+	}()
+	FrameFor(East, East)
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-1) > 1e-9 {
+		t.Errorf("fit = %f x + %f", a, b)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("r2 = %f", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, _, _ := LinearFit([]float64{1}, []float64{1})
+	if !math.IsNaN(a) {
+		t.Error("single point fit should be NaN")
+	}
+	a, _, _ = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(a) {
+		t.Error("vertical data fit should be NaN")
+	}
+}
+
+func TestPowerFitRecoversExponents(t *testing.T) {
+	for _, exp := range []float64{1.0, 2.0, 0.5} {
+		var x, y []float64
+		for n := 4; n <= 256; n *= 2 {
+			x = append(x, float64(n))
+			y = append(y, 3*math.Pow(float64(n), exp))
+		}
+		e, c, r2 := PowerFit(x, y)
+		if math.Abs(e-exp) > 1e-6 {
+			t.Errorf("exponent = %f, want %f", e, exp)
+		}
+		if math.Abs(c-3) > 1e-6 {
+			t.Errorf("coefficient = %f, want 3", c)
+		}
+		if r2 < 0.999 {
+			t.Errorf("r2 = %f", r2)
+		}
+	}
+}
+
+func TestPowerFitSkipsNonPositive(t *testing.T) {
+	e, _, _ := PowerFit([]float64{0, 2, 4, 8}, []float64{5, 2, 4, 8})
+	if math.IsNaN(e) {
+		t.Error("should fit on remaining positive points")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(2, 4)
+	s.Append(4, 16)
+	s.Append(8, 64)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if e := s.Exponent(); math.Abs(e-2) > 1e-9 {
+		t.Errorf("exponent = %f", e)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Header: []string{"n", "rounds"}}
+	tab.AddRowf(16, 35)
+	tab.AddRowf(32, 71.5)
+	out := tab.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "71.50") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Min != 2 || s.Max != 6 || math.Abs(s.Mean-4) > 1e-9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Errorf("std = %f", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,80 @@
+package robot
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+)
+
+func TestRunValid(t *testing.T) {
+	good := Run{Dir: grid.East, Inside: grid.South}
+	if !good.Valid() {
+		t.Error("perpendicular unit vectors must be valid")
+	}
+	bad := []Run{
+		{Dir: grid.East, Inside: grid.East},      // parallel
+		{Dir: grid.East, Inside: grid.West},      // antiparallel
+		{Dir: grid.Pt(1, 1), Inside: grid.South}, // diagonal dir
+		{Dir: grid.East, Inside: grid.Pt(0, 2)},  // non-unit
+		{Dir: grid.Pt(0, 0), Inside: grid.South}, // zero
+	}
+	for i, r := range bad {
+		if r.Valid() {
+			t.Errorf("bad[%d] = %+v considered valid", i, r)
+		}
+	}
+}
+
+func TestRunGeometryHelpers(t *testing.T) {
+	r := Run{Dir: grid.East, Inside: grid.South}
+	if r.Outside() != grid.North {
+		t.Errorf("outside = %v", r.Outside())
+	}
+	oncoming := Run{Dir: grid.West, Inside: grid.South}
+	sequent := Run{Dir: grid.East, Inside: grid.North}
+	perp := Run{Dir: grid.North, Inside: grid.East}
+	if !r.Oncoming(oncoming) || r.Oncoming(sequent) || r.Oncoming(perp) {
+		t.Error("Oncoming wrong")
+	}
+	if !r.Sequent(sequent) || r.Sequent(oncoming) || r.Sequent(perp) {
+		t.Error("Sequent wrong")
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	s := State{Runs: []Run{{ID: 1, Dir: grid.East, Inside: grid.South}}}
+	c := s.Clone()
+	c.Runs[0].ID = 99
+	if s.Runs[0].ID != 1 {
+		t.Error("clone shares backing array")
+	}
+	empty := State{}
+	if ec := empty.Clone(); ec.HasRuns() {
+		t.Error("empty clone has runs")
+	}
+}
+
+func TestHasRuns(t *testing.T) {
+	if (State{}).HasRuns() {
+		t.Error("zero state has runs")
+	}
+	if !(State{Runs: []Run{{}}}).HasRuns() {
+		t.Error("non-empty state reports no runs")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseRoll.String() != "roll" || PhasePassing.String() != "passing" {
+		t.Error("phase names wrong")
+	}
+	if Phase(42).String() == "" {
+		t.Error("unknown phase should render")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{ID: 3, Dir: grid.East, Inside: grid.South, Age: 7}
+	if r.String() == "" {
+		t.Error("empty render")
+	}
+}

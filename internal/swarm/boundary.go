@@ -1,0 +1,161 @@
+package swarm
+
+import (
+	"sort"
+
+	"gridgather/internal/grid"
+)
+
+// BoundaryKind classifies a robot's position with respect to the swarm's
+// boundaries (Fig. 1 of the paper).
+type BoundaryKind int
+
+const (
+	// Interior robots have all four horizontal/vertical neighbors occupied.
+	Interior BoundaryKind = iota
+	// Outer robots lie on the outer boundary: at least one free 4-neighbor
+	// cell belongs to the unbounded exterior region.
+	Outer
+	// Inner robots lie only on inner boundaries: they have free 4-neighbors
+	// but every such free cell belongs to an enclosed hole.
+	Inner
+)
+
+func (k BoundaryKind) String() string {
+	switch k {
+	case Interior:
+		return "interior"
+	case Outer:
+		return "outer"
+	case Inner:
+		return "inner"
+	default:
+		return "unknown"
+	}
+}
+
+// IsBoundary reports whether the robot at p has at least one unconnected
+// side, i.e. lies on some boundary of the swarm. The paper: "The boundaries
+// consist of all robots who have at least one unconnected side."
+func (s *Swarm) IsBoundary(p grid.Point) bool {
+	return s.Has(p) && s.Degree(p) < 4
+}
+
+// BoundaryRobots returns all boundary robots in deterministic order.
+func (s *Swarm) BoundaryRobots() []grid.Point {
+	var out []grid.Point
+	for _, p := range s.Cells() {
+		if s.Degree(p) < 4 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Classify labels every robot as Interior, Outer or Inner (Fig. 1: black
+// robots are the outer boundary, hatched robots are inner boundaries).
+//
+// Classification floods the free cells of an enlarged bounding box: free
+// cells reachable from outside the bounding box form the exterior; a robot
+// adjacent to an exterior cell is on the outer boundary; a robot adjacent
+// only to enclosed free cells is on an inner boundary.
+func (s *Swarm) Classify() map[grid.Point]BoundaryKind {
+	out := make(map[grid.Point]BoundaryKind, s.Len())
+	ext := s.exteriorCells()
+	for p := range s.cells {
+		kind := Interior
+		for _, q := range grid.Neighbors4(p) {
+			if s.Has(q) {
+				continue
+			}
+			if _, isExt := ext[q]; isExt {
+				kind = Outer
+				break
+			}
+			kind = Inner
+		}
+		out[p] = kind
+	}
+	return out
+}
+
+// exteriorCells returns the free cells of the bounding box inflated by one
+// that are 4-reachable from the box corner, i.e. the exterior region
+// restricted to the box.
+func (s *Swarm) exteriorCells() map[grid.Point]struct{} {
+	b := s.Bounds()
+	if b.Empty() {
+		return nil
+	}
+	box := grid.Rect{MinX: b.MinX - 1, MinY: b.MinY - 1, MaxX: b.MaxX + 1, MaxY: b.MaxY + 1}
+	start := grid.Pt(box.MinX, box.MinY)
+	ext := make(map[grid.Point]struct{})
+	ext[start] = struct{}{}
+	stack := []grid.Point{start}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range grid.Neighbors4(p) {
+			if !box.Contains(q) || s.Has(q) {
+				continue
+			}
+			if _, ok := ext[q]; !ok {
+				ext[q] = struct{}{}
+				stack = append(stack, q)
+			}
+		}
+	}
+	return ext
+}
+
+// Holes returns the enclosed free regions (one sorted cell list per hole).
+// A swarm with holes has inner boundaries.
+func (s *Swarm) Holes() [][]grid.Point {
+	b := s.Bounds()
+	if b.Empty() {
+		return nil
+	}
+	ext := s.exteriorCells()
+	seen := make(map[grid.Point]struct{})
+	var holes [][]grid.Point
+	for y := b.MinY; y <= b.MaxY; y++ {
+		for x := b.MinX; x <= b.MaxX; x++ {
+			start := grid.Pt(x, y)
+			if s.Has(start) {
+				continue
+			}
+			if _, isExt := ext[start]; isExt {
+				continue
+			}
+			if _, ok := seen[start]; ok {
+				continue
+			}
+			var hole []grid.Point
+			stack := []grid.Point{start}
+			seen[start] = struct{}{}
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				hole = append(hole, p)
+				for _, q := range grid.Neighbors4(p) {
+					if s.Has(q) {
+						continue
+					}
+					if _, isExt := ext[q]; isExt {
+						continue
+					}
+					if !b.Contains(q) {
+						continue
+					}
+					if _, ok := seen[q]; !ok {
+						seen[q] = struct{}{}
+						stack = append(stack, q)
+					}
+				}
+			}
+			sort.Slice(hole, func(i, j int) bool { return hole[i].Less(hole[j]) })
+			holes = append(holes, hole)
+		}
+	}
+	return holes
+}

@@ -1,0 +1,94 @@
+package swarm
+
+import "gridgather/internal/grid"
+
+// This file implements the constructions used in the proof of Lemma 1
+// (Fig. 18): the vector chain along the swarm's outer boundary, its division
+// into longest x-monotone subchains, and the upper envelope.
+
+// VectorChain returns the displacement vectors along the outer contour:
+// chain[i] = contour[i+1] - contour[i] (cyclically). Each vector is one of
+// the eight king moves.
+func (s *Swarm) VectorChain() []grid.Point {
+	contour := s.OuterContour()
+	n := len(contour)
+	if n < 2 {
+		return nil
+	}
+	out := make([]grid.Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = contour[(i+1)%n].Sub(contour[i])
+	}
+	return out
+}
+
+// UpperEnvelope returns, for each occupied column x, the topmost occupied
+// cell in that column, ordered by x ascending. The proof of Lemma 1
+// considers the upper envelope of the swarm and its left- and rightmost
+// robots s and t.
+func (s *Swarm) UpperEnvelope() []grid.Point {
+	b := s.Bounds()
+	if b.Empty() {
+		return nil
+	}
+	var out []grid.Point
+	for x := b.MinX; x <= b.MaxX; x++ {
+		found := false
+		var top grid.Point
+		for y := b.MaxY; y >= b.MinY; y-- {
+			if s.Has(grid.Pt(x, y)) {
+				top = grid.Pt(x, y)
+				found = true
+				break
+			}
+		}
+		if found {
+			out = append(out, top)
+		}
+	}
+	return out
+}
+
+// MonotoneSubchains splits the contour's vector chain into maximal
+// x-monotone subchains, mirroring the construction in the proof of Lemma 1:
+// a new subchain starts whenever the x-direction of progress flips sign.
+// Vectors with zero x-component extend the current subchain. Each subchain
+// is returned as the index range [start, end) into the vector chain.
+func (s *Swarm) MonotoneSubchains() [][2]int {
+	chain := s.VectorChain()
+	n := len(chain)
+	if n == 0 {
+		return nil
+	}
+	var ranges [][2]int
+	curDir := 0
+	start := 0
+	for i, v := range chain {
+		sx := signInt(v.X)
+		if sx == 0 {
+			continue
+		}
+		if curDir == 0 {
+			curDir = sx
+			continue
+		}
+		if sx != curDir {
+			ranges = append(ranges, [2]int{start, i})
+			start = i
+			curDir = sx
+		}
+	}
+	ranges = append(ranges, [2]int{start, n})
+	return ranges
+}
+
+func signInt(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,125 @@
+package swarm
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+)
+
+func TestVectorChainCloses(t *testing.T) {
+	for _, s := range []*Swarm{solidSquare(3), hollowSquare(5), line(6)} {
+		chain := s.VectorChain()
+		sum := grid.Pt(0, 0)
+		for _, v := range chain {
+			sum = sum.Add(v)
+		}
+		if sum != grid.Pt(0, 0) {
+			t.Errorf("vector chain does not close: sum = %v", sum)
+		}
+	}
+}
+
+func TestUpperEnvelope(t *testing.T) {
+	s := FromASCII(`
+..#..
+.###.
+#####
+`)
+	env := s.UpperEnvelope()
+	want := []grid.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 1}, {X: 4, Y: 0}}
+	if len(env) != len(want) {
+		t.Fatalf("envelope = %v", env)
+	}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Errorf("envelope[%d] = %v, want %v", i, env[i], want[i])
+		}
+	}
+}
+
+// TestFigure18_VectorChain verifies the Lemma 1 construction: the vector
+// chain along the outer boundary splits into x-monotone subchains, and at
+// least one subchain lies fully on the upper envelope. The construction is
+// stated for mergeless swarms, whose boundary consists of quasi lines and
+// stairways; a hollow rectangle with long walls is the canonical example.
+func TestFigure18_VectorChain(t *testing.T) {
+	s := hollowSquare(8)
+	s.Validate()
+
+	ranges := s.MonotoneSubchains()
+	if len(ranges) < 2 {
+		t.Fatalf("expected multiple monotone subchains, got %d", len(ranges))
+	}
+	chain := s.VectorChain()
+	contour := s.OuterContour()
+
+	// Each subchain must be x-monotone.
+	for _, r := range ranges {
+		dir := 0
+		for i := r[0]; i < r[1]; i++ {
+			sx := signInt(chain[i].X)
+			if sx == 0 {
+				continue
+			}
+			if dir == 0 {
+				dir = sx
+			} else if sx != dir {
+				t.Errorf("subchain %v not x-monotone", r)
+			}
+		}
+	}
+
+	// At least one subchain lies fully on the upper envelope. Maximal
+	// x-monotone subchains absorb vertical (zero x-component) prefixes and
+	// suffixes — e.g. the descent at the end of the top wall — so trim those
+	// before checking, as only the horizontal progress defines the envelope
+	// portion the lemma argues about.
+	env := map[grid.Point]bool{}
+	for _, p := range s.UpperEnvelope() {
+		env[p] = true
+	}
+	found := false
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		for lo < hi && chain[lo].X == 0 {
+			lo++
+		}
+		for hi > lo && chain[hi-1].X == 0 {
+			hi--
+		}
+		if lo >= hi {
+			continue
+		}
+		all := true
+		for i := lo; i <= hi && all; i++ { // include the final cell hi
+			if !env[contour[i%len(contour)]] {
+				all = false
+			}
+		}
+		if all {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no monotone subchain lies on the upper envelope")
+	}
+}
+
+func TestMonotoneSubchainsCoverChain(t *testing.T) {
+	s := hollowSquare(6)
+	ranges := s.MonotoneSubchains()
+	n := len(s.VectorChain())
+	covered := 0
+	last := 0
+	for _, r := range ranges {
+		if r[0] != last {
+			t.Errorf("gap before %v", r)
+		}
+		covered += r[1] - r[0]
+		last = r[1]
+	}
+	if covered != n {
+		t.Errorf("covered %d of %d", covered, n)
+	}
+}

@@ -1,0 +1,105 @@
+// Package trace renders swarm states as ASCII frames and records
+// round-by-round simulation histories for the visualization tool and for
+// test debugging. Runners (robots holding run states) are highlighted,
+// making the reshapement waves of §3.2 visible in the animation.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gridgather/internal/fsync"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// Render draws the swarm clipped to the given bounds. Robots are '#',
+// runner positions 'R', free cells '·'.
+func Render(s *swarm.Swarm, runners []grid.Point, bounds grid.Rect) string {
+	if bounds.Empty() {
+		bounds = s.Bounds()
+	}
+	if bounds.Empty() {
+		return "(empty)\n"
+	}
+	runnerSet := make(map[grid.Point]bool, len(runners))
+	for _, r := range runners {
+		runnerSet[r] = true
+	}
+	var b strings.Builder
+	for y := bounds.MaxY; y >= bounds.MinY; y-- {
+		for x := bounds.MinX; x <= bounds.MaxX; x++ {
+			p := grid.Pt(x, y)
+			switch {
+			case runnerSet[p]:
+				b.WriteByte('R')
+			case s.Has(p):
+				b.WriteByte('#')
+			default:
+				b.WriteRune('·')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Frame is one recorded round.
+type Frame struct {
+	Round   int
+	Robots  int
+	Merges  int // cumulative
+	Runners int
+	Art     string
+}
+
+// Recorder captures frames from an engine via its OnRound hook.
+type Recorder struct {
+	// Every records one frame per Every rounds (plus round 0 and the final
+	// round). Default 1.
+	Every  int
+	Bounds grid.Rect // fixed viewport; empty = per-frame bounds
+	Frames []Frame
+}
+
+// NewRecorder builds a recorder capturing every k-th round within the given
+// viewport (pass grid.EmptyRect for auto bounds).
+func NewRecorder(every int, bounds grid.Rect) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{Every: every, Bounds: bounds}
+}
+
+// Snapshot records the engine's current state unconditionally.
+func (r *Recorder) Snapshot(e *fsync.Engine) {
+	runners := e.Runners()
+	r.Frames = append(r.Frames, Frame{
+		Round:   e.Round(),
+		Robots:  e.Swarm().Len(),
+		Merges:  e.Merges(),
+		Runners: len(runners),
+		Art:     Render(e.Swarm(), runners, r.Bounds),
+	})
+}
+
+// Hook returns an OnRound callback recording every Every-th round.
+func (r *Recorder) Hook() func(*fsync.Engine) {
+	return func(e *fsync.Engine) {
+		if e.Round()%r.Every == 0 || e.Gathered() {
+			r.Snapshot(e)
+		}
+	}
+}
+
+// Play writes all frames to w, separated by headers.
+func (r *Recorder) Play(w io.Writer) error {
+	for _, f := range r.Frames {
+		if _, err := fmt.Fprintf(w, "--- round %d | robots %d | merges %d | runners %d ---\n%s\n",
+			f.Round, f.Robots, f.Merges, f.Runners, f.Art); err != nil {
+			return err
+		}
+	}
+	return nil
+}

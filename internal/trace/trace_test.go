@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(1, 1))
+	art := Render(s, []grid.Point{{X: 1, Y: 1}}, grid.EmptyRect)
+	want := "·R\n##\n"
+	if art != want {
+		t.Errorf("render = %q, want %q", art, want)
+	}
+}
+
+func TestRenderFixedViewport(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0))
+	art := Render(s, nil, grid.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1})
+	lines := strings.Split(strings.TrimSuffix(art, "\n"), "\n")
+	if len(lines) != 3 || len([]rune(lines[0])) != 3 {
+		t.Errorf("viewport render:\n%s", art)
+	}
+	if mid := []rune(lines[1]); mid[1] != '#' {
+		t.Errorf("center not robot:\n%s", art)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(swarm.New(), nil, grid.EmptyRect); got != "(empty)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestRecorderCapturesFrames(t *testing.T) {
+	s := gen.Hollow(8, 8)
+	rec := NewRecorder(2, s.Bounds())
+	eng := fsync.New(s, core.Default(), fsync.Config{
+		MaxRounds: 1000,
+		OnRound:   rec.Hook(),
+	})
+	res := eng.Run()
+	if !res.Gathered {
+		t.Fatalf("did not gather: %+v", res)
+	}
+	if len(rec.Frames) == 0 {
+		t.Fatal("no frames recorded")
+	}
+	last := rec.Frames[len(rec.Frames)-1]
+	if last.Robots > 4 {
+		t.Errorf("final frame has %d robots", last.Robots)
+	}
+	var sb strings.Builder
+	if err := rec.Play(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "--- round") {
+		t.Error("playback missing headers")
+	}
+}
+
+func TestRecorderEveryDefaultsTo1(t *testing.T) {
+	r := NewRecorder(0, grid.EmptyRect)
+	if r.Every != 1 {
+		t.Errorf("Every = %d", r.Every)
+	}
+}

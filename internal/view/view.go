@@ -1,0 +1,110 @@
+// Package view implements the local-vision substrate: the snapshot a robot
+// obtains in the look step of the look-compute-move cycle, restricted to a
+// constant viewing radius measured in L1 distance (§1, "Our Local Grid
+// Model"; the algorithm needs radius 20).
+//
+// All coordinates exposed by a View are relative to the observing robot.
+// In checked mode the View panics when a decision procedure reads a cell
+// outside the viewing radius — this is how the repository enforces that the
+// algorithm is genuinely local.
+package view
+
+import (
+	"fmt"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+)
+
+// View is one robot's lazy snapshot of its surroundings. Lookups are
+// delegated to the engine's immutable pre-round state, so constructing a
+// view is O(1) and only the cells actually inspected are touched.
+type View struct {
+	origin  grid.Point
+	radius  int
+	checked bool
+	occ     func(grid.Point) bool
+	state   func(grid.Point) robot.State
+	round   int
+}
+
+// Config bundles the engine-side accessors for building views.
+type Config struct {
+	// Radius is the viewing radius (L1).
+	Radius int
+	// Checked panics on out-of-radius reads when true.
+	Checked bool
+	// Occ reports world-coordinate occupancy.
+	Occ func(grid.Point) bool
+	// State returns the state of the robot at a world coordinate (zero
+	// State if the cell is free).
+	State func(grid.Point) robot.State
+}
+
+// New builds the view of the robot at world position origin for the given
+// round number.
+func New(cfg Config, origin grid.Point, round int) *View {
+	return &View{
+		origin:  origin,
+		radius:  cfg.Radius,
+		checked: cfg.Checked,
+		occ:     cfg.Occ,
+		state:   cfg.State,
+		round:   round,
+	}
+}
+
+// Radius returns the viewing radius.
+func (v *View) Radius() int { return v.radius }
+
+// Round returns the global round number. The FSYNC model gives all robots a
+// common round counter (rounds are synchronous and of equal length), which
+// the algorithm uses for the "every L-th round" run-start schedule (Fig. 11
+// step 3).
+func (v *View) Round() int { return v.round }
+
+func (v *View) check(rel grid.Point) {
+	if v.checked && rel.L1() > v.radius {
+		panic(fmt.Sprintf("view: read at relative %v exceeds viewing radius %d", rel, v.radius))
+	}
+}
+
+// Occ reports whether the cell at the given offset from the observing robot
+// is occupied. Occ(grid.Zero) is always true.
+func (v *View) Occ(rel grid.Point) bool {
+	v.check(rel)
+	return v.occ(v.origin.Add(rel))
+}
+
+// Free reports whether the cell at the given offset is empty.
+func (v *View) Free(rel grid.Point) bool { return !v.Occ(rel) }
+
+// StateAt returns the state of the robot at the given offset. Robots can
+// "see the states of all robots inside the viewing range".
+func (v *View) StateAt(rel grid.Point) robot.State {
+	v.check(rel)
+	return v.state(v.origin.Add(rel))
+}
+
+// Self returns the observing robot's own state.
+func (v *View) Self() robot.State { return v.state(v.origin) }
+
+// AllOccIn reports whether every offset in rels is occupied.
+func (v *View) AllOccIn(rels ...grid.Point) bool {
+	for _, r := range rels {
+		if !v.Occ(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFreeIn reports whether every offset in rels is free.
+func (v *View) AllFreeIn(rels ...grid.Point) bool {
+	for _, r := range rels {
+		if v.Occ(r) {
+			return false
+		}
+	}
+	return true
+}

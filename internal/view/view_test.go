@@ -1,0 +1,95 @@
+package view
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+)
+
+func testConfig(occ map[grid.Point]bool, states map[grid.Point]robot.State, radius int, checked bool) Config {
+	return Config{
+		Radius:  radius,
+		Checked: checked,
+		Occ:     func(p grid.Point) bool { return occ[p] },
+		State:   func(p grid.Point) robot.State { return states[p] },
+	}
+}
+
+func TestViewRelativeCoordinates(t *testing.T) {
+	occ := map[grid.Point]bool{{X: 5, Y: 5}: true, {X: 6, Y: 5}: true}
+	v := New(testConfig(occ, nil, 10, true), grid.Pt(5, 5), 3)
+	if !v.Occ(grid.Zero) {
+		t.Error("origin must be occupied")
+	}
+	if !v.Occ(grid.East) {
+		t.Error("east neighbor occupied in world, view disagrees")
+	}
+	if v.Occ(grid.West) {
+		t.Error("west neighbor free in world, view disagrees")
+	}
+	if v.Round() != 3 {
+		t.Errorf("round = %d", v.Round())
+	}
+}
+
+func TestViewRadiusEnforcement(t *testing.T) {
+	occ := map[grid.Point]bool{}
+	v := New(testConfig(occ, nil, 4, true), grid.Pt(0, 0), 0)
+	// Within radius: fine.
+	_ = v.Occ(grid.Pt(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-radius read")
+		}
+	}()
+	_ = v.Occ(grid.Pt(3, 2)) // L1 = 5 > 4
+}
+
+func TestViewUncheckedAllowsFarReads(t *testing.T) {
+	v := New(testConfig(map[grid.Point]bool{}, nil, 4, false), grid.Pt(0, 0), 0)
+	_ = v.Occ(grid.Pt(50, 50)) // must not panic
+}
+
+func TestViewStates(t *testing.T) {
+	run := robot.Run{ID: 7, Dir: grid.East, Inside: grid.South}
+	states := map[grid.Point]robot.State{
+		{X: 1, Y: 0}: {Runs: []robot.Run{run}},
+		{X: 0, Y: 0}: {Runs: []robot.Run{{ID: 9, Dir: grid.West, Inside: grid.North}}},
+	}
+	occ := map[grid.Point]bool{{X: 0, Y: 0}: true, {X: 1, Y: 0}: true}
+	v := New(testConfig(occ, states, 10, true), grid.Pt(0, 0), 0)
+	if got := v.StateAt(grid.East); len(got.Runs) != 1 || got.Runs[0].ID != 7 {
+		t.Errorf("StateAt = %+v", got)
+	}
+	if got := v.Self(); len(got.Runs) != 1 || got.Runs[0].ID != 9 {
+		t.Errorf("Self = %+v", got)
+	}
+}
+
+func TestViewBatchHelpers(t *testing.T) {
+	occ := map[grid.Point]bool{{X: 1, Y: 0}: true, {X: 2, Y: 0}: true}
+	v := New(testConfig(occ, nil, 10, true), grid.Pt(0, 0), 0)
+	if !v.AllOccIn(grid.Pt(1, 0), grid.Pt(2, 0)) {
+		t.Error("AllOccIn false negative")
+	}
+	if v.AllOccIn(grid.Pt(1, 0), grid.Pt(3, 0)) {
+		t.Error("AllOccIn false positive")
+	}
+	if !v.AllFreeIn(grid.Pt(0, 1), grid.Pt(1, 1)) {
+		t.Error("AllFreeIn false negative")
+	}
+	if v.AllFreeIn(grid.Pt(1, 0)) {
+		t.Error("AllFreeIn false positive")
+	}
+	if v.Free(grid.Pt(1, 0)) || !v.Free(grid.Pt(0, 5)) {
+		t.Error("Free wrong")
+	}
+}
+
+func TestViewRadiusAccessor(t *testing.T) {
+	v := New(testConfig(nil, nil, 13, false), grid.Pt(0, 0), 0)
+	if v.Radius() != 13 {
+		t.Errorf("radius = %d", v.Radius())
+	}
+}
