@@ -2,6 +2,7 @@ package gridgather
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"gridgather/internal/baseline/asyncseq"
@@ -12,6 +13,7 @@ import (
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
 	"gridgather/internal/swarm"
+	"gridgather/internal/sweep"
 	"gridgather/internal/view"
 )
 
@@ -131,6 +133,69 @@ func BenchmarkEngineRound(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineStepWorkers measures the cost of one FSYNC round on large
+// instances (n ≥ 2000) for the serial compute path (Workers=1) against the
+// sharded worker pool (Workers=GOMAXPROCS and an explicit 4). Outcomes are
+// bit-identical across worker counts (see internal/fsync parallel tests);
+// this benchmark quantifies the round cost and the per-round allocations —
+// the scratch-reuse optimization shows up in allocs/op, the sharding in
+// ns/op on multi-core machines.
+func BenchmarkEngineStepWorkers(b *testing.B) {
+	families := []struct {
+		name  string
+		build func() *swarm.Swarm
+	}{
+		{"hollow", func() *swarm.Swarm { return gen.Hollow(513, 513) }},
+		{"solid", func() *swarm.Swarm { return gen.Solid(46, 46) }},
+		{"line", func() *swarm.Swarm { return gen.Line(2048) }},
+		{"blob", func() *swarm.Swarm { return gen.RandomBlob(2000, 42) }},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, f := range families {
+		s := f.build()
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("%s/n=%d/workers=%d", f.name, s.Len(), workers), func(b *testing.B) {
+				eng := fsync.New(s, core.Default(), fsync.Config{Workers: workers})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.Step(); err != nil {
+						b.Fatal(err)
+					}
+					if eng.Gathered() {
+						b.StopTimer()
+						eng = fsync.New(s, core.Default(), fsync.Config{Workers: workers})
+						b.StartTimer()
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSweep measures the experiment-sweep subsystem end to end: a
+// small grid fanned out across the runner's worker pool. Per-op time is the
+// wall-clock of the whole grid, so it shrinks with available CPUs.
+func BenchmarkSweep(b *testing.B) {
+	jobs, err := sweep.Spec{
+		Workloads: []string{"line", "hollow", "blob"},
+		Sizes:     []int{64, 128},
+		Seeds:     []int64{1, 2},
+	}.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := sweep.Runner{}.Run(jobs)
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatalf("job %+v failed: %s", r.Job, r.Err)
+			}
+		}
 	}
 }
 

@@ -6,6 +6,12 @@
 //
 //	gatherbench            # run the full suite
 //	gatherbench -exp e2    # run one experiment
+//	gatherbench -jobs 4    # cap concurrent simulations at 4
+//
+// Experiments that batch many independent simulations (E1, E18, E21) fan
+// them out through the sweep runner (internal/sweep); -jobs bounds that
+// concurrency (0 = all CPUs). For parameterized grids beyond the recorded
+// experiment suite, use cmd/gathersweep.
 package main
 
 import (
@@ -17,8 +23,10 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, e1, e1b, e2, e3, e15, e18, e20")
+	which := flag.String("exp", "all", "experiment to run: all, e1, e1b, e2, e3, e15, e18, e20, e21")
+	jobs := flag.Int("jobs", 0, "concurrent simulations for batched experiments (0 = all CPUs)")
 	flag.Parse()
+	exp.Concurrency = *jobs
 
 	w := os.Stdout
 	switch *which {

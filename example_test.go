@@ -36,6 +36,36 @@ func ExampleWorkload() {
 	// #####
 }
 
+// Workloads lists the workload families the generators provide; each can
+// be built at any size with Workload.
+func ExampleWorkloads() {
+	for _, name := range gridgather.Workloads() {
+		fmt.Println(name)
+	}
+	// Output:
+	// line
+	// solid
+	// hollow
+	// staircase
+	// spiral
+	// tree
+	// blob
+}
+
+// Options.Workers shards each round's compute phase across a goroutine
+// pool. The engine combines worker results in deterministic cell order, so
+// any worker count produces the identical simulation.
+func ExampleOptions_workers() {
+	cells, _ := gridgather.Workload("hollow", 60)
+	serial := gridgather.Gather(cells, gridgather.Options{Workers: 1})
+	parallel := gridgather.Gather(cells, gridgather.Options{Workers: 8})
+	fmt.Println("same rounds:", serial.Rounds == parallel.Rounds)
+	fmt.Println("same merges:", serial.Merges == parallel.Merges)
+	// Output:
+	// same rounds: true
+	// same merges: true
+}
+
 // Connected checks the paper's connectivity notion (horizontal/vertical
 // adjacency only — diagonals do not connect).
 func ExampleConnected() {

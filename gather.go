@@ -54,6 +54,13 @@ type Options struct {
 	// cell outside the viewing radius (a proof of locality; small
 	// overhead).
 	StrictLocality bool
+	// Workers is the number of goroutines the engine shards each round's
+	// Look+Compute phase across. 0 uses all available CPUs
+	// (runtime.GOMAXPROCS); 1 forces the serial path. Results are
+	// bit-identical for every worker count — the FSYNC model computes all
+	// actions from the same immutable pre-round snapshot, and the engine
+	// combines them in deterministic cell order.
+	Workers int
 	// OnRound, if non-nil, receives a snapshot after every round.
 	OnRound func(RoundInfo)
 }
@@ -131,23 +138,7 @@ func toPoints(cells []grid.Point) []Point {
 
 // params builds the core parameters from Options.
 func (o Options) params() core.Params {
-	p := core.Defaults()
-	if o.Radius > 0 {
-		p.Radius = o.Radius
-		if p.MergeMax > p.Radius-1 {
-			p.MergeMax = p.Radius - 1
-		}
-		if p.SeqStop > p.Radius-2 {
-			p.SeqStop = p.Radius - 2
-		}
-	}
-	if o.L > 0 {
-		p.L = o.L
-		if p.SeqStop >= p.L-1 {
-			p.SeqStop = p.L - 2
-		}
-	}
-	return p
+	return core.WithConstants(o.Radius, o.L)
 }
 
 // Gather runs the paper's algorithm on the given connected swarm until it
@@ -182,6 +173,7 @@ func Gather(cells []Point, opt Options) Result {
 		MaxRounds:         maxRounds,
 		CheckConnectivity: opt.CheckConnectivity,
 		StrictViews:       opt.StrictLocality,
+		Workers:           opt.Workers,
 		OnRound:           hook,
 	})
 	r := eng.Run()

@@ -1,0 +1,3 @@
+module gridgather
+
+go 1.24

@@ -17,7 +17,7 @@ import (
 //     start one or two runs (Fig. 7).
 type Gatherer struct {
 	params Params
-	stats  Stats
+	stats  counters
 }
 
 // NewGatherer builds the algorithm with the given parameters; it panics on
@@ -39,19 +39,22 @@ func (g *Gatherer) Radius() int { return g.params.Radius }
 func (g *Gatherer) Params() Params { return g.params }
 
 // Stats returns a snapshot of the event counters.
-func (g *Gatherer) Stats() Stats { return g.stats }
+func (g *Gatherer) Stats() Stats { return g.stats.snapshot() }
 
 // ResetStats clears the event counters.
-func (g *Gatherer) ResetStats() { g.stats = Stats{} }
+func (g *Gatherer) ResetStats() { g.stats.reset() }
 
-// Compute implements fsync.Algorithm: the compute step of one robot.
+// Compute implements fsync.Algorithm: the compute step of one robot. It is
+// safe to call concurrently for different robots of the same round (the
+// engine's worker pool does so): decisions read only the immutable view,
+// and the event counters are atomic.
 func (g *Gatherer) Compute(v *view.View) fsync.Action {
 	// Step 1: merges take precedence. A merging robot drops its run states
 	// (Table 1.3: "it was part of a merge operation").
 	if d, ok := MergeMove(v, g.params); ok {
-		g.stats.MergeMoves++
+		g.stats.mergeMoves.Add(1)
 		if d.IsDiagonalUnit() {
-			g.stats.DiagonalHops++
+			g.stats.diagonalHops.Add(1)
 		}
 		return fsync.MoveTo(d)
 	}

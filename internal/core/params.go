@@ -61,6 +61,31 @@ func Defaults() Params {
 	}
 }
 
+// WithConstants returns Defaults with the viewing radius and run start
+// period overridden (0 keeps the paper's value) and the dependent constants
+// (MergeMax, SeqStop) clamped so the result still satisfies Validate. It is
+// the one place the public API, the experiment harness and the sweep runner
+// derive ablation parameter sets from.
+func WithConstants(radius, l int) Params {
+	p := Defaults()
+	if radius > 0 {
+		p.Radius = radius
+	}
+	if l > 0 {
+		p.L = l
+	}
+	if p.MergeMax > p.Radius-1 {
+		p.MergeMax = p.Radius - 1
+	}
+	if p.SeqStop > p.Radius-2 {
+		p.SeqStop = p.Radius - 2
+	}
+	if p.SeqStop >= p.L-1 {
+		p.SeqStop = p.L - 2
+	}
+	return p
+}
+
 // Validate checks parameter consistency.
 func (p Params) Validate() error {
 	switch {
@@ -82,8 +107,10 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Stats counts algorithm events for tests, tracing and the experiment
-// harness. The engine runs single-threaded, so plain ints suffice.
+// Stats is a point-in-time snapshot of the algorithm's event counters, for
+// tests, tracing and the experiment harness. The live counters are atomic
+// (the engine's compute phase may run on a worker pool); Gatherer.Stats
+// assembles this plain-int snapshot from them.
 type Stats struct {
 	MergeMoves   int // robots that executed a merge hop (Fig. 2)
 	DiagonalHops int // overlap case of Fig. 3b (two perpendicular configs)

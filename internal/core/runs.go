@@ -43,7 +43,7 @@ func (g *Gatherer) runnerAction(v *view.View) fsync.Action {
 		// jog while gliding around it — so only a buried runner (outside
 		// occupied both here and ahead) stops.
 		if v.Occ(run.Outside()) && v.Occ(run.Outside().Add(run.Dir)) {
-			g.stats.StopGeometry++
+			g.stats.stopGeometry.Add(1)
 			continue
 		}
 
@@ -51,12 +51,12 @@ func (g *Gatherer) runnerAction(v *view.View) fsync.Action {
 
 		// Table 1, condition 1: sequent run visible in front.
 		if look.SequentAt > 0 && look.SequentAt <= g.params.SeqStop {
-			g.stats.StopSequent++
+			g.stats.stopSequent.Add(1)
 			continue
 		}
 		// Table 1, condition 2: quasi line endpoint visible in front.
 		if look.EndpointAt > 0 && look.EndpointAt <= g.params.EndStop {
-			g.stats.StopEndpoint++
+			g.stats.stopEndpoint.Add(1)
 			continue
 		}
 
@@ -75,7 +75,7 @@ func (g *Gatherer) runnerAction(v *view.View) fsync.Action {
 		if look.OncomingAt > 0 && look.OncomingAt <= g.params.PassDist {
 			run.Phase = robot.PhasePassing
 			run.StepsLeft = g.params.PassGlide
-			g.stats.PassEnters++
+			g.stats.passEnters.Add(1)
 			g.glide(v, run, &act)
 			continue
 		}
@@ -85,11 +85,11 @@ func (g *Gatherer) runnerAction(v *view.View) fsync.Action {
 			hop := run.Dir.Add(run.Inside)
 			act.Move = hop
 			hopped = true
-			g.stats.Rolls++
+			g.stats.rolls.Add(1)
 			if v.Occ(hop) {
 				// Table 1, condition 6: hopped onto an occupied cell; one
 				// of the robots is removed and the run terminates.
-				g.stats.StopOntoOcc++
+				g.stats.stopOntoOcc.Add(1)
 				continue
 			}
 			act.Transfers = append(act.Transfers, fsync.Transfer{To: run.Dir, Run: run})
@@ -125,9 +125,9 @@ func (g *Gatherer) canRoll(v *view.View, run robot.Run) bool {
 func (g *Gatherer) glide(v *view.View, run robot.Run, act *fsync.Action) {
 	next, ok, _ := successor(v, grid.Zero, run.Dir.Neg(), run.Dir, run.Inside)
 	if !ok {
-		g.stats.StopEndpoint++
+		g.stats.stopEndpoint.Add(1)
 		return
 	}
-	g.stats.Glides++
+	g.stats.glides.Add(1)
 	act.Transfers = append(act.Transfers, fsync.Transfer{To: next, Run: run})
 }

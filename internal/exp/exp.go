@@ -14,18 +14,18 @@ import (
 	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
 	"gridgather/internal/metrics"
+	"gridgather/internal/sweep"
 )
 
-// gridResult runs the gatherer on one workload instance.
-func gridResult(w gen.Workload, n int, p core.Params) fsync.Result {
-	s := w.Build(n)
-	actual := s.Len()
-	g := core.NewGatherer(p)
-	eng := fsync.New(s, g, fsync.Config{
-		MaxRounds:    80*actual + 1000,
-		NoMergeLimit: 40*actual + 500,
-	})
-	return eng.Run()
+// Concurrency is the number of simulations the harness runs at once when an
+// experiment fans a batch out through the sweep runner (0 = all CPUs).
+// cmd/gatherbench sets it from its -jobs flag.
+var Concurrency = 0
+
+// gridBatch fans a batch of jobs out across Concurrency-many goroutines and
+// returns results in job order.
+func gridBatch(jobs []sweep.Job) []sweep.Result {
+	return sweep.Runner{Concurrency: Concurrency}.Run(jobs)
 }
 
 // E1GridScaling regenerates the headline result (Theorem 1): rounds grow
@@ -40,17 +40,25 @@ func E1GridScaling(w io.Writer, sizes []int) {
 		return append(h, "rounds/n", "exponent")
 	}()...)}
 	p := core.Defaults()
-	for _, wl := range gen.Catalog() {
+	catalog := gen.Catalog()
+	var jobs []sweep.Job
+	for _, wl := range catalog {
+		for _, n := range sizes {
+			jobs = append(jobs, sweep.Job{Workload: wl.Name, N: n, Seed: 42, Params: p})
+		}
+	}
+	results := gridBatch(jobs)
+	for i, wl := range catalog {
 		row := []string{wl.Name}
 		var series metrics.Series
-		for _, n := range sizes {
-			res := gridResult(wl, n, p)
-			if res.Err != nil {
+		for j := range sizes {
+			res := results[i*len(sizes)+j]
+			if res.Err != "" {
 				row = append(row, "ERR")
 				continue
 			}
 			row = append(row, fmt.Sprint(res.Rounds))
-			series.Append(float64(res.InitialRobots), float64(res.Rounds))
+			series.Append(float64(res.Robots), float64(res.Rounds))
 		}
 		last := series.Len() - 1
 		row = append(row,
@@ -184,30 +192,20 @@ func E18Ablation(w io.Writer, n int) {
 	fmt.Fprintf(w, "E18 — ablation of the constants (viewing radius R, start period L) at n≈%d\n", n)
 	tab := metrics.Table{Header: []string{"R", "L", "workload", "rounds", "runs", "gathered"}}
 	configs := []struct{ r, l int }{{20, 22}, {11, 13}, {20, 13}, {11, 22}, {8, 9}}
+	var jobs []sweep.Job
 	for _, cfg := range configs {
-		p := core.Defaults()
-		p.Radius = cfg.r
-		p.L = cfg.l
-		if p.MergeMax > p.Radius-1 {
-			p.MergeMax = p.Radius - 1
+		p := core.WithConstants(cfg.r, cfg.l)
+		for _, name := range []string{"hollow", "blob"} {
+			jobs = append(jobs, sweep.Job{Workload: name, N: n, Seed: 42, Params: p})
 		}
-		if p.SeqStop > p.Radius-2 {
-			p.SeqStop = p.Radius - 2
+	}
+	for _, res := range gridBatch(jobs) {
+		gathered := "yes"
+		if res.Err != "" || !res.Gathered {
+			gathered = "NO"
 		}
-		if p.SeqStop >= p.L-1 {
-			p.SeqStop = p.L - 2
-		}
-		for _, wl := range gen.Catalog() {
-			if wl.Name != "hollow" && wl.Name != "blob" {
-				continue
-			}
-			res := gridResult(wl, n, p)
-			gathered := "yes"
-			if res.Err != nil || !res.Gathered {
-				gathered = "NO"
-			}
-			tab.AddRowf(cfg.r, cfg.l, wl.Name, res.Rounds, res.RunsStarted, gathered)
-		}
+		tab.AddRowf(res.Job.Params.Radius, res.Job.Params.L, res.Job.Workload,
+			res.Rounds, res.RunsStarted, gathered)
 	}
 	fmt.Fprint(w, tab.String())
 	fmt.Fprintln(w)
@@ -242,16 +240,19 @@ func E21Movements(w io.Writer, sizes []int) {
 	fmt.Fprintln(w, "E21 — total robot movements (the [SN14] cost measure; informational)")
 	tab := metrics.Table{Header: []string{"workload", "n", "rounds", "moves", "moves/robot"}}
 	p := core.Defaults()
+	var jobs []sweep.Job
 	for _, wl := range gen.Catalog() {
 		for _, n := range sizes {
-			res := gridResult(wl, n, p)
-			if res.Err != nil {
-				tab.AddRow(wl.Name, fmt.Sprint(n), "ERR", "-", "-")
-				continue
-			}
-			tab.AddRowf(wl.Name, res.InitialRobots, res.Rounds, res.Moves,
-				float64(res.Moves)/float64(res.InitialRobots))
+			jobs = append(jobs, sweep.Job{Workload: wl.Name, N: n, Seed: 42, Params: p})
 		}
+	}
+	for _, res := range gridBatch(jobs) {
+		if res.Err != "" {
+			tab.AddRow(res.Job.Workload, fmt.Sprint(res.Job.N), "ERR", "-", "-")
+			continue
+		}
+		tab.AddRowf(res.Job.Workload, res.Robots, res.Rounds, res.Moves,
+			float64(res.Moves)/float64(res.Robots))
 	}
 	fmt.Fprint(w, tab.String())
 	fmt.Fprintln(w)

@@ -9,7 +9,9 @@ package fsync
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
@@ -48,6 +50,15 @@ type Config struct {
 	// OnRound, if non-nil, is called after every completed round with the
 	// engine in its post-round state (used by tracing and tests).
 	OnRound func(e *Engine)
+	// Workers is the number of goroutines sharding the Look+Compute phase
+	// of each round. 0 means runtime.GOMAXPROCS(0); 1 keeps the serial
+	// path. The FSYNC model makes the phase embarrassingly parallel — every
+	// robot runs the same pure function on the same immutable pre-round
+	// snapshot — and results are combined in deterministic cell order, so
+	// the outcome is bit-identical for every worker count. The Algorithm's
+	// Compute must be safe for concurrent calls when Workers != 1
+	// (core.Gatherer is: it only reads the view and bumps atomic counters).
+	Workers int
 }
 
 // Result summarizes a simulation.
@@ -84,8 +95,24 @@ type Engine struct {
 	lastMerge  int
 	roundMerge int // merges in the most recent round
 
-	// scratch buffers reused across rounds
-	order []grid.Point
+	// Scratch structures reused across rounds. Each Step fills them from
+	// scratch, so the only requirement is that they are empty at the start
+	// of the phase that uses them. stateScratch additionally double-buffers
+	// with the live state map: the map that held the pre-round state becomes
+	// the scratch for the next round once the post-round state is swapped
+	// in. Nothing outside Step may retain references to them.
+	order        []grid.Point
+	acts         []actionAt
+	occScratch   map[grid.Point]int
+	stateScratch map[grid.Point]robot.State
+	transferSink map[grid.Point][]robot.Run
+	computeErrs  []error
+}
+
+// actionAt pairs a robot's pre-round position with its computed action.
+type actionAt struct {
+	from grid.Point
+	act  Action
 }
 
 // ErrDisconnected is returned when a round broke swarm connectivity.
@@ -116,13 +143,31 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 		cfg.CheckEvery = 1
 	}
 	e := &Engine{
-		cfg:       cfg,
-		alg:       alg,
-		s:         s.Clone(),
-		state:     make(map[grid.Point]robot.State),
-		nextRunID: 1,
+		cfg:          cfg,
+		alg:          alg,
+		s:            s.Clone(),
+		state:        make(map[grid.Point]robot.State),
+		nextRunID:    1,
+		occScratch:   make(map[grid.Point]int, s.Len()),
+		stateScratch: make(map[grid.Point]robot.State),
+		transferSink: make(map[grid.Point][]robot.Run),
 	}
 	return e
+}
+
+// workers resolves the configured worker count for a round over n robots.
+func (e *Engine) workers(n int) int {
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Swarm exposes the current swarm (read-only by convention).
@@ -193,33 +238,79 @@ func (e *Engine) viewConfig() view.Config {
 	}
 }
 
+// computeRange runs Look+Compute for the robots e.order[lo:hi), writing
+// each action to e.acts at the robot's index. One reusable view per call
+// keeps the phase allocation-free; disjoint index ranges keep concurrent
+// calls race-free and the combined result independent of the sharding.
+func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
+	v := view.New(vc, grid.Zero, e.round)
+	for i := lo; i < hi; i++ {
+		p := e.order[i]
+		v.Reposition(p, e.round)
+		a := e.alg.Compute(v)
+		if a.Move.Linf() > 1 {
+			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move)
+		}
+		e.acts[i] = actionAt{from: p, act: a}
+	}
+	return nil
+}
+
 // Step executes one FSYNC round. It returns an error if an invariant broke.
 func (e *Engine) Step() error {
 	vc := e.viewConfig()
 
 	// Look + Compute: every robot simultaneously, from the same snapshot.
 	// The pre-round state is immutable during this phase, so no cloning is
-	// required.
+	// required — the phase shards freely across workers, each writing its
+	// robots' actions to fixed indices of e.acts.
 	e.order = e.order[:0]
 	e.order = append(e.order, e.s.Cells()...)
-	type computed struct {
-		from grid.Point
-		act  Action
+	n := len(e.order)
+	if cap(e.acts) < n {
+		e.acts = make([]actionAt, n)
 	}
-	acts := make([]computed, 0, len(e.order))
-	for _, p := range e.order {
-		v := view.New(vc, p, e.round)
-		a := e.alg.Compute(v)
-		if a.Move.Linf() > 1 {
-			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move)
+	e.acts = e.acts[:n]
+	if workers := e.workers(n); workers == 1 {
+		if err := e.computeRange(vc, 0, n); err != nil {
+			return err
 		}
-		acts = append(acts, computed{from: p, act: a})
+	} else {
+		if cap(e.computeErrs) < workers {
+			e.computeErrs = make([]error, workers)
+		}
+		errs := e.computeErrs[:workers]
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				errs[w] = e.computeRange(vc, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := range errs {
+			// The lowest shard's error wins, matching what the serial loop
+			// would have reported first.
+			if errs[w] != nil {
+				return errs[w]
+			}
+		}
 	}
+	acts := e.acts
 
-	// Move: apply all hops simultaneously.
-	newOcc := make(map[grid.Point]int, len(acts))           // arrival count
-	newState := make(map[grid.Point]robot.State, len(acts)) // survivor states
-	transfers := make(map[grid.Point][]robot.Run)
+	// Move: apply all hops simultaneously. The scratch maps were emptied at
+	// the end of the previous Step (occ/transfers) or hold the now-dead
+	// state of two rounds ago (stateScratch, cleared here).
+	newOcc := e.occScratch     // arrival count
+	newState := e.stateScratch // survivor states
+	transfers := e.transferSink
+	clear(newOcc)
+	clear(newState)
+	clear(transfers)
 	moved := 0
 	for _, c := range acts {
 		dst := c.from.Add(c.act.Move)
@@ -249,7 +340,7 @@ func (e *Engine) Step() error {
 
 	// Merge accounting: every cell keeps exactly one robot.
 	removed := 0
-	next := swarm.New()
+	next := swarm.NewSized(len(newOcc))
 	for dst, cnt := range newOcc {
 		next.Add(dst)
 		if cnt > 1 {
@@ -279,7 +370,9 @@ func (e *Engine) Step() error {
 	}
 
 	e.s = next
-	e.state = newState
+	// Double-buffer the state maps: the pre-round map becomes next round's
+	// scratch.
+	e.state, e.stateScratch = newState, e.state
 	e.round++
 	e.moves += moved
 	e.merges += removed

@@ -274,25 +274,60 @@ func RandomWalk(n int, seed int64) *swarm.Swarm {
 	return s
 }
 
-// Catalog is the named workload family table used by the experiment
-// harness: name → builder parameterized only by n (robot count), seeded
-// deterministically where random.
+// Workload is a named workload family: a builder parameterized only by n
+// (robot count), seeded deterministically where random.
 type Workload struct {
 	Name  string
 	Build func(n int) *swarm.Swarm
 }
 
-// Catalog returns the standard workload families of the experiment suite.
-func Catalog() []Workload {
-	return []Workload{
-		{Name: "line", Build: Line},
-		{Name: "solid", Build: func(n int) *swarm.Swarm { return Solid(isqrt(n), isqrt(n)) }},
-		{Name: "hollow", Build: func(n int) *swarm.Swarm { w := n/4 + 1; return Hollow(w, w) }},
-		{Name: "staircase", Build: func(n int) *swarm.Swarm { return Staircase(n, 1) }},
-		{Name: "spiral", Build: func(n int) *swarm.Swarm { return Spiral(spiralSize(n)) }},
-		{Name: "tree", Build: func(n int) *swarm.Swarm { return RandomTree(n, 42) }},
-		{Name: "blob", Build: func(n int) *swarm.Swarm { return RandomBlob(n, 42) }},
+// SeededWorkload is a workload family whose builder takes an explicit seed.
+// Deterministic families (lines, rings, spirals, …) ignore the seed; for
+// them Random is false and running more than one seed reproduces the same
+// swarm. The sweep harness uses this to expand (workload × n × seed) grids
+// without duplicating deterministic instances.
+type SeededWorkload struct {
+	// Name identifies the family (same names as Catalog).
+	Name string
+	// Build returns the family's swarm with approximately n robots.
+	Build func(n int, seed int64) *swarm.Swarm
+	// Random reports whether the seed changes the output.
+	Random bool
+}
+
+// SeededCatalog returns the standard workload families with explicit-seed
+// builders. Catalog is this list with every seed fixed to 42.
+func SeededCatalog() []SeededWorkload {
+	return []SeededWorkload{
+		{Name: "line", Build: func(n int, _ int64) *swarm.Swarm { return Line(n) }},
+		{Name: "solid", Build: func(n int, _ int64) *swarm.Swarm { return Solid(isqrt(n), isqrt(n)) }},
+		{Name: "hollow", Build: func(n int, _ int64) *swarm.Swarm { w := n/4 + 1; return Hollow(w, w) }},
+		{Name: "staircase", Build: func(n int, _ int64) *swarm.Swarm { return Staircase(n, 1) }},
+		{Name: "spiral", Build: func(n int, _ int64) *swarm.Swarm { return Spiral(spiralSize(n)) }},
+		{Name: "tree", Build: RandomTree, Random: true},
+		{Name: "blob", Build: RandomBlob, Random: true},
+		{Name: "walk", Build: RandomWalk, Random: true},
 	}
+}
+
+// Catalog returns the standard workload families of the experiment suite,
+// with randomized families fixed to seed 42.
+func Catalog() []Workload {
+	seeded := SeededCatalog()
+	out := make([]Workload, 0, len(seeded))
+	for _, w := range seeded {
+		if w.Name == "walk" {
+			// The walk family is sweep-only: its shapes vary too wildly
+			// across seeds for the fixed-seed experiment tables.
+			continue
+		}
+		w := w
+		out = append(out, Workload{
+			Name:  w.Name,
+			Build: func(n int) *swarm.Swarm { return w.Build(n, 42) },
+		})
+	}
+	return out
 }
 
 func isqrt(n int) int {

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -154,6 +155,43 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the sample using
+// linear interpolation between closest ranks, the method the sweep
+// aggregates use for their p50/p90/p99 columns. It returns NaN for an empty
+// sample. The input is not modified. Callers needing several percentiles of
+// one sample should sort once and use PercentileSorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile for an already ascending-sorted sample,
+// avoiding the per-call copy and sort.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Summary holds simple descriptive statistics.

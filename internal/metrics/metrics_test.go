@@ -95,3 +95,24 @@ func TestSummarize(t *testing.T) {
 		t.Error("empty summary")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {90, 37},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 40 {
+		t.Error("input was modified")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty sample should be NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("singleton percentile = %v", got)
+	}
+}

@@ -32,6 +32,13 @@ func New(cells ...grid.Point) *Swarm {
 	return s
 }
 
+// NewSized returns an empty swarm with capacity pre-sized for n cells, so
+// hot paths that rebuild the swarm every round (the FSYNC engine's move
+// phase) avoid incremental map growth.
+func NewSized(n int) *Swarm {
+	return &Swarm{cells: make(map[grid.Point]struct{}, n)}
+}
+
 // Clone returns a deep copy of the swarm.
 func (s *Swarm) Clone() *Swarm {
 	c := &Swarm{cells: make(map[grid.Point]struct{}, len(s.cells))}

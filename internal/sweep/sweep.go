@@ -1,0 +1,286 @@
+// Package sweep is the concurrent experiment-sweep subsystem: it expands a
+// grid of (workload family × swarm size × parameter set × seed) into
+// simulation jobs, fans the jobs out across goroutines, and aggregates the
+// per-run metrics (rounds, rounds/n, merges, moves, with mean/min/max and
+// percentiles) into machine-readable (JSON, CSV) or human-readable (table)
+// reports.
+//
+// Two levels of parallelism compose: Runner.Concurrency controls how many
+// simulations run at once, and Job.EngineWorkers controls the worker pool
+// inside each simulation's FSYNC engine (fsync.Config.Workers). For large
+// sweeps of small instances, job-level concurrency alone saturates the
+// machine; for few huge instances, engine workers help. Either way every
+// individual simulation is fully deterministic, so sweep outputs are
+// reproducible run to run.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/swarm"
+)
+
+// Job is one simulation instance: a workload built at a size and seed,
+// gathered under one parameter set.
+type Job struct {
+	// Workload is the family name (see gen.SeededCatalog).
+	Workload string `json:"workload"`
+	// N is the requested robot count (generators approximate it).
+	N int `json:"n"`
+	// Seed seeds randomized families; deterministic families ignore it.
+	Seed int64 `json:"seed"`
+	// Params are the algorithm constants for this run.
+	Params core.Params `json:"params"`
+	// MaxRounds aborts the run after this many rounds; 0 means the
+	// standard budget 80·n + 1000.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// NoMergeLimit is the stuck-watchdog window; 0 means the standard
+	// 40·n + 500, negative disables the watchdog.
+	NoMergeLimit int `json:"no_merge_limit,omitempty"`
+	// EngineWorkers is the FSYNC engine's compute worker count for this
+	// run (fsync.Config.Workers); 0 here means 1, keeping job-level
+	// concurrency as the default parallelism axis.
+	EngineWorkers int `json:"engine_workers,omitempty"`
+}
+
+// Result is the outcome of one job, flattened for serialization.
+type Result struct {
+	// Job echoes the job that produced this result.
+	Job Job `json:"job"`
+	// Robots is the actual initial robot count of the built instance.
+	Robots int `json:"robots"`
+	// FinalRobots is the population after gathering.
+	FinalRobots int `json:"final_robots"`
+	// Gathered reports whether the swarm reached a 2×2 square.
+	Gathered bool `json:"gathered"`
+	// Rounds is the number of FSYNC rounds executed.
+	Rounds int `json:"rounds"`
+	// RoundsPerN is Rounds divided by Robots — the paper's O(n) claim
+	// says this ratio is bounded by a constant.
+	RoundsPerN float64 `json:"rounds_per_n"`
+	// Merges counts robots removed by merges.
+	Merges int `json:"merges"`
+	// Moves counts individual robot hops.
+	Moves int `json:"moves"`
+	// RunsStarted counts the §3.2 run states created.
+	RunsStarted int `json:"runs_started"`
+	// Err is the abort reason, empty on success.
+	Err string `json:"err,omitempty"`
+	// Duration is the wall-clock simulation time.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// RunOne executes a single job synchronously. It is the primitive the
+// Runner fans out, and also what the experiment harness (internal/exp) uses
+// for its one-off instances.
+func RunOne(job Job) Result {
+	out := Result{Job: job}
+	builder, err := builderFor(job.Workload)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	if err := job.Params.Validate(); err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	s := builder(job.N, job.Seed)
+	n := s.Len()
+	maxRounds := job.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 80*n + 1000
+	}
+	noMerge := job.NoMergeLimit
+	switch {
+	case noMerge == 0:
+		noMerge = 40*n + 500
+	case noMerge < 0:
+		noMerge = 0
+	}
+	start := time.Now()
+	eng := fsync.New(s, core.NewGatherer(job.Params), fsync.Config{
+		MaxRounds:    maxRounds,
+		NoMergeLimit: noMerge,
+		Workers:      max(job.EngineWorkers, 1),
+	})
+	res := eng.Run()
+	out.Duration = time.Since(start)
+	out.Robots = res.InitialRobots
+	out.FinalRobots = res.FinalRobots
+	out.Gathered = res.Gathered
+	out.Rounds = res.Rounds
+	out.Merges = res.Merges
+	out.Moves = res.Moves
+	out.RunsStarted = res.RunsStarted
+	if res.InitialRobots > 0 {
+		out.RoundsPerN = float64(res.Rounds) / float64(res.InitialRobots)
+	}
+	if res.Err != nil {
+		out.Err = res.Err.Error()
+	}
+	return out
+}
+
+// builderFor resolves a workload family name to its seeded builder.
+func builderFor(name string) (func(n int, seed int64) *swarm.Swarm, error) {
+	for _, w := range gen.SeededCatalog() {
+		if w.Name == name {
+			return w.Build, nil
+		}
+	}
+	return nil, fmt.Errorf("sweep: unknown workload %q (have %v)", name, Families())
+}
+
+// isRandom reports whether the named family's builder depends on the seed.
+func isRandom(name string) (bool, error) {
+	for _, w := range gen.SeededCatalog() {
+		if w.Name == name {
+			return w.Random, nil
+		}
+	}
+	return false, fmt.Errorf("sweep: unknown workload %q (have %v)", name, Families())
+}
+
+// Families lists the workload family names available to sweeps.
+func Families() []string {
+	var out []string
+	for _, w := range gen.SeededCatalog() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Runner fans jobs out across goroutines. The zero value runs with
+// GOMAXPROCS-many concurrent simulations.
+type Runner struct {
+	// Concurrency is the number of simulations in flight; 0 means
+	// runtime.GOMAXPROCS(0).
+	Concurrency int
+	// OnResult, if non-nil, is called once per completed job, serialized
+	// (never concurrently), in completion order. Used for progress output.
+	OnResult func(Result)
+}
+
+// Run executes every job and returns results in job order (results[i]
+// belongs to jobs[i]), regardless of concurrency or completion order.
+func (r Runner) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	workers := r.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, job := range jobs {
+			results[i] = RunOne(job)
+			if r.OnResult != nil {
+				r.OnResult(results[i])
+			}
+		}
+		return results
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex // serializes OnResult
+		index = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range index {
+				results[i] = RunOne(jobs[i])
+				if r.OnResult != nil {
+					mu.Lock()
+					r.OnResult(results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		index <- i
+	}
+	close(index)
+	wg.Wait()
+	return results
+}
+
+// Spec declares a sweep grid. Jobs expands it into the cross product of
+// workloads × sizes × parameter sets × seeds, skipping redundant seeds for
+// deterministic families.
+type Spec struct {
+	// Workloads are family names from gen.SeededCatalog; empty means all.
+	Workloads []string
+	// Sizes are the requested robot counts; required.
+	Sizes []int
+	// Seeds seed the randomized families; empty means {42}. Deterministic
+	// families run once per (size, params) with the first seed only.
+	Seeds []int64
+	// Params are the algorithm parameter sets; empty means
+	// {core.Defaults()}.
+	Params []core.Params
+	// EngineWorkers is copied to every job (see Job.EngineWorkers).
+	EngineWorkers int
+}
+
+// Jobs expands the spec into concrete jobs in deterministic order
+// (workload-major, then size, then params, then seed).
+func (s Spec) Jobs() ([]Job, error) {
+	if len(s.Sizes) == 0 {
+		return nil, fmt.Errorf("sweep: spec has no sizes")
+	}
+	families := s.Workloads
+	if len(families) == 0 {
+		for _, w := range gen.SeededCatalog() {
+			families = append(families, w.Name)
+		}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{42}
+	}
+	params := s.Params
+	if len(params) == 0 {
+		params = []core.Params{core.Defaults()}
+	}
+	var jobs []Job
+	for _, name := range families {
+		random, err := isRandom(name)
+		if err != nil {
+			return nil, err
+		}
+		jobSeeds := seeds
+		if !random {
+			jobSeeds = seeds[:1]
+		}
+		for _, n := range s.Sizes {
+			if n < 1 {
+				return nil, fmt.Errorf("sweep: size %d", n)
+			}
+			for _, p := range params {
+				if err := p.Validate(); err != nil {
+					return nil, fmt.Errorf("sweep: %w", err)
+				}
+				for _, seed := range jobSeeds {
+					jobs = append(jobs, Job{
+						Workload:      name,
+						N:             n,
+						Seed:          seed,
+						Params:        p,
+						EngineWorkers: s.EngineWorkers,
+					})
+				}
+			}
+		}
+	}
+	return jobs, nil
+}

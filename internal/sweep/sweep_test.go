@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gridgather/internal/core"
+)
+
+func TestSpecJobsExpansion(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"line", "blob"},
+		Sizes:     []int{40, 80},
+		Seeds:     []int64{1, 2, 3},
+		Params:    []core.Params{core.Defaults(), core.WithConstants(11, 13)},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// line is deterministic (1 seed), blob random (3 seeds):
+	// line: 2 sizes × 2 params × 1 seed = 4; blob: 2 × 2 × 3 = 12.
+	if len(jobs) != 16 {
+		t.Fatalf("expected 16 jobs, got %d", len(jobs))
+	}
+	if jobs[0].Workload != "line" || jobs[0].N != 40 {
+		t.Fatalf("unexpected first job %+v", jobs[0])
+	}
+	for _, j := range jobs {
+		if j.Workload == "line" && j.Seed != 1 {
+			t.Errorf("deterministic family expanded redundant seed: %+v", j)
+		}
+	}
+}
+
+func TestSpecJobsErrors(t *testing.T) {
+	if _, err := (Spec{}).Jobs(); err == nil {
+		t.Error("expected error for empty sizes")
+	}
+	if _, err := (Spec{Workloads: []string{"nope"}, Sizes: []int{10}}).Jobs(); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	if _, err := (Spec{Sizes: []int{-3}}).Jobs(); err == nil {
+		t.Error("expected error for negative size")
+	}
+	bad := core.Defaults()
+	bad.Radius = 1
+	if _, err := (Spec{Sizes: []int{10}, Params: []core.Params{bad}}).Jobs(); err == nil {
+		t.Error("expected error for invalid params")
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	res := RunOne(Job{Workload: "line", N: 40, Params: core.Defaults()})
+	if res.Err != "" || !res.Gathered {
+		t.Fatalf("line run failed: %+v", res)
+	}
+	if res.Robots != 40 {
+		t.Errorf("expected 40 robots, got %d", res.Robots)
+	}
+	if res.RoundsPerN <= 0 || res.RoundsPerN > 2 {
+		t.Errorf("rounds/n out of the linear range: %v", res.RoundsPerN)
+	}
+	if res.Rounds != 19 {
+		// The engine is deterministic; the line of 40 gathers in exactly
+		// (diam-1)/2 rounds (E20 meets the lower bound).
+		t.Errorf("expected the deterministic 19 rounds, got %d", res.Rounds)
+	}
+}
+
+func TestRunOneUnknownWorkload(t *testing.T) {
+	res := RunOne(Job{Workload: "nope", N: 10, Params: core.Defaults()})
+	if res.Err == "" {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+// TestRunnerDeterministicOrder proves results land at their job's index and
+// are identical across concurrency levels (with -race this also exercises
+// the fan-out for data races).
+func TestRunnerDeterministicOrder(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"line", "hollow", "blob"},
+		Sizes:     []int{30, 60},
+		Seeds:     []int64{1, 2},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := Runner{Concurrency: 1}.Run(jobs)
+	parallel := Runner{Concurrency: 8}.Run(jobs)
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result count mismatch: %d, %d vs %d jobs",
+			len(serial), len(parallel), len(jobs))
+	}
+	for i := range serial {
+		if serial[i].Job != parallel[i].Job {
+			t.Fatalf("job order diverged at %d", i)
+		}
+		// Durations differ run to run; everything else must match.
+		a, b := serial[i], parallel[i]
+		a.Duration, b.Duration = 0, 0
+		if a != b {
+			t.Errorf("result %d diverged:\nserial:   %+v\nparallel: %+v", i, a, b)
+		}
+	}
+}
+
+func TestRunnerOnResultSerialized(t *testing.T) {
+	jobs, err := Spec{Workloads: []string{"line"}, Sizes: []int{10, 20, 30, 40}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	r := Runner{Concurrency: 4, OnResult: func(Result) { seen++ }}
+	r.Run(jobs)
+	if seen != len(jobs) {
+		t.Errorf("OnResult called %d times, want %d", seen, len(jobs))
+	}
+}
+
+func TestAggregated(t *testing.T) {
+	jobs, err := Spec{Workloads: []string{"blob"}, Sizes: []int{60}, Seeds: []int64{1, 2, 3, 4}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Runner{}.Run(jobs)
+	aggs := Aggregated(results)
+	if len(aggs) != 1 {
+		t.Fatalf("expected one group, got %d", len(aggs))
+	}
+	a := aggs[0]
+	if a.Runs != 4 || a.Failures != 0 {
+		t.Fatalf("bad group counts: %+v", a)
+	}
+	if a.Rounds.Min > a.Rounds.P50 || a.Rounds.P50 > a.Rounds.P90 || a.Rounds.P90 > a.Rounds.Max {
+		t.Errorf("percentiles out of order: %+v", a.Rounds)
+	}
+	if a.RoundsPerN.Mean <= 0 {
+		t.Errorf("rounds/n mean not positive: %+v", a.RoundsPerN)
+	}
+}
+
+func TestAggregatedCountsFailures(t *testing.T) {
+	results := []Result{
+		{Job: Job{Workload: "line", N: 10, Params: core.Defaults()}, Gathered: true, Rounds: 5, Robots: 10},
+		{Job: Job{Workload: "line", N: 10, Params: core.Defaults()}, Err: "boom"},
+	}
+	aggs := Aggregated(results)
+	if len(aggs) != 1 || aggs[0].Failures != 1 || aggs[0].Runs != 2 {
+		t.Fatalf("unexpected aggregation: %+v", aggs)
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	jobs, err := Spec{Workloads: []string{"line"}, Sizes: []int{20, 40}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Runner{}.Run(jobs)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, NewReport(results)); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(rep.Results) != 2 || len(rep.Aggregates) != 2 {
+		t.Fatalf("bad report shape: %d results, %d aggregates",
+			len(rep.Results), len(rep.Aggregates))
+	}
+
+	buf.Reset()
+	if err := WriteResultsCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,") {
+		t.Errorf("missing CSV header: %q", lines[0])
+	}
+
+	buf.Reset()
+	if err := WriteAggregatesCSV(&buf, Aggregated(results)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 3 {
+		t.Fatalf("expected header + 2 aggregate rows, got %d lines", got)
+	}
+
+	if tbl := Table(Aggregated(results)); !strings.Contains(tbl, "line") {
+		t.Errorf("table missing workload name:\n%s", tbl)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fams := Families()
+	if len(fams) == 0 {
+		t.Fatal("no families")
+	}
+	set := map[string]bool{}
+	for _, f := range fams {
+		set[f] = true
+	}
+	for _, want := range []string{"line", "hollow", "blob", "walk"} {
+		if !set[want] {
+			t.Errorf("families missing %q: %v", want, fams)
+		}
+	}
+}

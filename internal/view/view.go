@@ -54,6 +54,16 @@ func New(cfg Config, origin grid.Point, round int) *View {
 	}
 }
 
+// Reposition retargets the view at a new observing robot and round,
+// reusing the allocation. The engine's compute loop calls it once per robot
+// so a full round costs O(1) view allocations per worker instead of one per
+// robot. The accessors and radius are unchanged; only the origin and round
+// move.
+func (v *View) Reposition(origin grid.Point, round int) {
+	v.origin = origin
+	v.round = round
+}
+
 // Radius returns the viewing radius.
 func (v *View) Radius() int { return v.radius }
 
