@@ -29,7 +29,7 @@ func benchGather(b *testing.B, build func() *swarm.Swarm, p core.Params) {
 	for i := 0; i < b.N; i++ {
 		s := build()
 		g := core.NewGatherer(p)
-		eng := fsync.New(s, g, fsync.Config{MaxRounds: 80*s.Len() + 1000})
+		eng := fsync.New(s, g, fsync.Config{MaxRounds: fsync.DefaultBudget(s.Len()).MaxRounds})
 		res := eng.Run()
 		if res.Err != nil || !res.Gathered {
 			b.Fatalf("simulation failed: %+v", res)

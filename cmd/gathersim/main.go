@@ -1,12 +1,16 @@
-// Command gathersim runs the paper's gathering algorithm on one workload
-// and prints the simulation metrics.
+// Command gathersim runs one gathering simulation on one workload and
+// prints the simulation metrics.
 //
 // Usage:
 //
 //	gathersim -workload hollow -n 200 [-radius 20] [-l 22] [-verify]
+//	gathersim -workload hollow -n 200 -scheduler ssync -algorithm greedy
 //
 // The -verify flag enables per-round connectivity checking and strict view
-// locality (slower, but proves the run obeyed the model).
+// locality (slower, but proves the run obeyed the model). The -scheduler
+// flag relaxes the time model (FSYNC by default) — note that the paper's
+// algorithm is only safe under FSYNC; pair relaxed schedulers with
+// -algorithm greedy for runs that cannot disconnect the swarm.
 package main
 
 import (
@@ -20,12 +24,15 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "hollow", "workload family: "+strings.Join(gridgather.Workloads(), ", "))
-		n        = flag.Int("n", 100, "approximate robot count")
-		radius   = flag.Int("radius", 0, "viewing radius (0 = paper default 20)")
-		l        = flag.Int("l", 0, "run start period (0 = paper default 22)")
-		verify   = flag.Bool("verify", false, "check connectivity every round and enforce view locality")
-		quiet    = flag.Bool("q", false, "print only the result line")
+		workload  = flag.String("workload", "hollow", "workload family: "+strings.Join(gridgather.Workloads(), ", "))
+		n         = flag.Int("n", 100, "approximate robot count")
+		radius    = flag.Int("radius", 0, "viewing radius (0 = paper default 20)")
+		l         = flag.Int("l", 0, "run start period (0 = paper default 22)")
+		scheduler = flag.String("scheduler", "fsync", "time model: "+strings.Join(gridgather.Schedulers(), ", "))
+		algorithm = flag.String("algorithm", "paper", "robot program: "+strings.Join(gridgather.Algorithms(), ", "))
+		seed      = flag.Int64("seed", 1, "seed for randomized schedulers")
+		verify    = flag.Bool("verify", false, "check connectivity every round and enforce view locality")
+		quiet     = flag.Bool("q", false, "print only the result line")
 	)
 	flag.Parse()
 
@@ -35,11 +42,15 @@ func main() {
 		os.Exit(2)
 	}
 	if !*quiet {
-		fmt.Printf("workload %q with %d robots\n", *workload, len(cells))
+		fmt.Printf("workload %q with %d robots (%s under %s)\n",
+			*workload, len(cells), *algorithm, *scheduler)
 	}
 	res := gridgather.Gather(cells, gridgather.Options{
 		Radius:            *radius,
 		L:                 *l,
+		Scheduler:         *scheduler,
+		SchedulerSeed:     *seed,
+		Algorithm:         *algorithm,
 		CheckConnectivity: *verify,
 		StrictLocality:    *verify,
 	})

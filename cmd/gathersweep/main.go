@@ -1,7 +1,8 @@
 // Command gathersweep runs a grid of gathering experiments — the cross
-// product of workload families × sizes × parameter sets × seeds — with
-// concurrent simulations, and reports aggregated statistics (rounds,
-// rounds/n, merges, moves; mean and percentiles) as a table, JSON or CSV.
+// product of workload families × sizes × parameter sets × schedulers ×
+// algorithms × seeds — with concurrent simulations, and reports aggregated
+// statistics (rounds, rounds/n, merges, moves; mean and percentiles) as a
+// table, JSON or CSV.
 //
 // Usage:
 //
@@ -9,11 +10,22 @@
 //	gathersweep -workloads blob,tree -sizes 200 -seeds 1,2,3,4,5 -format csv
 //	gathersweep -sizes 160 -radius 20,11 -L 22,13 -format json -o sweep.json
 //	gathersweep -workloads hollow -sizes 2000 -engine-workers 0 -v
+//	gathersweep -sizes 100 -scheduler fsync,ssync,async:4 -algorithms greedy
+//	gathersweep -sizes 100 -scheduler ssync -algorithms paper,greedy
 //
-// -jobs controls how many simulations run concurrently (default: all
-// CPUs); -engine-workers additionally parallelizes the compute phase
-// inside each simulation (0 = all CPUs, useful for a few huge instances).
-// Every simulation is deterministic, so sweep outputs are reproducible.
+// -scheduler sweeps the time model (FSYNC/SSYNC/ASYNC; see internal/sched)
+// and -algorithms the robot program: "paper" is the reproduction, proved
+// for FSYNC only — under relaxed schedulers its failures (disconnections)
+// are themselves the measurement — while "greedy" stays safe under every
+// scheduler.
+//
+// -jobs controls how many simulations run concurrently (default: enough to
+// keep all CPUs busy — when -engine-workers parallelizes inside each
+// simulation too, the job-level default scales down so the product of the
+// two stays at the CPU count); -engine-workers parallelizes the compute
+// phase inside each simulation (0 = all CPUs, useful for a few huge
+// instances). Every simulation is deterministic, so sweep outputs are
+// reproducible.
 package main
 
 import (
@@ -26,22 +38,25 @@ import (
 	"strings"
 
 	"gridgather/internal/core"
+	"gridgather/internal/sched"
 	"gridgather/internal/sweep"
 )
 
 func main() {
 	var (
-		workloads = flag.String("workloads", "", "comma-separated workload families (default: all; have: "+strings.Join(sweep.Families(), ", ")+")")
-		sizes     = flag.String("sizes", "100,200,400", "comma-separated robot counts")
-		seeds     = flag.String("seeds", "42", "comma-separated seeds for randomized families")
-		radii     = flag.String("radius", "20", "comma-separated viewing radii")
-		ls        = flag.String("L", "22", "comma-separated run start periods")
-		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = all CPUs)")
-		engineW   = flag.Int("engine-workers", 1, "compute workers inside each engine (0 = all CPUs)")
-		format    = flag.String("format", "table", "output format: table, json, csv")
-		raw       = flag.Bool("raw", false, "emit per-run results instead of aggregates (csv/json)")
-		out       = flag.String("o", "", "write output to file instead of stdout")
-		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+		workloads  = flag.String("workloads", "", "comma-separated workload families (default: all; have: "+strings.Join(sweep.Families(), ", ")+")")
+		sizes      = flag.String("sizes", "100,200,400", "comma-separated robot counts")
+		seeds      = flag.String("seeds", "42", "comma-separated seeds for randomized families and schedulers")
+		radii      = flag.String("radius", "20", "comma-separated viewing radii")
+		ls         = flag.String("L", "22", "comma-separated run start periods")
+		schedulers = flag.String("scheduler", "fsync", "comma-separated time models (grammar: "+strings.Join(sched.Specs(), ", ")+")")
+		algorithms = flag.String("algorithms", "paper", "comma-separated robot programs (have: "+strings.Join(sweep.Algorithms(), ", ")+")")
+		jobs       = flag.Int("jobs", 0, "concurrent simulations (0 = auto: all CPUs divided by engine workers)")
+		engineW    = flag.Int("engine-workers", 1, "compute workers inside each engine (0 = all CPUs)")
+		format     = flag.String("format", "table", "output format: table, json, csv")
+		raw        = flag.Bool("raw", false, "emit per-run results instead of aggregates (csv/json)")
+		out        = flag.String("o", "", "write output to file instead of stdout")
+		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
 	)
 	flag.Parse()
 
@@ -51,18 +66,19 @@ func main() {
 		// promise here.
 		*engineW = runtime.GOMAXPROCS(0)
 	}
+	if *jobs == 0 && *engineW > 1 {
+		// Keep jobs × engine workers ≈ GOMAXPROCS: with both defaults at
+		// "all CPUs" the sweep used to oversubscribe quadratically.
+		*jobs = max(1, runtime.GOMAXPROCS(0) / *engineW)
+	}
 	spec := sweep.Spec{
 		Sizes:         parseInts(*sizes),
 		Seeds:         parseInt64s(*seeds),
+		Schedulers:    splitList(*schedulers),
+		Algorithms:    splitList(*algorithms),
 		EngineWorkers: *engineW,
 	}
-	if *workloads != "" {
-		for _, w := range strings.Split(*workloads, ",") {
-			if w = strings.TrimSpace(w); w != "" {
-				spec.Workloads = append(spec.Workloads, w)
-			}
-		}
-	}
+	spec.Workloads = splitList(*workloads)
 	for _, r := range parseInts(*radii) {
 		for _, l := range parseInts(*ls) {
 			spec.Params = append(spec.Params, core.WithConstants(r, l))
@@ -91,9 +107,10 @@ func main() {
 			if r.Err != "" {
 				status = "ERR " + r.Err
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d seed=%d R=%d L=%d: %s (%.0fms)\n",
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d seed=%d R=%d L=%d sched=%s alg=%s: %s (%.0fms)\n",
 				done, len(jobList), r.Job.Workload, r.Job.N, r.Job.Seed,
-				r.Job.Params.Radius, r.Job.Params.L, status,
+				r.Job.Params.Radius, r.Job.Params.L,
+				r.Job.Scheduler, r.Job.Algorithm, status,
 				float64(r.Duration.Microseconds())/1000)
 		}
 	}
@@ -155,10 +172,33 @@ func parseInts(s string) []int {
 }
 
 // parseInt64s parses a comma-separated int64 list, exiting on bad input.
+// Seeds are parsed as full 64-bit values directly — routing them through
+// int (as parseInts does) would truncate or reject 64-bit seeds on 32-bit
+// platforms.
 func parseInt64s(s string) []int64 {
 	var out []int64
-	for _, v := range parseInts(s) {
-		out = append(out, int64(v))
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
 	return out
 }

@@ -36,9 +36,11 @@ func main() {
 			s := w.Build(*n)
 			rec := trace.NewRecorder(*every, s.Bounds())
 			g := core.Default()
+			budget := fsync.DefaultBudget(s.Len())
 			eng := fsync.New(s, g, fsync.Config{
-				MaxRounds: 80*s.Len() + 1000,
-				OnRound:   rec.Hook(),
+				MaxRounds:    budget.MaxRounds,
+				NoMergeLimit: budget.NoMergeLimit,
+				OnRound:      rec.Hook(),
 			})
 			rec.Snapshot(eng)
 			res := eng.Run()

@@ -66,6 +66,27 @@ func ExampleOptions_workers() {
 	// same merges: true
 }
 
+// Options.Scheduler relaxes the time model. The paper's algorithm is proved
+// for FSYNC only, so relaxed schedulers pair with the scheduler-robust
+// "greedy" algorithm; the slowdown reflects the scheduler's fairness bound
+// (only a subset of robots acts per round).
+func ExampleOptions_scheduler() {
+	cells, _ := gridgather.Workload("line", 20)
+	fsyncRes := gridgather.Gather(cells, gridgather.Options{Algorithm: "greedy"})
+	ssyncRes := gridgather.Gather(cells, gridgather.Options{
+		Scheduler:         "ssync", // round-robin thirds of the swarm
+		Algorithm:         "greedy",
+		CheckConnectivity: true,
+	})
+	fmt.Println("fsync gathered:", fsyncRes.Gathered)
+	fmt.Println("ssync gathered:", ssyncRes.Gathered)
+	fmt.Println("ssync slower:", ssyncRes.Rounds > fsyncRes.Rounds)
+	// Output:
+	// fsync gathered: true
+	// ssync gathered: true
+	// ssync slower: true
+}
+
 // Connected checks the paper's connectivity notion (horizontal/vertical
 // adjacency only — diagonals do not connect).
 func ExampleConnected() {

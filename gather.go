@@ -29,6 +29,8 @@ import (
 	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
 	"gridgather/internal/grid"
+	"gridgather/internal/scenario"
+	"gridgather/internal/sched"
 	"gridgather/internal/swarm"
 )
 
@@ -45,9 +47,31 @@ type Options struct {
 	Radius int
 	// L is the run-start period. Default 22 (the paper's value).
 	L int
-	// MaxRounds aborts the simulation if gathering takes longer. Default
-	// 60·n + 500.
+	// MaxRounds aborts the simulation if gathering takes longer. 0 selects
+	// the canonical budget 80·n + 1000 (scaled by the scheduler's fairness
+	// bound); negative values are rejected with an error.
 	MaxRounds int
+	// NoMergeLimit aborts the simulation when this many consecutive rounds
+	// pass without a merge — a stuck watchdog. 0 selects the canonical
+	// window 40·n + 500 (scaled like MaxRounds); negative disables the
+	// watchdog.
+	NoMergeLimit int
+	// Scheduler selects the time model: "" or "fsync" (the paper's fully
+	// synchronous model, default), "ssync"/"ssync-rr:k" (round-robin
+	// subsets), "ssync-rand:k" (random subsets), "ssync-lazy:k" (lazy
+	// adversarial subsets), "async:w" (a sequential wavefront of width w).
+	// The paper's algorithm is proved for FSYNC only — under relaxed
+	// schedulers its merge operations can disconnect the swarm (reported
+	// via Result.Err); pair them with Algorithm "greedy" for runs that are
+	// safe under every scheduler.
+	Scheduler string
+	// SchedulerSeed seeds the randomized schedulers (ssync-rand,
+	// ssync-lazy); 0 means 1. Deterministic schedulers ignore it.
+	SchedulerSeed int64
+	// Algorithm selects the robot program: "" or "paper" (the paper's
+	// algorithm, default) or "greedy" (the scheduler-robust local strategy;
+	// it ignores Radius and L).
+	Algorithm string
 	// CheckConnectivity validates swarm connectivity after every round.
 	CheckConnectivity bool
 	// StrictLocality makes the simulation panic if the algorithm reads any
@@ -104,6 +128,11 @@ var ErrNotConnected = errors.New("gridgather: input swarm is not connected")
 // ErrEmpty is returned for an empty input.
 var ErrEmpty = errors.New("gridgather: input swarm is empty")
 
+// ErrNegativeMaxRounds is returned for Options.MaxRounds < 0, which is
+// reserved (0 already selects the default budget; there is no "unlimited"
+// knob in the public API — a broken configuration should abort, not spin).
+var ErrNegativeMaxRounds = errors.New("gridgather: negative MaxRounds (0 selects the default budget)")
+
 // toSwarm validates and converts public points.
 func toSwarm(cells []Point) (*swarm.Swarm, error) {
 	if len(cells) == 0 {
@@ -141,9 +170,10 @@ func (o Options) params() core.Params {
 	return core.WithConstants(o.Radius, o.L)
 }
 
-// Gather runs the paper's algorithm on the given connected swarm until it
-// gathers (all robots within a 2×2 square) and returns the result. The
-// input slice is not modified.
+// Gather runs the selected gathering algorithm (the paper's by default) on
+// the given connected swarm under the selected time model (FSYNC by
+// default) until it gathers (all robots within a 2×2 square) and returns
+// the result. The input slice is not modified.
 func Gather(cells []Point, opt Options) Result {
 	s, err := toSwarm(cells)
 	if err != nil {
@@ -153,11 +183,18 @@ func Gather(cells []Point, opt Options) Result {
 	if err := p.Validate(); err != nil {
 		return Result{Err: err, InitialRobots: s.Len()}
 	}
-	maxRounds := opt.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 60*s.Len() + 500
+	if opt.MaxRounds < 0 {
+		return Result{Err: ErrNegativeMaxRounds, InitialRobots: s.Len()}
 	}
-	g := core.NewGatherer(p)
+	seed := opt.SchedulerSeed
+	if seed == 0 {
+		seed = 1
+	}
+	sc, err := scenario.Resolve(opt.Algorithm, opt.Scheduler, seed, p, s.Len())
+	if err != nil {
+		return Result{Err: fmt.Errorf("gridgather: %w", err), InitialRobots: s.Len()}
+	}
+	budget := sc.Budget.WithOverrides(opt.MaxRounds, opt.NoMergeLimit)
 	var hook func(*fsync.Engine)
 	if opt.OnRound != nil {
 		hook = func(e *fsync.Engine) {
@@ -169,11 +206,13 @@ func Gather(cells []Point, opt Options) Result {
 			})
 		}
 	}
-	eng := fsync.New(s, g, fsync.Config{
-		MaxRounds:         maxRounds,
+	eng := fsync.New(s, sc.Algorithm, fsync.Config{
+		MaxRounds:         budget.MaxRounds,
+		NoMergeLimit:      budget.NoMergeLimit,
 		CheckConnectivity: opt.CheckConnectivity,
 		StrictViews:       opt.StrictLocality,
 		Workers:           opt.Workers,
+		Scheduler:         sc.Scheduler,
 		OnRound:           hook,
 	})
 	r := eng.Run()
@@ -211,6 +250,12 @@ func Workloads() []string {
 	}
 	return out
 }
+
+// Schedulers lists the accepted Options.Scheduler spec grammars.
+func Schedulers() []string { return sched.Specs() }
+
+// Algorithms lists the available Options.Algorithm names.
+func Algorithms() []string { return scenario.Algorithms() }
 
 // Connected reports whether the cells form a connected swarm under the
 // paper's horizontal/vertical adjacency.

@@ -85,6 +85,49 @@ func TestWorkloadsCatalog(t *testing.T) {
 	}
 }
 
+func TestGatherSchedulerOption(t *testing.T) {
+	cells, _ := Workload("hollow", 40)
+	// The scheduler-robust greedy algorithm gathers under a relaxed
+	// schedule with connectivity checked every round.
+	res := Gather(cells, Options{
+		Scheduler:         "ssync",
+		Algorithm:         "greedy",
+		CheckConnectivity: true,
+	})
+	if res.Err != nil || !res.Gathered {
+		t.Fatalf("greedy under ssync failed: %+v", res)
+	}
+	// An FSYNC run with an explicit scheduler string matches the default.
+	ref := Gather(cells, Options{})
+	expl := Gather(cells, Options{Scheduler: "fsync"})
+	ref.Err, expl.Err = nil, nil
+	if ref != expl {
+		t.Errorf("explicit fsync diverged from default: %+v vs %+v", ref, expl)
+	}
+}
+
+func TestGatherOptionValidation(t *testing.T) {
+	cells, _ := Workload("line", 10)
+	if res := Gather(cells, Options{MaxRounds: -1}); res.Err != ErrNegativeMaxRounds {
+		t.Errorf("MaxRounds=-1: err = %v", res.Err)
+	}
+	if res := Gather(cells, Options{Scheduler: "warp"}); res.Err == nil {
+		t.Error("expected error for unknown scheduler")
+	}
+	if res := Gather(cells, Options{Algorithm: "magic"}); res.Err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestSchedulersAndAlgorithmsListed(t *testing.T) {
+	if specs := Schedulers(); len(specs) < 4 {
+		t.Errorf("schedulers = %v", specs)
+	}
+	if algs := Algorithms(); len(algs) != 2 {
+		t.Errorf("algorithms = %v", algs)
+	}
+}
+
 func TestCustomRadiusAndL(t *testing.T) {
 	cells, _ := Workload("hollow", 80)
 	res := Gather(cells, Options{Radius: 11, L: 13, CheckConnectivity: true})

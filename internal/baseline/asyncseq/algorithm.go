@@ -1,0 +1,85 @@
+package asyncseq
+
+import (
+	"gridgather/internal/fsync"
+	"gridgather/internal/grid"
+	"gridgather/internal/view"
+)
+
+// Algorithm packages the sequential strategy as an engine-compatible robot
+// program (fsync.Algorithm) that stays safe under EVERY scheduler — FSYNC,
+// SSYNC subsets, ASYNC wavefronts. The sequential rules alone are only safe
+// one robot at a time (see the package tests: executed simultaneously they
+// can disconnect the swarm), so the robot program adds a local mutual
+// exclusion rule:
+//
+//	a robot executes its candidate move only if no other candidate mover
+//	occupies a cell within L∞ distance 3 at a lexicographically smaller
+//	position.
+//
+// Candidacy of a nearby robot is re-derived inside the observer's own view
+// (the rules are deterministic functions of occupancy, so a robot can
+// evaluate them for any robot whose neighborhood it sees — the classic
+// local-simulation technique). Two robots within L∞ ≤ 3 of each other each
+// see the other's candidacy, and the lexicographic order breaks the tie the
+// same way on both sides, so any two robots that actually move in the same
+// round are at L∞ distance ≥ 4. Their vacated cells, 8-neighborhoods and
+// landing cells are then disjoint, which reduces simultaneous execution to
+// sequential execution of individually safe moves: connectivity is
+// preserved under an arbitrary activation subset, which no schedule of the
+// paper's merge operations can guarantee (those require all black robots of
+// a configuration to hop together).
+//
+// The lexicographic comparison uses relative positions, which all robots
+// order consistently — the same world-aligned bookkeeping concession the
+// run-state directions make (see robot.Run).
+type Algorithm struct{}
+
+// interferenceRadius is the L∞ radius of the mutual exclusion zone. Two
+// candidate movers at L∞ ≤ 3 suppress the lexicographically larger one;
+// movers at L∞ ≥ 4 touch disjoint cell sets (each move reads and writes
+// only cells within L∞ 2 of its robot).
+const interferenceRadius = 3
+
+// Radius implements fsync.Algorithm: candidates live within L∞ 3 (L1 ≤ 6)
+// and their candidacy checks read their 8-neighborhood and diagonal landing
+// cells (L∞ 1 further, L1 ≤ 8).
+func (Algorithm) Radius() int { return 8 }
+
+// candidate returns the move the sequential strategy proposes for the robot
+// at relative position base (grid.Zero = the observing robot itself), if
+// any. Returned coordinates are relative to base.
+func candidate(v *view.View, base grid.Point) (grid.Point, bool) {
+	occ := func(q grid.Point) bool { return v.Occ(q) }
+	if t, ok := deletable(occ, base); ok {
+		return t.Sub(base), true
+	}
+	if q, ok := cuttable(occ, base); ok {
+		return q.Sub(base), true
+	}
+	return grid.Point{}, false
+}
+
+// Compute implements fsync.Algorithm. It is stateless and safe for
+// concurrent calls (it only reads the view).
+func (Algorithm) Compute(v *view.View) fsync.Action {
+	move, ok := candidate(v, grid.Zero)
+	if !ok {
+		return fsync.Stay
+	}
+	// Local mutual exclusion: scan the interference zone for a candidate
+	// mover at a lexicographically smaller position. Only smaller positions
+	// can suppress, so only they need checking.
+	for dy := -interferenceRadius; dy <= interferenceRadius; dy++ {
+		for dx := -interferenceRadius; dx <= interferenceRadius; dx++ {
+			q := grid.Pt(dx, dy)
+			if q == grid.Zero || !q.Less(grid.Zero) || !v.Occ(q) {
+				continue
+			}
+			if _, ok := candidate(v, q); ok {
+				return fsync.Stay
+			}
+		}
+	}
+	return fsync.MoveTo(move)
+}

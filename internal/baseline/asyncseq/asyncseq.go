@@ -51,15 +51,17 @@ var ring8 = [8]grid.Point{
 // deletable reports whether removing the robot at p keeps its occupied
 // neighborhood connected: the occupied ring cells must form one component
 // under 4-adjacency within the ring, and p must have at least one
-// 4-neighbor to merge onto.
-func deletable(s *swarm.Swarm, p grid.Point) (grid.Point, bool) {
+// 4-neighbor to merge onto. occ is the occupancy predicate — the global
+// swarm for the sequential simulation, a radius-limited view for the
+// engine-compatible Algorithm.
+func deletable(occupied func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
 	occ := [8]bool{}
 	cnt := 0
 	var target grid.Point
 	hasAxis := false
 	for i, d := range ring8 {
 		q := p.Add(d)
-		if s.Has(q) {
+		if occupied(q) {
 			occ[i] = true
 			cnt++
 			if d.IsUnit() && !hasAxis {
@@ -96,10 +98,10 @@ func deletable(s *swarm.Swarm, p grid.Point) (grid.Point, bool) {
 
 // cuttable reports whether the robot at p is a convex corner that can hop
 // onto the free diagonal between its exactly-two perpendicular neighbors.
-func cuttable(s *swarm.Swarm, p grid.Point) (grid.Point, bool) {
+func cuttable(occupied func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
 	var axes []grid.Point
 	for _, d := range grid.Axis4 {
-		if s.Has(p.Add(d)) {
+		if occupied(p.Add(d)) {
 			axes = append(axes, d)
 		}
 	}
@@ -111,7 +113,7 @@ func cuttable(s *swarm.Swarm, p grid.Point) (grid.Point, bool) {
 		return grid.Point{}, false // opposite neighbors: not a corner
 	}
 	q := p.Add(diag)
-	if s.Has(q) {
+	if occupied(q) {
 		return grid.Point{}, false
 	}
 	return q, true
@@ -133,14 +135,14 @@ func Run(s *swarm.Swarm, maxRounds int) Result {
 				continue // merged away earlier this round
 			}
 			res.Activations++
-			if t, ok := deletable(w, p); ok {
+			if t, ok := deletable(w.Has, p); ok {
 				w.Remove(p)
 				_ = t // the robot moves onto t and merges: cell already occupied
 				res.Merges++
 				progressed = true
 				continue
 			}
-			if q, ok := cuttable(w, p); ok {
+			if q, ok := cuttable(w.Has, p); ok {
 				w.Remove(p)
 				w.Add(q)
 				res.Cuts++

@@ -10,10 +10,10 @@ import (
 
 func TestDeletableLineEnd(t *testing.T) {
 	s := gen.Line(4)
-	if _, ok := deletable(s, grid.Pt(0, 0)); !ok {
+	if _, ok := deletable(s.Has, grid.Pt(0, 0)); !ok {
 		t.Error("line end must be deletable")
 	}
-	if _, ok := deletable(s, grid.Pt(1, 0)); ok {
+	if _, ok := deletable(s.Has, grid.Pt(1, 0)); ok {
 		t.Error("line middle must not be deletable")
 	}
 }
@@ -21,14 +21,14 @@ func TestDeletableLineEnd(t *testing.T) {
 func TestDeletableCornerWithDiagonal(t *testing.T) {
 	// Corner with occupied diagonal: ring stays connected through it.
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1), grid.Pt(1, 1))
-	if _, ok := deletable(s, grid.Pt(0, 0)); !ok {
+	if _, ok := deletable(s.Has, grid.Pt(0, 0)); !ok {
 		t.Error("block corner must be deletable")
 	}
 }
 
 func TestCuttableRingCorner(t *testing.T) {
 	s := gen.Hollow(5, 5)
-	q, ok := cuttable(s, grid.Pt(0, 0))
+	q, ok := cuttable(s.Has, grid.Pt(0, 0))
 	if !ok {
 		t.Fatal("ring corner must be cuttable")
 	}
@@ -36,7 +36,7 @@ func TestCuttableRingCorner(t *testing.T) {
 		t.Errorf("cut target = %v", q)
 	}
 	// Wall middle: two opposite neighbors — not a corner.
-	if _, ok := cuttable(s, grid.Pt(2, 0)); ok {
+	if _, ok := cuttable(s.Has, grid.Pt(2, 0)); ok {
 		t.Error("wall middle must not be cuttable")
 	}
 }
@@ -85,10 +85,10 @@ func TestWhyFSYNCNeedsThePaper(t *testing.T) {
 	// Simultaneous (FSYNC) application of the sequential rules:
 	moves := map[grid.Point]grid.Point{}
 	for _, p := range s.Cells() {
-		if _, ok := deletable(s, p); ok {
+		if _, ok := deletable(s.Has, p); ok {
 			continue // deletions would merge: ignore for the hazard demo
 		}
-		if q, ok := cuttable(s, p); ok {
+		if q, ok := cuttable(s.Has, p); ok {
 			moves[p] = q
 		}
 	}

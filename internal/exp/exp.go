@@ -86,14 +86,14 @@ func E2PlaneComparison(w io.Writer, sizes []int) {
 	for _, n := range sizes {
 		lineRes := func() fsync.Result {
 			s := gen.Line(n)
-			eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: 80*n + 1000})
+			eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: fsync.DefaultBudget(n).MaxRounds})
 			return eng.Run()
 		}()
 
 		ringSide := n/4 + 1
 		s := gen.Hollow(ringSide, ringSide)
 		actual := s.Len()
-		eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: 80*actual + 1000})
+		eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: fsync.DefaultBudget(actual).MaxRounds})
 		ringRes := eng.Run()
 
 		sim := gtc.NewSim(gtc.CircleInstance(n, 1.0), gtc.DefaultParams())
@@ -125,7 +125,7 @@ func E1bHollowDetail(w io.Writer, sides []int) {
 	for _, side := range sides {
 		s := gen.Hollow(side, side)
 		actual := s.Len()
-		eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: 80*actual + 1000})
+		eng := fsync.New(s, core.NewGatherer(p), fsync.Config{MaxRounds: fsync.DefaultBudget(actual).MaxRounds})
 		res := eng.Run()
 		slope := "-"
 		if prevW > 0 {

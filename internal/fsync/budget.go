@@ -1,0 +1,70 @@
+package fsync
+
+import "math"
+
+// Budget bundles the two simulation limits: the hard round limit and the
+// no-merge stuck watchdog.
+type Budget struct {
+	// MaxRounds is the hard abort limit (Config.MaxRounds); 0 = unlimited.
+	MaxRounds int
+	// NoMergeLimit is the stuck-watchdog window (Config.NoMergeLimit);
+	// 0 = disabled.
+	NoMergeLimit int
+}
+
+// DefaultBudget returns the canonical simulation budget for an n-robot
+// instance under FSYNC: MaxRounds 80·n + 1000 and NoMergeLimit 40·n + 500.
+// The measured gathering time is ≲8 rounds per robot (experiment E1), so
+// the budget leaves an order of magnitude of slack without letting a broken
+// configuration spin forever. Every entry point — the public API, the sweep
+// harness, and the CLIs — derives its limits from this one helper so the
+// budgets cannot drift apart again.
+func DefaultBudget(n int) Budget {
+	return Budget{MaxRounds: 80*n + 1000, NoMergeLimit: 40*n + 500}
+}
+
+// WithOverrides applies caller-supplied limits on top of the budget: a
+// positive value replaces the canonical entry, zero keeps it, and a
+// negative NoMergeLimit disables the watchdog. Negative MaxRounds is
+// reserved and must be rejected by callers before this point (the public
+// API and the sweep harness both do).
+func (b Budget) WithOverrides(maxRounds, noMergeLimit int) Budget {
+	if maxRounds > 0 {
+		b.MaxRounds = maxRounds
+	}
+	switch {
+	case noMergeLimit > 0:
+		b.NoMergeLimit = noMergeLimit
+	case noMergeLimit < 0:
+		b.NoMergeLimit = 0
+	}
+	return b
+}
+
+// Scale stretches the budget for a scheduler with fairness bound k
+// (sched.Scheduler.Fairness): a scheduler that activates each robot only
+// once every k rounds slows gathering down by up to a factor of k. Scale(1)
+// is the identity; unlimited (zero) entries stay unlimited.
+func (b Budget) Scale(k int) Budget {
+	if k <= 1 {
+		return b
+	}
+	b.MaxRounds = scaleLimit(b.MaxRounds, k)
+	b.NoMergeLimit = scaleLimit(b.NoMergeLimit, k)
+	return b
+}
+
+// scaleLimit multiplies a positive limit by k, saturating at the platform's
+// int maximum. ASYNC fairness bounds are ≈ n, so n² products overflow on
+// 32-bit platforms for swarms of a few thousand robots — and an overflowed
+// negative limit would silently mean "unlimited"/"watchdog off", the exact
+// states the budget exists to rule out.
+func scaleLimit(v, k int) int {
+	if v <= 0 {
+		return v
+	}
+	if v > math.MaxInt/k {
+		return math.MaxInt
+	}
+	return v * k
+}

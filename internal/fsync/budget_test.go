@@ -1,0 +1,55 @@
+package fsync
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultBudget(t *testing.T) {
+	b := DefaultBudget(100)
+	if b.MaxRounds != 9000 || b.NoMergeLimit != 4500 {
+		t.Errorf("DefaultBudget(100) = %+v", b)
+	}
+}
+
+func TestBudgetScale(t *testing.T) {
+	b := Budget{MaxRounds: 100, NoMergeLimit: 50}
+	if got := b.Scale(1); got != b {
+		t.Errorf("Scale(1) = %+v, want identity", got)
+	}
+	if got := b.Scale(3); got.MaxRounds != 300 || got.NoMergeLimit != 150 {
+		t.Errorf("Scale(3) = %+v", got)
+	}
+	// Unlimited/disabled entries stay that way.
+	if got := (Budget{}).Scale(5); got.MaxRounds != 0 || got.NoMergeLimit != 0 {
+		t.Errorf("zero budget scaled to %+v", got)
+	}
+}
+
+// TestBudgetScaleSaturates: ASYNC fairness bounds are ≈ n, so the product
+// can exceed the platform int range; an overflowed (negative) limit would
+// silently mean "unlimited"/"watchdog off". The scale must saturate
+// instead.
+func TestBudgetScaleSaturates(t *testing.T) {
+	b := Budget{MaxRounds: math.MaxInt / 2, NoMergeLimit: math.MaxInt / 2}
+	got := b.Scale(4)
+	if got.MaxRounds != math.MaxInt || got.NoMergeLimit != math.MaxInt {
+		t.Errorf("Scale did not saturate: %+v", got)
+	}
+	if got.MaxRounds < 0 || got.NoMergeLimit < 0 {
+		t.Errorf("Scale overflowed negative: %+v", got)
+	}
+}
+
+func TestBudgetWithOverrides(t *testing.T) {
+	b := Budget{MaxRounds: 100, NoMergeLimit: 50}
+	if got := b.WithOverrides(0, 0); got != b {
+		t.Errorf("zero overrides changed budget: %+v", got)
+	}
+	if got := b.WithOverrides(7, 3); got.MaxRounds != 7 || got.NoMergeLimit != 3 {
+		t.Errorf("positive overrides: %+v", got)
+	}
+	if got := b.WithOverrides(0, -1); got.MaxRounds != 100 || got.NoMergeLimit != 0 {
+		t.Errorf("negative NoMergeLimit must disable the watchdog: %+v", got)
+	}
+}

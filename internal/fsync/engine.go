@@ -1,10 +1,22 @@
-// Package fsync implements the fully synchronous (FSYNC) time model of the
-// paper: time is divided into equal rounds; in every round all robots
-// simultaneously execute one look-compute-move cycle. The engine owns the
-// global state, builds each robot's radius-limited view, applies all moves
-// simultaneously, merges robots that end up on the same cell ("if two or
-// more robots move to the same location they are merged to be only one
-// robot"), delivers run-state transfers, and checks model invariants.
+// Package fsync implements the round-based simulation engine. Its default
+// time model is the paper's fully synchronous FSYNC: time is divided into
+// equal rounds; in every round all robots simultaneously execute one
+// look-compute-move cycle. The engine owns the global state, builds each
+// robot's radius-limited view, applies all moves simultaneously, merges
+// robots that end up on the same cell ("if two or more robots move to the
+// same location they are merged to be only one robot"), delivers run-state
+// transfers, and checks model invariants.
+//
+// A Config.Scheduler (internal/sched) relaxes the synchrony: each round
+// only the scheduler's activation subset runs a look-compute-move cycle
+// (SSYNC subsets, ASYNC wavefronts) while the remaining robots sleep in
+// place, keeping their positions and run states. Activated robots then see
+// a per-robot logical clock (their own completed cycle count) instead of
+// the global round counter, so local-clock-driven rules like the every-L-th
+// round run-start schedule remain meaningful without global synchrony.
+// Under the default FSYNC model the logical clocks coincide with the global
+// round counter, and a nil Scheduler takes a fast path that is bit-identical
+// to the explicit FSYNC scheduler (proved by the determinism tests).
 package fsync
 
 import (
@@ -15,6 +27,7 @@ import (
 
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
+	"gridgather/internal/sched"
 	"gridgather/internal/swarm"
 	"gridgather/internal/view"
 )
@@ -30,8 +43,10 @@ type Algorithm interface {
 
 // Config controls engine behaviour.
 type Config struct {
-	// MaxRounds aborts the simulation after this many rounds (0 = no limit;
-	// use with care).
+	// MaxRounds aborts the simulation after this many rounds. 0 means no
+	// limit (use with care); negative values are normalized to 0 by New.
+	// Callers that want the standard limits should use DefaultBudget; the
+	// public API rejects negative values outright.
 	MaxRounds int
 	// CheckConnectivity verifies after every CheckEvery rounds that the
 	// swarm is still connected, and aborts with an error if not. The
@@ -59,6 +74,16 @@ type Config struct {
 	// Compute must be safe for concurrent calls when Workers != 1
 	// (core.Gatherer is: it only reads the view and bumps atomic counters).
 	Workers int
+	// Scheduler yields each round's activation set, generalizing the time
+	// model to SSYNC/ASYNC (see internal/sched). nil means FSYNC — every
+	// robot every round — via a fast path that skips the activation and
+	// logical-clock bookkeeping entirely and is bit-identical to the
+	// explicit sched.FSYNC() scheduler. Robots outside the activation set
+	// sleep: they keep their position and run states unchanged (their runs
+	// neither age nor glide) and can still receive transferred runs and be
+	// merged onto. Budgets (MaxRounds, NoMergeLimit) should be scaled by
+	// the scheduler's fairness bound; see DefaultBudget.Scale.
+	Scheduler sched.Scheduler
 }
 
 // Result summarizes a simulation.
@@ -95,17 +120,29 @@ type Engine struct {
 	lastMerge  int
 	roundMerge int // merges in the most recent round
 
+	// Per-robot logical clocks, maintained only when a Scheduler is set:
+	// clock[p] is the number of look-compute-move cycles the robot at p has
+	// completed, fed to its view as the round number. Under FSYNC (nil
+	// scheduler) the global round counter serves instead, identically.
+	// clockScratch double-buffers with clock like the state maps do.
+	clock        map[grid.Point]int
+	clockScratch map[grid.Point]int
+
 	// Scratch structures reused across rounds. Each Step fills them from
 	// scratch, so the only requirement is that they are empty at the start
 	// of the phase that uses them. stateScratch additionally double-buffers
 	// with the live state map: the map that held the pre-round state becomes
 	// the scratch for the next round once the post-round state is swapped
 	// in. Nothing outside Step may retain references to them.
-	order        []grid.Point
+	order        []grid.Point // this round's activation set
+	all          []grid.Point // full population (scheduled rounds only)
+	sleep        []grid.Point // robots outside the activation set
+	mask         []bool       // scheduler activation mask over e.all
 	acts         []actionAt
 	occScratch   map[grid.Point]int
 	stateScratch map[grid.Point]robot.State
 	transferSink map[grid.Point][]robot.Run
+	transferList []pendingTransfer
 	computeErrs  []error
 }
 
@@ -113,6 +150,16 @@ type Engine struct {
 type actionAt struct {
 	from grid.Point
 	act  Action
+}
+
+// pendingTransfer is a run hand-off collected during the move pass. It is
+// delivered only if the sender survives the round without merging: run
+// states of merged robots stop (Table 1, condition 3), including states the
+// robot was handing off in the very round it merged.
+type pendingTransfer struct {
+	senderDst grid.Point // the sender's post-move cell; its occupancy decides the sender's fate
+	to        grid.Point // the recipient cell (pre-round coordinates)
+	run       robot.Run
 }
 
 // ErrDisconnected is returned when a round broke swarm connectivity.
@@ -142,6 +189,9 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = 1
 	}
+	if cfg.MaxRounds < 0 {
+		cfg.MaxRounds = 0 // reserved: negative means the same as "no limit"
+	}
 	e := &Engine{
 		cfg:          cfg,
 		alg:          alg,
@@ -151,6 +201,11 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 		occScratch:   make(map[grid.Point]int, s.Len()),
 		stateScratch: make(map[grid.Point]robot.State),
 		transferSink: make(map[grid.Point][]robot.Run),
+	}
+	if cfg.Scheduler != nil {
+		// All logical clocks start at zero (missing entry = 0).
+		e.clock = make(map[grid.Point]int, s.Len())
+		e.clockScratch = make(map[grid.Point]int, s.Len())
 	}
 	return e
 }
@@ -187,6 +242,20 @@ func (e *Engine) RunsStarted() int { return e.runsStart }
 
 // StateAt returns the state of the robot at p (zero state if free).
 func (e *Engine) StateAt(p grid.Point) robot.State { return e.state[p] }
+
+// LocalRound returns the logical clock of the robot at p: the number of
+// look-compute-move cycles it has completed. Under FSYNC (nil scheduler)
+// every robot's clock equals Round().
+func (e *Engine) LocalRound(p grid.Point) int { return e.localRound(p) }
+
+// localRound resolves the round number a robot's view reports: the global
+// round under FSYNC, the robot's own logical clock under a scheduler.
+func (e *Engine) localRound(p grid.Point) int {
+	if e.cfg.Scheduler == nil {
+		return e.round
+	}
+	return e.clock[p]
+}
 
 // Runners returns the positions of all robots currently holding run states,
 // in deterministic order.
@@ -246,7 +315,7 @@ func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 	v := view.New(vc, grid.Zero, e.round)
 	for i := lo; i < hi; i++ {
 		p := e.order[i]
-		v.Reposition(p, e.round)
+		v.Reposition(p, e.localRound(p))
 		a := e.alg.Compute(v)
 		if a.Move.Linf() > 1 {
 			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move)
@@ -256,16 +325,39 @@ func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 	return nil
 }
 
-// Step executes one FSYNC round. It returns an error if an invariant broke.
+// Step executes one round. It returns an error if an invariant broke.
 func (e *Engine) Step() error {
 	vc := e.viewConfig()
+	scheduled := e.cfg.Scheduler != nil
 
-	// Look + Compute: every robot simultaneously, from the same snapshot.
-	// The pre-round state is immutable during this phase, so no cloning is
-	// required — the phase shards freely across workers, each writing its
-	// robots' actions to fixed indices of e.acts.
+	// Activation: under FSYNC every robot runs a full look-compute-move
+	// cycle every round; a Scheduler restricts the round to its activation
+	// subset, and the rest of the swarm sleeps in place.
 	e.order = e.order[:0]
-	e.order = append(e.order, e.s.Cells()...)
+	e.sleep = e.sleep[:0]
+	if !scheduled {
+		e.order = append(e.order, e.s.Cells()...)
+	} else {
+		e.all = append(e.all[:0], e.s.Cells()...)
+		if cap(e.mask) < len(e.all) {
+			e.mask = make([]bool, len(e.all))
+		}
+		mask := e.mask[:len(e.all)]
+		clear(mask)
+		e.cfg.Scheduler.Activate(e.round, e.all, mask)
+		for i, p := range e.all {
+			if mask[i] {
+				e.order = append(e.order, p)
+			} else {
+				e.sleep = append(e.sleep, p)
+			}
+		}
+	}
+
+	// Look + Compute: every activated robot simultaneously, from the same
+	// snapshot. The pre-round state is immutable during this phase, so no
+	// cloning is required — the phase shards freely across workers, each
+	// writing its robots' actions to fixed indices of e.acts.
 	n := len(e.order)
 	if cap(e.acts) < n {
 		e.acts = make([]actionAt, n)
@@ -304,13 +396,19 @@ func (e *Engine) Step() error {
 
 	// Move: apply all hops simultaneously. The scratch maps were emptied at
 	// the end of the previous Step (occ/transfers) or hold the now-dead
-	// state of two rounds ago (stateScratch, cleared here).
+	// state of two rounds ago (stateScratch/clockScratch, cleared here).
 	newOcc := e.occScratch     // arrival count
 	newState := e.stateScratch // survivor states
 	transfers := e.transferSink
 	clear(newOcc)
 	clear(newState)
 	clear(transfers)
+	e.transferList = e.transferList[:0]
+	var newClock map[grid.Point]int
+	if scheduled {
+		newClock = e.clockScratch
+		clear(newClock)
+	}
 	moved := 0
 	for _, c := range acts {
 		dst := c.from.Add(c.act.Move)
@@ -332,9 +430,42 @@ func (e *Engine) Step() error {
 			// (Table 1, condition 3/6).
 			delete(newState, dst)
 		}
+		if scheduled {
+			// The cycle completes: the robot's logical clock ticks. A
+			// merged cell keeps the largest arriving clock (deterministic
+			// regardless of arrival order).
+			if cl := e.clock[c.from] + 1; cl > newClock[dst] {
+				newClock[dst] = cl
+			}
+		}
 		for _, tr := range c.act.Transfers {
-			to := c.from.Add(tr.To)
-			transfers[to] = append(transfers[to], e.adoptRun(tr.Run))
+			// Collected, not yet delivered: whether the hand-off succeeds
+			// depends on the sender not merging this round, which is known
+			// only after all arrivals are counted. Adoption (ID assignment,
+			// RunsStarted accounting) happens at resolution so a dropped
+			// hand-off of a brand-new run is never counted as started.
+			e.transferList = append(e.transferList, pendingTransfer{
+				senderDst: dst,
+				to:        c.from.Add(tr.To),
+				run:       tr.Run,
+			})
+		}
+	}
+
+	// Sleeping robots stand still, keeping their run states (frozen, not
+	// aged) and logical clocks. They still merge if an activated robot
+	// lands on their cell.
+	for _, p := range e.sleep {
+		newOcc[p]++
+		if newOcc[p] == 1 {
+			if st := e.state[p]; st.HasRuns() {
+				newState[p] = st
+			}
+		} else {
+			delete(newState, p)
+		}
+		if cl := e.clock[p]; cl > newClock[p] {
+			newClock[p] = cl
 		}
 	}
 
@@ -346,6 +477,17 @@ func (e *Engine) Step() error {
 		if cnt > 1 {
 			removed += cnt - 1
 		}
+	}
+
+	// Resolve the collected hand-offs now that every robot's fate is known:
+	// a sender that merged this round loses all its runs (Table 1,
+	// condition 3), so its hand-offs die with it. Surviving transfers are
+	// adopted in collection order, keeping run IDs deterministic.
+	for _, t := range e.transferList {
+		if newOcc[t.senderDst] != 1 {
+			continue
+		}
+		transfers[t.to] = append(transfers[t.to], e.adoptRun(t.run))
 	}
 
 	// Deliver transfers to robots occupying the target cells after moves.
@@ -370,9 +512,12 @@ func (e *Engine) Step() error {
 	}
 
 	e.s = next
-	// Double-buffer the state maps: the pre-round map becomes next round's
-	// scratch.
+	// Double-buffer the state (and clock) maps: the pre-round maps become
+	// next round's scratch.
 	e.state, e.stateScratch = newState, e.state
+	if scheduled {
+		e.clock, e.clockScratch = newClock, e.clock
+	}
 	e.round++
 	e.moves += moved
 	e.merges += removed

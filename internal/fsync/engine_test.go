@@ -211,6 +211,146 @@ func TestEngineOnRoundHook(t *testing.T) {
 	}
 }
 
+// TestEngineTransferFromMergingSenderDies pins the Table 1 semantics for
+// the round in which a runner both hands off a run and merges: "it was part
+// of a merge operation" stops ALL of the robot's runs, including states in
+// flight to a neighbor. The engine used to deliver such transfers
+// unconditionally; the hand-off must die with the sender.
+func TestEngineTransferFromMergingSenderDies(t *testing.T) {
+	// Sender (0,0) stays and transfers its run east to (1,0); robot (0,1)
+	// drops onto the sender's cell, merging the sender.
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1))
+	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
+	// The sender hands off a brand-new run (ID 0) alongside: it must not be
+	// delivered NOR counted as started, since it dies in the same round.
+	fresh := robot.Run{Dir: grid.East, Inside: grid.North}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): {Transfers: []Transfer{
+			{To: grid.East, Run: run},
+			{To: grid.East, Run: fresh},
+		}},
+		grid.Pt(2, 0): MoveTo(grid.South), // robot with run ID 2, at (0,1)
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
+	eng.SetState(grid.Pt(0, 1), robot.State{Runs: []robot.Run{{ID: 2, Dir: grid.East, Inside: grid.North}}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Merges() != 1 {
+		t.Fatalf("merges = %d, want 1", eng.Merges())
+	}
+	if st := eng.StateAt(grid.Pt(1, 0)); st.HasRuns() {
+		t.Errorf("transfer from merging sender was delivered: %v", st.Runs)
+	}
+	if eng.RunsStarted() != 0 {
+		t.Errorf("RunsStarted = %d, want 0 (dropped hand-off of a new run must not count)", eng.RunsStarted())
+	}
+}
+
+// TestEngineTransferFromRollingMergerDies covers the OP-A flavor of the
+// same rule: a runner that hops onto an occupied cell (Table 1.6) merges,
+// so a second run it was gliding to a neighbor in the same round must die
+// too.
+func TestEngineTransferFromRollingMergerDies(t *testing.T) {
+	// Sender (0,0) hops east onto the occupied (1,0) while handing a run
+	// north to (0,1).
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1))
+	run := robot.Run{ID: 1, Dir: grid.North, Inside: grid.East}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): {Move: grid.East, Transfers: []Transfer{{To: grid.North, Run: run}}},
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Merges() != 1 {
+		t.Fatalf("merges = %d, want 1", eng.Merges())
+	}
+	if st := eng.StateAt(grid.Pt(0, 1)); st.HasRuns() {
+		t.Errorf("transfer from merging sender was delivered: %v", st.Runs)
+	}
+}
+
+// staticSched is a test scheduler with a fixed per-round activation rule.
+type staticSched struct {
+	active func(round int, p grid.Point) bool
+}
+
+func (s staticSched) Activate(round int, cells []grid.Point, active []bool) {
+	for i, p := range cells {
+		active[i] = s.active(round, p)
+	}
+}
+func (staticSched) Fairness(int) int { return 1 }
+func (staticSched) String() string   { return "static" }
+
+// TestEngineSleepersKeepStateAndClock checks the relaxed-scheduler
+// semantics: robots outside the activation set stay put, keep their run
+// states frozen, and their logical clocks do not tick.
+func TestEngineSleepersKeepStateAndClock(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North, Age: 3}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{}}
+	// Only (2,0) is ever activated.
+	eng := New(s, alg, Config{Scheduler: staticSched{
+		active: func(_ int, p grid.Point) bool { return p == grid.Pt(2, 0) },
+	}})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
+	for r := 0; r < 3; r++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.StateAt(grid.Pt(0, 0))
+	if len(st.Runs) != 1 || st.Runs[0] != run {
+		t.Errorf("sleeping runner's state changed: %v", st.Runs)
+	}
+	if got := eng.LocalRound(grid.Pt(0, 0)); got != 0 {
+		t.Errorf("sleeping robot's clock = %d, want 0", got)
+	}
+	if got := eng.LocalRound(grid.Pt(2, 0)); got != 3 {
+		t.Errorf("activated robot's clock = %d, want 3", got)
+	}
+	if eng.Round() != 3 {
+		t.Errorf("global round = %d, want 3", eng.Round())
+	}
+}
+
+// TestEngineSleeperReceivesTransfer: a sleeping robot can still be handed a
+// run state — the hand-off is the sender's action, not the recipient's.
+func TestEngineSleeperReceivesTransfer(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0))
+	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: run}}},
+	}}
+	eng := New(s, alg, Config{Scheduler: staticSched{
+		active: func(_ int, p grid.Point) bool { return p == grid.Pt(0, 0) },
+	}})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.StateAt(grid.Pt(1, 0)); !st.HasRuns() {
+		t.Error("sleeping recipient did not receive the transfer")
+	}
+	if st := eng.StateAt(grid.Pt(0, 0)); st.HasRuns() {
+		t.Error("sender kept the run")
+	}
+}
+
+// TestEngineNegativeMaxRoundsNormalized: negative limits are reserved and
+// normalized to "unlimited" (the public API rejects them before they reach
+// the engine).
+func TestEngineNegativeMaxRoundsNormalized(t *testing.T) {
+	eng := New(swarm.New(grid.Pt(0, 0)), &scripted{radius: 5}, Config{MaxRounds: -7})
+	if eng.cfg.MaxRounds != 0 {
+		t.Errorf("MaxRounds = %d, want 0", eng.cfg.MaxRounds)
+	}
+}
+
 func TestSetStatePanicsOnFreeCell(t *testing.T) {
 	s := swarm.New(grid.Pt(0, 0))
 	eng := New(s, &scripted{radius: 5}, Config{})

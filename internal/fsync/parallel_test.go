@@ -22,7 +22,7 @@ import (
 func runWithWorkers(t *testing.T, s *swarm.Swarm, workers int) (fsync.Result, []grid.Point) {
 	t.Helper()
 	eng := fsync.New(s, core.Default(), fsync.Config{
-		MaxRounds:         80*s.Len() + 1000,
+		MaxRounds:         fsync.DefaultBudget(s.Len()).MaxRounds,
 		CheckConnectivity: true,
 		Workers:           workers,
 	})

@@ -1,0 +1,69 @@
+// Package scenario resolves the simulation scenario axes shared by the
+// public API (gather.go) and the sweep harness (internal/sweep): the robot
+// program ("paper" or "greedy"), the time model (a sched spec string), and
+// the fairness-scaled canonical budget. Keeping the resolution in one place
+// guarantees the two entry points cannot drift apart — the failure mode the
+// canonical budget helper was introduced to eliminate.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"gridgather/internal/baseline/asyncseq"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/sched"
+)
+
+// Scenario is a resolved simulation setup for one instance.
+type Scenario struct {
+	// Algorithm is the robot program to run.
+	Algorithm fsync.Algorithm
+	// Scheduler is the engine's time model; nil means FSYNC and keeps the
+	// engine's fast path.
+	Scheduler sched.Scheduler
+	// Budget is the canonical simulation budget scaled by the scheduler's
+	// fairness bound. Apply caller overrides with Budget.WithOverrides.
+	Budget fsync.Budget
+}
+
+// Algorithms lists the available robot program names.
+func Algorithms() []string { return []string{"paper", "greedy"} }
+
+// CheckAlgorithm validates a robot program name without building it.
+func CheckAlgorithm(name string) error {
+	switch name {
+	case "", "paper", "greedy":
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown algorithm %q (have %s)",
+			name, strings.Join(Algorithms(), ", "))
+	}
+}
+
+// Resolve builds the scenario for an n-robot instance. algorithm is ""
+// or "paper" for the paper's algorithm (built from params, which must
+// already be validated — core.NewGatherer panics on invalid parameters) and
+// "greedy" for the scheduler-robust strategy (params ignored). scheduler is
+// a sched.Parse spec; seed feeds its randomized variants.
+func Resolve(algorithm, scheduler string, seed int64, params core.Params, n int) (Scenario, error) {
+	sch, err := sched.Parse(scheduler, seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var out Scenario
+	switch algorithm {
+	case "", "paper":
+		out.Algorithm = core.NewGatherer(params)
+	case "greedy":
+		out.Algorithm = asyncseq.Algorithm{}
+	default:
+		return Scenario{}, CheckAlgorithm(algorithm)
+	}
+	out.Budget = fsync.DefaultBudget(n).Scale(sch.Fairness(n))
+	if !sched.IsFSYNC(sch) {
+		out.Scheduler = sch
+	}
+	return out, nil
+}

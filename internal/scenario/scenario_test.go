@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"testing"
+
+	"gridgather/internal/baseline/asyncseq"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	s, err := Resolve("", "", 1, core.Defaults(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Algorithm.(*core.Gatherer); !ok {
+		t.Errorf("default algorithm = %T, want *core.Gatherer", s.Algorithm)
+	}
+	if s.Scheduler != nil {
+		t.Error("FSYNC must resolve to a nil engine scheduler (fast path)")
+	}
+	if want := fsync.DefaultBudget(100); s.Budget != want {
+		t.Errorf("budget = %+v, want %+v", s.Budget, want)
+	}
+}
+
+func TestResolveRelaxed(t *testing.T) {
+	s, err := Resolve("greedy", "ssync-rr:3", 1, core.Defaults(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Algorithm.(asyncseq.Algorithm); !ok {
+		t.Errorf("algorithm = %T, want asyncseq.Algorithm", s.Algorithm)
+	}
+	if s.Scheduler == nil {
+		t.Fatal("relaxed scheduler must reach the engine")
+	}
+	if want := fsync.DefaultBudget(100).Scale(3); s.Budget != want {
+		t.Errorf("budget = %+v, want %+v (fairness-scaled)", s.Budget, want)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, err := Resolve("magic", "", 1, core.Defaults(), 10); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+	if _, err := Resolve("", "warp", 1, core.Defaults(), 10); err == nil {
+		t.Error("expected error for unknown scheduler")
+	}
+	if err := CheckAlgorithm("greedy"); err != nil {
+		t.Errorf("CheckAlgorithm(greedy): %v", err)
+	}
+	if err := CheckAlgorithm("magic"); err == nil {
+		t.Error("CheckAlgorithm(magic) passed")
+	}
+}

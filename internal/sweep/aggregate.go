@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gridgather/internal/metrics"
+	"gridgather/internal/sched"
 )
 
 // Dist summarizes the distribution of one metric across the runs of an
@@ -48,6 +49,10 @@ type Aggregate struct {
 	// Radius and L identify the parameter set.
 	Radius int `json:"radius"`
 	L      int `json:"l"`
+	// Scheduler is the canonical time-model name (e.g. "fsync",
+	// "ssync-rr:3") and Algorithm the robot program of the group.
+	Scheduler string `json:"scheduler"`
+	Algorithm string `json:"algorithm"`
 	// Runs is the number of simulations in the group, Failures how many
 	// aborted (round limit, stuck watchdog, disconnection).
 	Runs     int `json:"runs"`
@@ -68,16 +73,58 @@ type groupKey struct {
 	workload  string
 	n         int
 	radius, l int
+	scheduler string
+	algorithm string
 }
 
-// Aggregated groups results by (workload, n, radius, L) and summarizes each
-// group's metric distributions. Groups appear in first-occurrence order of
-// the input, so job-ordered results yield deterministic reports.
+// canonicalScheduler maps equivalent scheduler specs to one group name
+// ("" and "fsync" name the same model, "ssync" is "ssync-rr:3", …). Specs
+// that do not parse group under their raw string.
+func canonicalScheduler(spec string) string {
+	s, err := sched.Parse(spec, 1)
+	if err != nil {
+		return spec
+	}
+	return s.String()
+}
+
+// schedCanonicalizer returns a memoizing canonicalScheduler for row-wise
+// use: sweeps reuse a handful of distinct specs across thousands of rows,
+// and each canonicalization otherwise parses (allocating a scheduler
+// instance) per row.
+func schedCanonicalizer() func(string) string {
+	memo := make(map[string]string)
+	return func(spec string) string {
+		c, ok := memo[spec]
+		if !ok {
+			c = canonicalScheduler(spec)
+			memo[spec] = c
+		}
+		return c
+	}
+}
+
+// canonicalAlgorithm maps the empty algorithm name to its default.
+func canonicalAlgorithm(name string) string {
+	if name == "" {
+		return "paper"
+	}
+	return name
+}
+
+// Aggregated groups results by (workload, n, radius, L, scheduler,
+// algorithm) and summarizes each group's metric distributions. Groups
+// appear in first-occurrence order of the input, so job-ordered results
+// yield deterministic reports.
 func Aggregated(results []Result) []Aggregate {
 	var order []groupKey
 	groups := make(map[groupKey][]Result)
+	canon := schedCanonicalizer()
 	for _, r := range results {
-		k := groupKey{r.Job.Workload, r.Job.N, r.Job.Params.Radius, r.Job.Params.L}
+		k := groupKey{
+			r.Job.Workload, r.Job.N, r.Job.Params.Radius, r.Job.Params.L,
+			canon(r.Job.Scheduler), canonicalAlgorithm(r.Job.Algorithm),
+		}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -86,7 +133,10 @@ func Aggregated(results []Result) []Aggregate {
 	out := make([]Aggregate, 0, len(order))
 	for _, k := range order {
 		rs := groups[k]
-		a := Aggregate{Workload: k.workload, N: k.n, Radius: k.radius, L: k.l, Runs: len(rs)}
+		a := Aggregate{
+			Workload: k.workload, N: k.n, Radius: k.radius, L: k.l,
+			Scheduler: k.scheduler, Algorithm: k.algorithm, Runs: len(rs),
+		}
 		var rounds, perN, merges, moves, runs []float64
 		var robots float64
 		for _, r := range rs {
@@ -116,7 +166,7 @@ func Aggregated(results []Result) []Aggregate {
 // the experiment harness outputs.
 func Table(aggs []Aggregate) string {
 	tab := metrics.Table{Header: []string{
-		"workload", "n", "R", "L", "runs", "fail",
+		"workload", "n", "R", "L", "sched", "alg", "runs", "fail",
 		"rounds(mean)", "rounds(p50)", "rounds(p90)", "rounds/n", "merges", "moves",
 	}}
 	for _, a := range aggs {
@@ -125,6 +175,8 @@ func Table(aggs []Aggregate) string {
 			fmt.Sprint(a.N),
 			fmt.Sprint(a.Radius),
 			fmt.Sprint(a.L),
+			a.Scheduler,
+			a.Algorithm,
 			fmt.Sprint(a.Runs),
 			fmt.Sprint(a.Failures),
 			fmt.Sprintf("%.1f", a.Rounds.Mean),

@@ -55,6 +55,30 @@ func ExampleWriteAggregatesCSV() {
 	// CSV is stable.
 	_ = sweep.WriteAggregatesCSV(os.Stdout, aggs[:1])
 	// Output:
-	// workload,n,radius,l,runs,failures,robots,rounds_mean,rounds_min,rounds_max,rounds_p50,rounds_p90,rounds_p99,rounds_per_n_mean,merges_mean,moves_mean,runs_started_mean
-	// line,20,20,22,1,0,20.0,9.00,9,9,9.0,9.0,9.0,0.4500,18.00,18.00,0.00
+	// workload,n,radius,l,scheduler,algorithm,runs,failures,robots,rounds_mean,rounds_min,rounds_max,rounds_p50,rounds_p90,rounds_p99,rounds_per_n_mean,merges_mean,moves_mean,runs_started_mean
+	// line,20,20,22,fsync,paper,1,0,20.0,9.00,9,9,9.0,9.0,9.0,0.4500,18.00,18.00,0.00
+}
+
+// The scheduler axis sweeps the time model: the same instance under FSYNC
+// and under a relaxed SSYNC round-robin schedule, with the scheduler-robust
+// greedy algorithm (the paper's algorithm is only safe under FSYNC).
+func ExampleSpec_schedulers() {
+	spec := sweep.Spec{
+		Workloads:  []string{"line"},
+		Sizes:      []int{20},
+		Schedulers: []string{"fsync", "ssync-rr:3"},
+		Algorithms: []string{"greedy"},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		panic(err)
+	}
+	results := sweep.Runner{}.Run(jobs)
+	for _, a := range sweep.Aggregated(results) {
+		fmt.Printf("%s under %s: gathered %d/%d\n",
+			a.Algorithm, a.Scheduler, a.Runs-a.Failures, a.Runs)
+	}
+	// Output:
+	// greedy under fsync: gathered 1/1
+	// greedy under ssync-rr:3: gathered 1/1
 }

@@ -32,12 +32,14 @@ func WriteJSON(w io.Writer, v any) error {
 func WriteResultsCSV(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"workload", "n", "seed", "radius", "l", "robots", "final_robots",
+		"workload", "n", "seed", "radius", "l", "scheduler", "algorithm",
+		"robots", "final_robots",
 		"gathered", "rounds", "rounds_per_n", "merges", "moves",
 		"runs_started", "err", "duration_ms",
 	}); err != nil {
 		return err
 	}
+	canon := schedCanonicalizer()
 	for _, r := range results {
 		rec := []string{
 			r.Job.Workload,
@@ -45,6 +47,8 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 			fmt.Sprint(r.Job.Seed),
 			fmt.Sprint(r.Job.Params.Radius),
 			fmt.Sprint(r.Job.Params.L),
+			canon(r.Job.Scheduler),
+			canonicalAlgorithm(r.Job.Algorithm),
 			fmt.Sprint(r.Robots),
 			fmt.Sprint(r.FinalRobots),
 			fmt.Sprint(r.Gathered),
@@ -69,7 +73,8 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"workload", "n", "radius", "l", "runs", "failures", "robots",
+		"workload", "n", "radius", "l", "scheduler", "algorithm",
+		"runs", "failures", "robots",
 		"rounds_mean", "rounds_min", "rounds_max", "rounds_p50", "rounds_p90", "rounds_p99",
 		"rounds_per_n_mean", "merges_mean", "moves_mean", "runs_started_mean",
 	}); err != nil {
@@ -81,6 +86,8 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			fmt.Sprint(a.N),
 			fmt.Sprint(a.Radius),
 			fmt.Sprint(a.L),
+			a.Scheduler,
+			a.Algorithm,
 			fmt.Sprint(a.Runs),
 			fmt.Sprint(a.Failures),
 			fmt.Sprintf("%.1f", a.Robots),

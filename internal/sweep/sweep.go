@@ -1,9 +1,17 @@
 // Package sweep is the concurrent experiment-sweep subsystem: it expands a
-// grid of (workload family × swarm size × parameter set × seed) into
-// simulation jobs, fans the jobs out across goroutines, and aggregates the
-// per-run metrics (rounds, rounds/n, merges, moves, with mean/min/max and
-// percentiles) into machine-readable (JSON, CSV) or human-readable (table)
-// reports.
+// grid of (workload family × swarm size × parameter set × scheduler ×
+// algorithm × seed) into simulation jobs, fans the jobs out across
+// goroutines, and aggregates the per-run metrics (rounds, rounds/n, merges,
+// moves, with mean/min/max and percentiles) into machine-readable (JSON,
+// CSV) or human-readable (table) reports.
+//
+// The scheduler axis (internal/sched) sweeps the time model: FSYNC is the
+// paper's setting; SSYNC and ASYNC specs measure how the algorithms behave
+// under relaxed synchrony. The algorithm axis pairs with it: "paper" is the
+// reproduction (proved for FSYNC only — under relaxed schedulers its merge
+// operations can disconnect the swarm, which the sweep records as
+// failures), "greedy" is the scheduler-robust strategy of
+// internal/baseline/asyncseq that stays safe under every scheduler.
 //
 // Two levels of parallelism compose: Runner.Concurrency controls how many
 // simulations run at once, and Job.EngineWorkers controls the worker pool
@@ -23,6 +31,8 @@ import (
 	"gridgather/internal/core"
 	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
+	"gridgather/internal/scenario"
+	"gridgather/internal/sched"
 	"gridgather/internal/swarm"
 )
 
@@ -37,11 +47,18 @@ type Job struct {
 	Seed int64 `json:"seed"`
 	// Params are the algorithm constants for this run.
 	Params core.Params `json:"params"`
+	// Scheduler is the time-model spec (sched.Parse grammar); empty means
+	// "fsync". Randomized schedulers are seeded from Seed.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Algorithm names the robot program: "paper" (default, empty) or
+	// "greedy" (the scheduler-robust strategy; ignores Params).
+	Algorithm string `json:"algorithm,omitempty"`
 	// MaxRounds aborts the run after this many rounds; 0 means the
-	// standard budget 80·n + 1000.
+	// canonical budget (fsync.DefaultBudget scaled by the scheduler's
+	// fairness bound); negative values are rejected.
 	MaxRounds int `json:"max_rounds,omitempty"`
-	// NoMergeLimit is the stuck-watchdog window; 0 means the standard
-	// 40·n + 500, negative disables the watchdog.
+	// NoMergeLimit is the stuck-watchdog window; 0 means the canonical
+	// budget (scaled like MaxRounds), negative disables the watchdog.
 	NoMergeLimit int `json:"no_merge_limit,omitempty"`
 	// EngineWorkers is the FSYNC engine's compute worker count for this
 	// run (fsync.Config.Workers); 0 here means 1, keeping job-level
@@ -90,24 +107,23 @@ func RunOne(job Job) Result {
 		out.Err = err.Error()
 		return out
 	}
+	if job.MaxRounds < 0 {
+		out.Err = fmt.Sprintf("sweep: negative MaxRounds %d (0 selects the default budget)", job.MaxRounds)
+		return out
+	}
 	s := builder(job.N, job.Seed)
-	n := s.Len()
-	maxRounds := job.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 80*n + 1000
+	sc, err := scenario.Resolve(job.Algorithm, job.Scheduler, job.Seed, job.Params, s.Len())
+	if err != nil {
+		out.Err = err.Error()
+		return out
 	}
-	noMerge := job.NoMergeLimit
-	switch {
-	case noMerge == 0:
-		noMerge = 40*n + 500
-	case noMerge < 0:
-		noMerge = 0
-	}
+	budget := sc.Budget.WithOverrides(job.MaxRounds, job.NoMergeLimit)
 	start := time.Now()
-	eng := fsync.New(s, core.NewGatherer(job.Params), fsync.Config{
-		MaxRounds:    maxRounds,
-		NoMergeLimit: noMerge,
+	eng := fsync.New(s, sc.Algorithm, fsync.Config{
+		MaxRounds:    budget.MaxRounds,
+		NoMergeLimit: budget.NoMergeLimit,
 		Workers:      max(job.EngineWorkers, 1),
+		Scheduler:    sc.Scheduler,
 	})
 	res := eng.Run()
 	out.Duration = time.Since(start)
@@ -126,6 +142,9 @@ func RunOne(job Job) Result {
 	}
 	return out
 }
+
+// Algorithms lists the robot programs available to sweeps.
+func Algorithms() []string { return scenario.Algorithms() }
 
 // builderFor resolves a workload family name to its seeded builder.
 func builderFor(name string) (func(n int, seed int64) *swarm.Swarm, error) {
@@ -215,8 +234,9 @@ func (r Runner) Run(jobs []Job) []Result {
 }
 
 // Spec declares a sweep grid. Jobs expands it into the cross product of
-// workloads × sizes × parameter sets × seeds, skipping redundant seeds for
-// deterministic families.
+// workloads × sizes × parameter sets × schedulers × algorithms × seeds,
+// skipping redundant seeds when neither the workload builder nor the
+// scheduler depends on them.
 type Spec struct {
 	// Workloads are family names from gen.SeededCatalog; empty means all.
 	Workloads []string
@@ -228,12 +248,19 @@ type Spec struct {
 	// Params are the algorithm parameter sets; empty means
 	// {core.Defaults()}.
 	Params []core.Params
+	// Schedulers are time-model specs (sched.Parse grammar); empty means
+	// {"fsync"}.
+	Schedulers []string
+	// Algorithms are robot program names (see Algorithms); empty means
+	// {"paper"}.
+	Algorithms []string
 	// EngineWorkers is copied to every job (see Job.EngineWorkers).
 	EngineWorkers int
 }
 
 // Jobs expands the spec into concrete jobs in deterministic order
-// (workload-major, then size, then params, then seed).
+// (workload-major, then size, then params, then scheduler, then algorithm,
+// then seed).
 func (s Spec) Jobs() ([]Job, error) {
 	if len(s.Sizes) == 0 {
 		return nil, fmt.Errorf("sweep: spec has no sizes")
@@ -252,15 +279,34 @@ func (s Spec) Jobs() ([]Job, error) {
 	if len(params) == 0 {
 		params = []core.Params{core.Defaults()}
 	}
+	schedulers := s.Schedulers
+	if len(schedulers) == 0 {
+		schedulers = []string{"fsync"}
+	}
+	algorithms := s.Algorithms
+	if len(algorithms) == 0 {
+		algorithms = []string{"paper"}
+	}
+	for _, a := range algorithms {
+		if err := scenario.CheckAlgorithm(a); err != nil {
+			return nil, err
+		}
+	}
+	// Validate scheduler specs once, up front — a bad spec must fail the
+	// expansion, not surface as per-job errors mid-sweep.
+	schedRandom := make(map[string]bool, len(schedulers))
+	for _, spec := range schedulers {
+		r, err := sched.Randomized(spec)
+		if err != nil {
+			return nil, err
+		}
+		schedRandom[spec] = r
+	}
 	var jobs []Job
 	for _, name := range families {
 		random, err := isRandom(name)
 		if err != nil {
 			return nil, err
-		}
-		jobSeeds := seeds
-		if !random {
-			jobSeeds = seeds[:1]
 		}
 		for _, n := range s.Sizes {
 			if n < 1 {
@@ -270,14 +316,26 @@ func (s Spec) Jobs() ([]Job, error) {
 				if err := p.Validate(); err != nil {
 					return nil, fmt.Errorf("sweep: %w", err)
 				}
-				for _, seed := range jobSeeds {
-					jobs = append(jobs, Job{
-						Workload:      name,
-						N:             n,
-						Seed:          seed,
-						Params:        p,
-						EngineWorkers: s.EngineWorkers,
-					})
+				for _, scheduler := range schedulers {
+					// Skip redundant seeds only when neither the workload
+					// builder nor the scheduler depends on the seed.
+					jobSeeds := seeds
+					if !random && !schedRandom[scheduler] {
+						jobSeeds = seeds[:1]
+					}
+					for _, algorithm := range algorithms {
+						for _, seed := range jobSeeds {
+							jobs = append(jobs, Job{
+								Workload:      name,
+								N:             n,
+								Seed:          seed,
+								Params:        p,
+								Scheduler:     scheduler,
+								Algorithm:     algorithm,
+								EngineWorkers: s.EngineWorkers,
+							})
+						}
+					}
 				}
 			}
 		}

@@ -35,6 +35,37 @@ func TestSpecJobsExpansion(t *testing.T) {
 	}
 }
 
+func TestSpecJobsSchedulerDimension(t *testing.T) {
+	spec := Spec{
+		Workloads:  []string{"line"},
+		Sizes:      []int{40},
+		Seeds:      []int64{1, 2, 3},
+		Schedulers: []string{"fsync", "ssync-rr:3", "ssync-rand:3"},
+		Algorithms: []string{"paper", "greedy"},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// line is deterministic, so seeds collapse to 1 — except under the
+	// seed-sensitive ssync-rand scheduler, which keeps all 3:
+	// (fsync: 1 + ssync-rr: 1 + ssync-rand: 3) × 2 algorithms = 10.
+	if len(jobs) != 10 {
+		t.Fatalf("expected 10 jobs, got %d", len(jobs))
+	}
+	randSeeds := map[int64]bool{}
+	for _, j := range jobs {
+		if j.Scheduler == "ssync-rand:3" {
+			randSeeds[j.Seed] = true
+		} else if j.Seed != 1 {
+			t.Errorf("deterministic job expanded redundant seed: %+v", j)
+		}
+	}
+	if len(randSeeds) != 3 {
+		t.Errorf("randomized scheduler kept %d seeds, want 3", len(randSeeds))
+	}
+}
+
 func TestSpecJobsErrors(t *testing.T) {
 	if _, err := (Spec{}).Jobs(); err == nil {
 		t.Error("expected error for empty sizes")
@@ -49,6 +80,12 @@ func TestSpecJobsErrors(t *testing.T) {
 	bad.Radius = 1
 	if _, err := (Spec{Sizes: []int{10}, Params: []core.Params{bad}}).Jobs(); err == nil {
 		t.Error("expected error for invalid params")
+	}
+	if _, err := (Spec{Sizes: []int{10}, Schedulers: []string{"warp"}}).Jobs(); err == nil {
+		t.Error("expected error for unknown scheduler")
+	}
+	if _, err := (Spec{Sizes: []int{10}, Algorithms: []string{"magic"}}).Jobs(); err == nil {
+		t.Error("expected error for unknown algorithm")
 	}
 }
 
@@ -74,6 +111,36 @@ func TestRunOneUnknownWorkload(t *testing.T) {
 	res := RunOne(Job{Workload: "nope", N: 10, Params: core.Defaults()})
 	if res.Err == "" {
 		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestRunOneSchedulerAxis(t *testing.T) {
+	// The greedy algorithm gathers under a relaxed scheduler…
+	res := RunOne(Job{Workload: "line", N: 30, Params: core.Defaults(),
+		Scheduler: "ssync-rr:3", Algorithm: "greedy"})
+	if res.Err != "" || !res.Gathered {
+		t.Fatalf("greedy under ssync-rr:3 failed: %+v", res)
+	}
+	// …and takes more rounds than under FSYNC, reflecting the 1/3
+	// activation fraction.
+	ref := RunOne(Job{Workload: "line", N: 30, Params: core.Defaults(), Algorithm: "greedy"})
+	if ref.Err != "" || !ref.Gathered {
+		t.Fatalf("greedy under fsync failed: %+v", ref)
+	}
+	if res.Rounds <= ref.Rounds {
+		t.Errorf("relaxed schedule not slower: ssync %d rounds vs fsync %d", res.Rounds, ref.Rounds)
+	}
+}
+
+func TestRunOneBadInputs(t *testing.T) {
+	if res := RunOne(Job{Workload: "line", N: 10, Params: core.Defaults(), Scheduler: "nope"}); res.Err == "" {
+		t.Error("expected error for unknown scheduler")
+	}
+	if res := RunOne(Job{Workload: "line", N: 10, Params: core.Defaults(), Algorithm: "nope"}); res.Err == "" {
+		t.Error("expected error for unknown algorithm")
+	}
+	if res := RunOne(Job{Workload: "line", N: 10, Params: core.Defaults(), MaxRounds: -1}); res.Err == "" {
+		t.Error("expected error for negative MaxRounds")
 	}
 }
 
