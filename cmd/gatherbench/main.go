@@ -1,17 +1,32 @@
 // Command gatherbench regenerates the experiment tables of the
 // reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
-// recorded outputs).
+// recorded outputs) and measures the engine's per-round performance.
 //
 // Usage:
 //
-//	gatherbench            # run the full suite
-//	gatherbench -exp e2    # run one experiment
-//	gatherbench -jobs 4    # cap concurrent simulations at 4
+//	gatherbench                         # run the full experiment suite
+//	gatherbench -exp e2                 # run one experiment
+//	gatherbench -jobs 4                 # cap concurrent simulations at 4
+//	gatherbench -bench-json BENCH_engine.json
+//	                                    # measure Engine.Step per workload
+//	                                    # and backend, write bench JSON
+//	gatherbench -bench-json out.json -bench-n 512 -bench-rounds 60 \
+//	            -bench-gather=false -bench-guard
+//	                                    # CI smoke: quick measurement plus
+//	                                    # the dense-vs-map regression guard
 //
 // Experiments that batch many independent simulations (E1, E18, E21) fan
 // them out through the sweep runner (internal/sweep); -jobs bounds that
 // concurrency (0 = all CPUs). For parameterized grids beyond the recorded
 // experiment suite, use cmd/gathersweep.
+//
+// -bench-json runs the internal/perf harness over the acceptance
+// workloads (hollow, solid, line, blob) on both world backends, prints
+// the table, and writes the JSON to the given path. The committed
+// BENCH_engine.json at the repo root is the performance baseline —
+// regenerate it with the default flags on a quiet machine. -bench-guard
+// exits non-zero if the dense backend measured slower than the map
+// oracle on any workload.
 package main
 
 import (
@@ -20,15 +35,49 @@ import (
 	"os"
 
 	"gridgather/internal/exp"
+	"gridgather/internal/perf"
 )
 
 func main() {
 	which := flag.String("exp", "all", "experiment to run: all, e1, e1b, e2, e3, e15, e18, e20, e21")
 	jobs := flag.Int("jobs", 0, "concurrent simulations for batched experiments (0 = all CPUs)")
+	benchJSON := flag.String("bench-json", "", "measure Engine.Step per workload/backend and write bench JSON to this path (skips the experiments)")
+	benchN := flag.Int("bench-n", 2048, "approximate robot count for -bench-json workloads")
+	benchRounds := flag.Int("bench-rounds", 150, "measured rounds per -bench-json cell")
+	benchGather := flag.Bool("bench-gather", true, "also record full-simulation gather rounds per workload in -bench-json")
+	benchGuard := flag.Bool("bench-guard", false, "exit non-zero if the dense backend is slower than the map oracle")
 	flag.Parse()
 	exp.Concurrency = *jobs
 
 	w := os.Stdout
+	if *benchJSON != "" {
+		rep, err := perf.Run(perf.Config{
+			N:             *benchN,
+			MeasureRounds: *benchRounds,
+			Gather:        *benchGather,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := perf.WriteTable(w, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := perf.WriteJSON(rep, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", *benchJSON)
+		if *benchGuard {
+			if err := perf.Guard(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, "regression guard: dense ≤ map on every workload")
+		}
+		return
+	}
 	switch *which {
 	case "all":
 		exp.All(w)

@@ -200,7 +200,7 @@ func Gather(cells []Point, opt Options) Result {
 		hook = func(e *fsync.Engine) {
 			opt.OnRound(RoundInfo{
 				Round:   e.Round(),
-				Robots:  toPoints(e.Swarm().Cells()),
+				Robots:  toPoints(e.World().Cells()),
 				Runners: toPoints(e.Runners()),
 				Merges:  e.Merges(),
 			})

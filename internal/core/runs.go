@@ -92,7 +92,7 @@ func (g *Gatherer) runnerAction(v *view.View) fsync.Action {
 				g.stats.stopOntoOcc.Add(1)
 				continue
 			}
-			act.Transfers = append(act.Transfers, fsync.Transfer{To: run.Dir, Run: run})
+			act.AddTransfer(run.Dir, run)
 			continue
 		}
 
@@ -129,5 +129,5 @@ func (g *Gatherer) glide(v *view.View, run robot.Run, act *fsync.Action) {
 		return
 	}
 	g.stats.glides.Add(1)
-	act.Transfers = append(act.Transfers, fsync.Transfer{To: next, Run: run})
+	act.AddTransfer(next, run)
 }

@@ -131,7 +131,7 @@ func (g *Gatherer) emitStart(v *view.View, matches []startMatch) fsync.Action {
 	}
 	for _, m := range matches {
 		run := robot.Run{Dir: m.dir, Inside: m.inside, Phase: robot.PhaseRoll}
-		act.Transfers = append(act.Transfers, fsync.Transfer{To: m.dir, Run: run})
+		act.AddTransfer(m.dir, run)
 	}
 	return act
 }

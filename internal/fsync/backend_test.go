@@ -1,0 +1,171 @@
+// Differential tests for the world backends: the dense tiled-bitset
+// backend must be bit-identical to the map oracle round by round —
+// positions, run states (including IDs), logical clocks, slot assignment
+// and merge/run counters — across the seeded workload corpus, every
+// scheduler family, and several worker counts. This is the acceptance bar
+// for replacing the hash maps on the engine's hot path: any divergence in
+// the incremental cell order, the in-place flat state updates, or the
+// bitset arrival accounting shows up here on the first broken round.
+package fsync_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gridgather/internal/baseline/asyncseq"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/sched"
+	"gridgather/internal/swarm"
+	"gridgather/internal/world"
+)
+
+// stateEast is a planted eastbound run state for the mid-run scenario.
+func stateEast() robot.State {
+	return robot.State{Runs: []robot.Run{{Dir: grid.East, Inside: grid.North}}}
+}
+
+// backendEngines builds one map-oracle and one dense engine over the same
+// swarm, scheduler spec and worker count. The paper's algorithm drives the
+// FSYNC runs; the scheduler-robust greedy strategy drives the relaxed
+// ones (the paper's algorithm is FSYNC-only, see
+// TestPaperAlgorithmRequiresFSYNC).
+func backendEngines(t *testing.T, s *swarm.Swarm, spec string, workers int) (oracle, dense *fsync.Engine, maxRounds int) {
+	t.Helper()
+	build := func(kind world.Kind) *fsync.Engine {
+		var alg fsync.Algorithm = core.Default()
+		var sch sched.Scheduler
+		if spec != "fsync" {
+			alg = asyncseq.Algorithm{}
+			var err error
+			if sch, err = sched.Parse(spec, 42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		budget := fsync.DefaultBudget(s.Len())
+		if sch != nil {
+			budget = budget.Scale(sch.Fairness(s.Len()))
+		}
+		maxRounds = budget.MaxRounds
+		return fsync.New(s, alg, fsync.Config{
+			MaxRounds:         budget.MaxRounds,
+			NoMergeLimit:      budget.NoMergeLimit,
+			CheckConnectivity: true,
+			StrictViews:       true,
+			Workers:           workers,
+			Scheduler:         sch,
+			Backend:           kind,
+		})
+	}
+	return build(world.MapKind), build(world.DenseKind), maxRounds
+}
+
+// compareBackends fails on the first round-state divergence between the
+// oracle and the dense engine.
+func compareBackends(t *testing.T, oracle, dense *fsync.Engine) {
+	t.Helper()
+	oc, dc := oracle.World().Cells(), dense.World().Cells()
+	if len(oc) != len(dc) {
+		t.Fatalf("round %d: population diverged: %d vs %d", oracle.Round(), len(oc), len(dc))
+	}
+	os, ds := oracle.World().Slots(), dense.World().Slots()
+	for i := range oc {
+		if oc[i] != dc[i] {
+			t.Fatalf("round %d: cell order diverged at %d: %v vs %v", oracle.Round(), i, oc[i], dc[i])
+		}
+		if os[i] != ds[i] {
+			t.Fatalf("round %d: slot at %v diverged: %d vs %d", oracle.Round(), oc[i], os[i], ds[i])
+		}
+		sa, sb := oracle.StateAt(oc[i]), dense.StateAt(oc[i])
+		if len(sa.Runs) != len(sb.Runs) {
+			t.Fatalf("round %d: run count at %v diverged: %d vs %d",
+				oracle.Round(), oc[i], len(sa.Runs), len(sb.Runs))
+		}
+		for j := range sa.Runs {
+			if sa.Runs[j] != sb.Runs[j] {
+				t.Fatalf("round %d: run state at %v diverged: %v vs %v",
+					oracle.Round(), oc[i], sa.Runs[j], sb.Runs[j])
+			}
+		}
+		if la, lb := oracle.LocalRound(oc[i]), dense.LocalRound(oc[i]); la != lb {
+			t.Fatalf("round %d: logical clock at %v diverged: %d vs %d", oracle.Round(), oc[i], la, lb)
+		}
+	}
+	if oracle.Merges() != dense.Merges() || oracle.RunsStarted() != dense.RunsStarted() ||
+		oracle.RoundMerges() != dense.RoundMerges() {
+		t.Fatalf("round %d: counters diverged: merges %d/%d runs %d/%d roundMerges %d/%d",
+			oracle.Round(), oracle.Merges(), dense.Merges(),
+			oracle.RunsStarted(), dense.RunsStarted(), oracle.RoundMerges(), dense.RoundMerges())
+	}
+	if og, dg := oracle.Gathered(), dense.Gathered(); og != dg {
+		t.Fatalf("round %d: Gathered diverged: %v vs %v", oracle.Round(), og, dg)
+	}
+}
+
+// TestBackendDifferential is the tentpole's determinism proof: for every
+// seeded-catalog workload × scheduler family × worker count, the dense
+// backend reproduces the map oracle bit-identically on every round until
+// both gather.
+func TestBackendDifferential(t *testing.T) {
+	const n = 56
+	specs := []string{"fsync", "ssync-rr:3", "ssync-rand:3", "ssync-lazy:5", "async:8"}
+	for _, w := range gen.SeededCatalog() {
+		for _, spec := range specs {
+			for _, workers := range []int{1, 3, 8} {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name, spec, workers), func(t *testing.T) {
+					s := w.Build(n, 42)
+					oracle, dense, maxRounds := backendEngines(t, s, spec, workers)
+					compareBackends(t, oracle, dense)
+					for r := 0; r < maxRounds && !oracle.Gathered(); r++ {
+						if err := oracle.Step(); err != nil {
+							t.Fatalf("oracle step %d: %v", r, err)
+						}
+						if err := dense.Step(); err != nil {
+							t.Fatalf("dense step %d: %v", r, err)
+						}
+						compareBackends(t, oracle, dense)
+					}
+					if !oracle.Gathered() || !dense.Gathered() {
+						t.Fatalf("round budget exhausted: oracle gathered=%v dense gathered=%v",
+							oracle.Gathered(), dense.Gathered())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBackendDifferentialMidRunState seeds planted mid-run scenarios
+// (SetState + SetRound scaffolding) and checks the two backends still
+// agree — covering the test-scaffolding write paths the corpus runs don't
+// reach.
+func TestBackendDifferentialMidRunState(t *testing.T) {
+	build := func(kind world.Kind) *fsync.Engine {
+		s := gen.Hollow(12, 12)
+		eng := fsync.New(s, core.Default(), fsync.Config{
+			MaxRounds:   2000,
+			StrictViews: true,
+			Backend:     kind,
+		})
+		eng.SetRound(3) // off the run-start schedule
+		for i, p := range eng.World().Cells() {
+			if i%7 == 0 {
+				eng.SetState(p, stateEast())
+			}
+		}
+		return eng
+	}
+	oracle, dense := build(world.MapKind), build(world.DenseKind)
+	for r := 0; r < 300 && !oracle.Gathered(); r++ {
+		if err := oracle.Step(); err != nil {
+			t.Fatalf("oracle step %d: %v", r, err)
+		}
+		if err := dense.Step(); err != nil {
+			t.Fatalf("dense step %d: %v", r, err)
+		}
+		compareBackends(t, oracle, dense)
+	}
+}

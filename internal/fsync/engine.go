@@ -7,6 +7,13 @@
 // same location they are merged to be only one robot"), delivers run-state
 // transfers, and checks model invariants.
 //
+// The global state lives in a world.Backend: by default the dense tiled
+// bitset backend (O(1) occupancy reads, flat slot-indexed run states and
+// logical clocks, an incrementally maintained sorted cell order), with the
+// original map representation available as world.MapKind for
+// differential testing — the determinism tests prove both backends
+// bit-identical round by round.
+//
 // A Config.Scheduler (internal/sched) relaxes the synchrony: each round
 // only the scheduler's activation subset runs a look-compute-move cycle
 // (SSYNC subsets, ASYNC wavefronts) while the remaining robots sleep in
@@ -30,6 +37,7 @@ import (
 	"gridgather/internal/sched"
 	"gridgather/internal/swarm"
 	"gridgather/internal/view"
+	"gridgather/internal/world"
 )
 
 // Algorithm is a distributed robot program: a pure function from a local
@@ -84,6 +92,11 @@ type Config struct {
 	// merged onto. Budgets (MaxRounds, NoMergeLimit) should be scaled by
 	// the scheduler's fairness bound; see DefaultBudget.Scale.
 	Scheduler sched.Scheduler
+	// Backend selects the world representation: world.DenseKind (the
+	// tiled bitset backend, default) or world.MapKind (the original map
+	// representation, kept as the differential-testing oracle). Both are
+	// bit-identical round by round; the map oracle is the slow reference.
+	Backend world.Kind
 }
 
 // Result summarizes a simulation.
@@ -109,8 +122,8 @@ type Result struct {
 type Engine struct {
 	cfg   Config
 	alg   Algorithm
-	s     *swarm.Swarm
-	state map[grid.Point]robot.State
+	w     world.Backend
+	dense *world.Dense // non-nil when w is the dense backend (view fast path)
 
 	round      int
 	merges     int
@@ -120,29 +133,16 @@ type Engine struct {
 	lastMerge  int
 	roundMerge int // merges in the most recent round
 
-	// Per-robot logical clocks, maintained only when a Scheduler is set:
-	// clock[p] is the number of look-compute-move cycles the robot at p has
-	// completed, fed to its view as the round number. Under FSYNC (nil
-	// scheduler) the global round counter serves instead, identically.
-	// clockScratch double-buffers with clock like the state maps do.
-	clock        map[grid.Point]int
-	clockScratch map[grid.Point]int
-
 	// Scratch structures reused across rounds. Each Step fills them from
-	// scratch, so the only requirement is that they are empty at the start
-	// of the phase that uses them. stateScratch additionally double-buffers
-	// with the live state map: the map that held the pre-round state becomes
-	// the scratch for the next round once the post-round state is swapped
-	// in. Nothing outside Step may retain references to them.
+	// scratch; nothing outside Step may retain references to them.
 	order        []grid.Point // this round's activation set
-	all          []grid.Point // full population (scheduled rounds only)
 	sleep        []grid.Point // robots outside the activation set
-	mask         []bool       // scheduler activation mask over e.all
+	mask         []bool       // scheduler activation mask over the cell order
 	acts         []actionAt
-	occScratch   map[grid.Point]int
-	stateScratch map[grid.Point]robot.State
-	transferSink map[grid.Point][]robot.Run
 	transferList []pendingTransfer
+	freshKeeps   []grid.Point
+	deliver      deliverSlice
+	runScratch   [robot.MaxRuns + 2]robot.Run
 	computeErrs  []error
 }
 
@@ -160,6 +160,29 @@ type pendingTransfer struct {
 	senderDst grid.Point // the sender's post-move cell; its occupancy decides the sender's fate
 	to        grid.Point // the recipient cell (pre-round coordinates)
 	run       robot.Run
+}
+
+// deliveredRun is a surviving, adopted hand-off awaiting delivery.
+type deliveredRun struct {
+	to  grid.Point
+	run robot.Run
+}
+
+// deliverSlice sorts surviving hand-offs by recipient cell, then run ID —
+// grouping per-recipient deliveries in deterministic ID order. Pointer
+// receivers keep the sort.Sort call allocation-free.
+type deliverSlice []deliveredRun
+
+func (d *deliverSlice) Len() int { return len(*d) }
+
+func (d *deliverSlice) Swap(i, j int) { s := *d; s[i], s[j] = s[j], s[i] }
+
+func (d *deliverSlice) Less(i, j int) bool {
+	s := *d
+	if s[i].to != s[j].to {
+		return s[i].to.Less(s[j].to)
+	}
+	return s[i].run.ID < s[j].run.ID
 }
 
 // ErrDisconnected is returned when a round broke swarm connectivity.
@@ -183,8 +206,8 @@ func (e ErrRoundLimit) Error() string {
 	return fmt.Sprintf("fsync: round limit %d reached before gathering", e.Rounds)
 }
 
-// New creates an engine simulating the given swarm (which it clones) under
-// the given algorithm.
+// New creates an engine simulating the given swarm (which it does not
+// retain) under the given algorithm.
 func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = 1
@@ -193,20 +216,12 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 		cfg.MaxRounds = 0 // reserved: negative means the same as "no limit"
 	}
 	e := &Engine{
-		cfg:          cfg,
-		alg:          alg,
-		s:            s.Clone(),
-		state:        make(map[grid.Point]robot.State),
-		nextRunID:    1,
-		occScratch:   make(map[grid.Point]int, s.Len()),
-		stateScratch: make(map[grid.Point]robot.State),
-		transferSink: make(map[grid.Point][]robot.Run),
+		cfg:       cfg,
+		alg:       alg,
+		w:         world.New(cfg.Backend, s, cfg.Scheduler != nil),
+		nextRunID: 1,
 	}
-	if cfg.Scheduler != nil {
-		// All logical clocks start at zero (missing entry = 0).
-		e.clock = make(map[grid.Point]int, s.Len())
-		e.clockScratch = make(map[grid.Point]int, s.Len())
-	}
+	e.dense, _ = e.w.(*world.Dense)
 	return e
 }
 
@@ -225,8 +240,14 @@ func (e *Engine) workers(n int) int {
 	return w
 }
 
-// Swarm exposes the current swarm (read-only by convention).
-func (e *Engine) Swarm() *swarm.Swarm { return e.s }
+// Swarm exposes the current occupancy as a swarm. With the dense backend
+// this builds a fresh snapshot, so avoid calling it per round on hot
+// paths; with the map oracle it is the live (read-only by convention)
+// swarm.
+func (e *Engine) Swarm() *swarm.Swarm { return e.w.Snapshot() }
+
+// World exposes the engine's state backend (read-only by convention).
+func (e *Engine) World() world.Backend { return e.w }
 
 // Round returns the number of completed rounds.
 func (e *Engine) Round() int { return e.round }
@@ -241,7 +262,7 @@ func (e *Engine) RoundMerges() int { return e.roundMerge }
 func (e *Engine) RunsStarted() int { return e.runsStart }
 
 // StateAt returns the state of the robot at p (zero state if free).
-func (e *Engine) StateAt(p grid.Point) robot.State { return e.state[p] }
+func (e *Engine) StateAt(p grid.Point) robot.State { return e.w.StateAt(p) }
 
 // LocalRound returns the logical clock of the robot at p: the number of
 // look-compute-move cycles it has completed. Under FSYNC (nil scheduler)
@@ -254,19 +275,18 @@ func (e *Engine) localRound(p grid.Point) int {
 	if e.cfg.Scheduler == nil {
 		return e.round
 	}
-	return e.clock[p]
+	return e.w.ClockAt(p)
 }
 
 // Runners returns the positions of all robots currently holding run states,
 // in deterministic order.
 func (e *Engine) Runners() []grid.Point {
 	var out []grid.Point
-	for p, st := range e.state {
-		if st.HasRuns() {
+	for _, p := range e.w.Cells() {
+		if e.w.StateAt(p).HasRuns() {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -278,33 +298,35 @@ func (e *Engine) SetRound(r int) { e.round = r }
 // SetState overrides the state of the robot at p (test scaffolding for
 // constructing mid-run scenarios).
 func (e *Engine) SetState(p grid.Point, st robot.State) {
-	if !e.s.Has(p) {
+	if !e.w.Has(p) {
 		panic("fsync: SetState on free cell")
 	}
-	if st.HasRuns() {
-		for i := range st.Runs {
-			if st.Runs[i].ID == 0 {
-				st.Runs[i].ID = e.nextRunID
-				e.nextRunID++
-			}
+	for i := range st.Runs {
+		if st.Runs[i].ID == 0 {
+			st.Runs[i].ID = e.nextRunID
+			e.nextRunID++
 		}
-		e.state[p] = st
-	} else {
-		delete(e.state, p)
 	}
+	e.w.SetState(p, st)
 }
 
 // Gathered reports whether the swarm fits in a 2×2 square.
-func (e *Engine) Gathered() bool { return e.s.Gathered() }
+func (e *Engine) Gathered() bool { return e.w.Gathered() }
 
-// viewConfig builds the view accessor bundle against current state.
+// viewConfig builds the view accessor bundle against current state: the
+// direct bitset fast path for the dense backend, closures otherwise.
 func (e *Engine) viewConfig() view.Config {
-	return view.Config{
+	vc := view.Config{
 		Radius:  e.alg.Radius(),
 		Checked: e.cfg.StrictViews,
-		Occ:     e.s.Has,
-		State:   func(p grid.Point) robot.State { return e.state[p] },
 	}
+	if e.dense != nil {
+		vc.Dense = e.dense
+	} else {
+		vc.Occ = e.w.Has
+		vc.State = e.w.StateAt
+	}
+	return vc
 }
 
 // computeRange runs Look+Compute for the robots e.order[lo:hi), writing
@@ -332,20 +354,23 @@ func (e *Engine) Step() error {
 
 	// Activation: under FSYNC every robot runs a full look-compute-move
 	// cycle every round; a Scheduler restricts the round to its activation
-	// subset, and the rest of the swarm sleeps in place.
+	// subset, and the rest of the swarm sleeps in place. The backend keeps
+	// the cell order sorted incrementally, so no per-round re-sort happens
+	// on either path.
+	cells := e.w.Cells()
 	e.order = e.order[:0]
 	e.sleep = e.sleep[:0]
 	if !scheduled {
-		e.order = append(e.order, e.s.Cells()...)
+		e.order = append(e.order, cells...)
 	} else {
-		e.all = append(e.all[:0], e.s.Cells()...)
-		if cap(e.mask) < len(e.all) {
-			e.mask = make([]bool, len(e.all))
+		slots := e.w.Slots()
+		if cap(e.mask) < len(cells) {
+			e.mask = make([]bool, len(cells))
 		}
-		mask := e.mask[:len(e.all)]
+		mask := e.mask[:len(cells)]
 		clear(mask)
-		e.cfg.Scheduler.Activate(e.round, e.all, mask)
-		for i, p := range e.all {
+		e.cfg.Scheduler.Activate(e.round, cells, slots, mask)
+		for i, p := range cells {
 			if mask[i] {
 				e.order = append(e.order, p)
 			} else {
@@ -392,53 +417,46 @@ func (e *Engine) Step() error {
 			}
 		}
 	}
-	acts := e.acts
 
-	// Move: apply all hops simultaneously. The scratch maps were emptied at
-	// the end of the previous Step (occ/transfers) or hold the now-dead
-	// state of two rounds ago (stateScratch/clockScratch, cleared here).
-	newOcc := e.occScratch     // arrival count
-	newState := e.stateScratch // survivor states
-	transfers := e.transferSink
-	clear(newOcc)
-	clear(newState)
-	clear(transfers)
+	// Move: apply all hops simultaneously through the backend's arrival
+	// protocol. The first arrival at a cell is the provisional survivor
+	// and keeps its runs; any later arrival is a merge — run states of
+	// merged robots stop (Table 1, condition 3/6).
+	e.w.BeginRound()
 	e.transferList = e.transferList[:0]
-	var newClock map[grid.Point]int
-	if scheduled {
-		newClock = e.clockScratch
-		clear(newClock)
-	}
-	moved := 0
-	for _, c := range acts {
+	e.freshKeeps = e.freshKeeps[:0]
+	moved, arrivals := 0, 0
+	for i := range e.acts {
+		c := &e.acts[i]
 		dst := c.from.Add(c.act.Move)
 		if dst != c.from {
 			moved++
 		}
-		newOcc[dst]++
-		if newOcc[dst] == 1 {
-			// Sole arrival so far: provisional survivor keeps its runs.
-			if len(c.act.Keep) > 0 {
-				runs := make([]robot.Run, 0, len(c.act.Keep))
-				for _, r := range c.act.Keep {
-					runs = append(runs, e.adoptRun(r))
-				}
-				newState[dst] = robot.State{Runs: runs}
-			}
-		} else {
-			// Collision: robots merge; run states of merged robots stop
-			// (Table 1, condition 3/6).
-			delete(newState, dst)
-		}
+		var cl int
 		if scheduled {
 			// The cycle completes: the robot's logical clock ticks. A
 			// merged cell keeps the largest arriving clock (deterministic
 			// regardless of arrival order).
-			if cl := e.clock[c.from] + 1; cl > newClock[dst] {
-				newClock[dst] = cl
+			cl = e.w.ClockAt(c.from) + 1
+		}
+		if e.w.Arrive(c.from, dst) == 1 {
+			keep := c.act.Keep()
+			e.w.SetArrivalState(dst, robot.State{Runs: keep})
+			for _, r := range keep {
+				if r.ID == 0 {
+					// Brand-new kept run: adoption (ID, RunsStarted) waits
+					// until the keeper's merge fate is known, like the
+					// transfer hand-offs below.
+					e.freshKeeps = append(e.freshKeeps, dst)
+					break
+				}
 			}
 		}
-		for _, tr := range c.act.Transfers {
+		if scheduled {
+			e.w.RaiseClock(dst, cl)
+		}
+		arrivals++
+		for _, tr := range c.act.Transfers() {
 			// Collected, not yet delivered: whether the hand-off succeeds
 			// depends on the sender not merging this round, which is known
 			// only after all arrivals are counted. Adoption (ID assignment,
@@ -455,69 +473,74 @@ func (e *Engine) Step() error {
 	// Sleeping robots stand still, keeping their run states (frozen, not
 	// aged) and logical clocks. They still merge if an activated robot
 	// lands on their cell.
+	e.w.BeginSleep()
 	for _, p := range e.sleep {
-		newOcc[p]++
-		if newOcc[p] == 1 {
-			if st := e.state[p]; st.HasRuns() {
-				newState[p] = st
-			}
-		} else {
-			delete(newState, p)
+		var cl int
+		if scheduled {
+			cl = e.w.ClockAt(p)
 		}
-		if cl := e.clock[p]; cl > newClock[p] {
-			newClock[p] = cl
+		e.w.Sleep(p)
+		if scheduled {
+			e.w.RaiseClock(p, cl)
 		}
+		arrivals++
 	}
 
-	// Merge accounting: every cell keeps exactly one robot.
-	removed := 0
-	next := swarm.NewSized(len(newOcc))
-	for dst, cnt := range newOcc {
-		next.Add(dst)
-		if cnt > 1 {
-			removed += cnt - 1
+	// Adopt brand-new kept runs now that every robot's fate is known: a
+	// robot that kept a fresh run but was merged onto this round never
+	// started it (Table 1, condition 3 — the merge clears its pending
+	// state), so only surviving keepers get IDs and RunsStarted credit.
+	for _, dst := range e.freshKeeps {
+		if e.w.ArrivalCount(dst) != 1 {
+			continue
 		}
+		st := e.w.ArrivalState(dst)
+		rb := e.runScratch[:0]
+		for _, r := range st.Runs {
+			rb = append(rb, e.adoptRun(r))
+		}
+		e.w.SetArrivalState(dst, robot.State{Runs: rb})
 	}
 
 	// Resolve the collected hand-offs now that every robot's fate is known:
 	// a sender that merged this round loses all its runs (Table 1,
 	// condition 3), so its hand-offs die with it. Surviving transfers are
 	// adopted in collection order, keeping run IDs deterministic.
+	e.deliver = e.deliver[:0]
 	for _, t := range e.transferList {
-		if newOcc[t.senderDst] != 1 {
+		if e.w.ArrivalCount(t.senderDst) != 1 {
 			continue
 		}
-		transfers[t.to] = append(transfers[t.to], e.adoptRun(t.run))
+		e.deliver = append(e.deliver, deliveredRun{to: t.to, run: e.adoptRun(t.run)})
 	}
 
 	// Deliver transfers to robots occupying the target cells after moves.
 	// Targets that merged this round do not accept states (the run was
 	// interrupted by the merge); targets that are empty drop the state.
-	for to, runs := range transfers {
-		if newOcc[to] != 1 {
-			continue
+	// Per-target delivery runs in ascending run-ID order.
+	sort.Sort(&e.deliver)
+	for i := 0; i < len(e.deliver); {
+		to := e.deliver[i].to
+		j := i
+		for j < len(e.deliver) && e.deliver[j].to == to {
+			j++
 		}
-		st := newState[to]
-		// Deterministic delivery order.
-		sort.Slice(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
-		for _, r := range runs {
-			if len(st.Runs) >= robot.MaxRuns {
-				break
+		if e.w.ArrivalCount(to) == 1 {
+			st := e.w.ArrivalState(to)
+			rb := append(e.runScratch[:0], st.Runs...)
+			for k := i; k < j; k++ {
+				if len(rb) >= robot.MaxRuns {
+					break
+				}
+				rb = append(rb, e.deliver[k].run)
 			}
-			st.Runs = append(st.Runs, r)
+			e.w.SetArrivalState(to, robot.State{Runs: rb})
 		}
-		if st.HasRuns() {
-			newState[to] = st
-		}
+		i = j
 	}
 
-	e.s = next
-	// Double-buffer the state (and clock) maps: the pre-round maps become
-	// next round's scratch.
-	e.state, e.stateScratch = newState, e.state
-	if scheduled {
-		e.clock, e.clockScratch = newClock, e.clock
-	}
+	e.w.Commit()
+	removed := arrivals - e.w.Len()
 	e.round++
 	e.moves += moved
 	e.merges += removed
@@ -527,7 +550,7 @@ func (e *Engine) Step() error {
 	}
 
 	if e.cfg.CheckConnectivity && e.round%e.cfg.CheckEvery == 0 {
-		if !e.s.Connected() {
+		if !e.w.Connected() {
 			return ErrDisconnected{Round: e.round}
 		}
 	}
@@ -554,7 +577,7 @@ func (e *Engine) adoptRun(r robot.Run) robot.Run {
 // Run simulates until the swarm gathers, an invariant breaks, or the round
 // limit is hit.
 func (e *Engine) Run() Result {
-	res := Result{InitialRobots: e.s.Len()}
+	res := Result{InitialRobots: e.w.Len()}
 	for !e.Gathered() {
 		if e.cfg.MaxRounds > 0 && e.round >= e.cfg.MaxRounds {
 			res.Err = ErrRoundLimit{Rounds: e.round}
@@ -570,6 +593,6 @@ func (e *Engine) Run() Result {
 	res.Merges = e.merges
 	res.Moves = e.moves
 	res.RunsStarted = e.runsStart
-	res.FinalRobots = e.s.Len()
+	res.FinalRobots = e.w.Len()
 	return res
 }

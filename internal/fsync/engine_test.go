@@ -36,6 +36,25 @@ func (s *scripted) originOf(v *view.View) grid.Point {
 	return grid.Point{}
 }
 
+// xfer builds an action that moves by move and hands off the given runs —
+// the literal-style construction that Action's inline storage replaced.
+func xfer(move grid.Point, trs ...Transfer) Action {
+	a := Action{Move: move}
+	for _, t := range trs {
+		a.AddTransfer(t.To, t.Run)
+	}
+	return a
+}
+
+// keep builds a stay action retaining the given runs.
+func keep(runs ...robot.Run) Action {
+	var a Action
+	for _, r := range runs {
+		a.AddKeep(r)
+	}
+	return a
+}
+
 func TestEngineCollisionMerges(t *testing.T) {
 	// Three robots in a row; the outer two hop onto the middle.
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
@@ -92,7 +111,7 @@ func TestEngineTransferDelivery(t *testing.T) {
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0))
 	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
 	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
-		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: run}}},
+		grid.Pt(1, 0): xfer(grid.Zero, Transfer{To: grid.East, Run: run}),
 	}}
 	eng := New(s, alg, Config{})
 	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
@@ -111,7 +130,7 @@ func TestEngineTransferToVacatedCellDies(t *testing.T) {
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(1, 1))
 	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
 	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
-		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: run}}},
+		grid.Pt(1, 0): xfer(grid.Zero, Transfer{To: grid.East, Run: run}),
 		grid.Pt(2, 0): MoveTo(grid.North), // the target robot hops away onto (1,1): merge
 	}}
 	eng := New(s, alg, Config{})
@@ -131,10 +150,10 @@ func TestEngineRunCapRespected(t *testing.T) {
 	// the cap of two runs per robot must hold.
 	mk := func(id int) robot.Run { return robot.Run{ID: id, Dir: grid.East, Inside: grid.North} }
 	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
-		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: mk(1)}}},      // from (0,0) to (1,0)
-		grid.Pt(2, 0): {Keep: []robot.Run{mk(2)}},                                // (1,0) keeps its run
-		grid.Pt(3, 0): {Transfers: []Transfer{{To: grid.West, Run: mk(3)}}},      // from (2,0) to (1,0)
-		grid.Pt(4, 0): {Transfers: []Transfer{{To: grid.SouthEast, Run: mk(4)}}}, // from (1,1)... wait SouthEast of (1,1) is (2,0)
+		grid.Pt(1, 0): xfer(grid.Zero, Transfer{To: grid.East, Run: mk(1)}),      // from (0,0) to (1,0)
+		grid.Pt(2, 0): keep(mk(2)),                                               // (1,0) keeps its run
+		grid.Pt(3, 0): xfer(grid.Zero, Transfer{To: grid.West, Run: mk(3)}),      // from (2,0) to (1,0)
+		grid.Pt(4, 0): xfer(grid.Zero, Transfer{To: grid.SouthEast, Run: mk(4)}), // from (1,1)... wait SouthEast of (1,1) is (2,0)
 	}}
 	eng := New(s, alg, Config{})
 	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{mk(1)}})
@@ -225,10 +244,10 @@ func TestEngineTransferFromMergingSenderDies(t *testing.T) {
 	// delivered NOR counted as started, since it dies in the same round.
 	fresh := robot.Run{Dir: grid.East, Inside: grid.North}
 	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
-		grid.Pt(1, 0): {Transfers: []Transfer{
-			{To: grid.East, Run: run},
-			{To: grid.East, Run: fresh},
-		}},
+		grid.Pt(1, 0): xfer(grid.Zero,
+			Transfer{To: grid.East, Run: run},
+			Transfer{To: grid.East, Run: fresh},
+		),
 		grid.Pt(2, 0): MoveTo(grid.South), // robot with run ID 2, at (0,1)
 	}}
 	eng := New(s, alg, Config{})
@@ -258,7 +277,7 @@ func TestEngineTransferFromRollingMergerDies(t *testing.T) {
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1))
 	run := robot.Run{ID: 1, Dir: grid.North, Inside: grid.East}
 	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
-		grid.Pt(1, 0): {Move: grid.East, Transfers: []Transfer{{To: grid.North, Run: run}}},
+		grid.Pt(1, 0): xfer(grid.East, Transfer{To: grid.North, Run: run}),
 	}}
 	eng := New(s, alg, Config{})
 	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{run}})
@@ -278,7 +297,7 @@ type staticSched struct {
 	active func(round int, p grid.Point) bool
 }
 
-func (s staticSched) Activate(round int, cells []grid.Point, active []bool) {
+func (s staticSched) Activate(round int, cells []grid.Point, _ []int32, active []bool) {
 	for i, p := range cells {
 		active[i] = s.active(round, p)
 	}
@@ -324,7 +343,7 @@ func TestEngineSleeperReceivesTransfer(t *testing.T) {
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0))
 	run := robot.Run{ID: 1, Dir: grid.East, Inside: grid.North}
 	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
-		grid.Pt(1, 0): {Transfers: []Transfer{{To: grid.East, Run: run}}},
+		grid.Pt(1, 0): xfer(grid.Zero, Transfer{To: grid.East, Run: run}),
 	}}
 	eng := New(s, alg, Config{Scheduler: staticSched{
 		active: func(_ int, p grid.Point) bool { return p == grid.Pt(0, 0) },
@@ -360,4 +379,58 @@ func TestSetStatePanicsOnFreeCell(t *testing.T) {
 		}
 	}()
 	eng.SetState(grid.Pt(5, 5), robot.State{Runs: []robot.Run{{Dir: grid.East, Inside: grid.North}}})
+}
+
+// TestEngineKeepFromMergedRobotNotStarted pins the keep-path analogue of
+// the transfer-death rule: a robot that keeps a brand-new run (ID 0) and
+// is merged onto in the same round never started it — no ID is consumed
+// and RunsStarted stays zero, exactly as for an undelivered hand-off.
+func TestEngineKeepFromMergedRobotNotStarted(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(0, 1))
+	fresh := robot.Run{Dir: grid.East, Inside: grid.North}
+	// Robots are addressed through planted marker runs (scripted keys on
+	// the first run ID); the keeper drops its marker and keeps only the
+	// fresh ID-0 run.
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(7, 0): keep(fresh),
+		grid.Pt(9, 0): MoveTo(grid.South), // drops onto the keeper
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{{ID: 7, Dir: grid.East, Inside: grid.North}}})
+	eng.SetState(grid.Pt(0, 1), robot.State{Runs: []robot.Run{{ID: 9, Dir: grid.East, Inside: grid.North}}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Merges() != 1 {
+		t.Fatalf("merges = %d, want 1", eng.Merges())
+	}
+	if got := eng.RunsStarted(); got != 0 {
+		t.Errorf("fresh keep of a merged robot was counted as started: RunsStarted = %d", got)
+	}
+	if st := eng.StateAt(grid.Pt(0, 0)); st.HasRuns() {
+		t.Errorf("merged cell retained the kept run: %v", st.Runs)
+	}
+}
+
+// TestEngineFreshKeepSurvivesAndAdopts is the positive counterpart: a
+// surviving keeper's fresh run is adopted — assigned a nonzero ID and
+// counted — in the same round.
+func TestEngineFreshKeepSurvivesAndAdopts(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0))
+	fresh := robot.Run{Dir: grid.East, Inside: grid.North}
+	alg := &scripted{radius: 5, actions: map[grid.Point]Action{
+		grid.Pt(7, 0): keep(fresh),
+	}}
+	eng := New(s, alg, Config{})
+	eng.SetState(grid.Pt(0, 0), robot.State{Runs: []robot.Run{{ID: 7, Dir: grid.East, Inside: grid.North}}})
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.RunsStarted(); got != 1 {
+		t.Fatalf("RunsStarted = %d, want 1", got)
+	}
+	st := eng.StateAt(grid.Pt(0, 0))
+	if len(st.Runs) != 1 || st.Runs[0].ID == 0 {
+		t.Fatalf("kept run not adopted: %v", st.Runs)
+	}
 }

@@ -1,0 +1,239 @@
+// Package perf measures the engine's per-round cost per workload and
+// world backend, and serializes the results as the repository's benchmark
+// JSON (BENCH_engine.json at the repo root is the committed baseline;
+// cmd/gatherbench -bench-json regenerates it, and CI's -bench-guard step
+// fails if the dense backend falls behind the map oracle).
+//
+// The harness times Engine.Step directly — warmed-up, fixed round counts,
+// allocation deltas from runtime.MemStats — instead of going through `go
+// test -bench`, so CLI callers control the measurement budget and the
+// emitted JSON is stable across tooling.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/swarm"
+	"gridgather/internal/world"
+)
+
+// Entry is one measured (workload, backend, workers) cell.
+type Entry struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Backend  string `json:"backend"`
+	Workers  int    `json:"workers"`
+	// NsPerRound is the mean wall-clock cost of one Engine.Step.
+	NsPerRound float64 `json:"ns_per_round"`
+	// BytesPerRound and AllocsPerRound are heap-allocation deltas per
+	// round (runtime.MemStats, so they include everything the round
+	// touches).
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	// GatherRounds is the number of rounds a full simulation of this
+	// workload takes at this n (backend-independent — the backends are
+	// proven bit-identical). 0 when the gather pass was skipped.
+	GatherRounds int `json:"gather_rounds,omitempty"`
+}
+
+// Report is the bench JSON document.
+type Report struct {
+	// Note records the measurement configuration for human readers.
+	Note    string  `json:"note,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+// Config controls a measurement run.
+type Config struct {
+	// N is the approximate robot count per workload (default 2048).
+	N int
+	// Workloads are seeded-catalog family names (default hollow, solid,
+	// line, blob — the acceptance workloads).
+	Workloads []string
+	// Backends to measure (default dense and map).
+	Backends []world.Kind
+	// Workers values to measure (default 1 — the serial round cost).
+	Workers []int
+	// WarmupRounds and MeasureRounds bound the per-cell cost (defaults
+	// 30 and 150).
+	WarmupRounds, MeasureRounds int
+	// Gather also runs one full simulation per workload to record
+	// GatherRounds (skipped in quick CI runs).
+	Gather bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 2048
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"hollow", "solid", "line", "blob"}
+	}
+	if len(c.Backends) == 0 {
+		c.Backends = []world.Kind{world.DenseKind, world.MapKind}
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1}
+	}
+	if c.WarmupRounds <= 0 {
+		c.WarmupRounds = 30
+	}
+	if c.MeasureRounds <= 0 {
+		c.MeasureRounds = 150
+	}
+	return c
+}
+
+// build returns the named seeded-catalog workload at size n.
+func build(name string, n int) (*swarm.Swarm, error) {
+	for _, w := range gen.SeededCatalog() {
+		if w.Name == name {
+			return w.Build(n, 42), nil
+		}
+	}
+	return nil, fmt.Errorf("perf: unknown workload %q", name)
+}
+
+// measure times MeasureRounds engine steps after warmup, restarting the
+// simulation if it gathers mid-measurement (it does not at bench sizes).
+func measure(s *swarm.Swarm, kind world.Kind, workers, warmup, rounds int) (Entry, error) {
+	cfg := fsync.Config{Workers: workers, Backend: kind}
+	eng := fsync.New(s, core.Default(), cfg)
+	step := func() error {
+		if eng.Gathered() {
+			eng = fsync.New(s, core.Default(), cfg)
+		}
+		return eng.Step()
+	}
+	for i := 0; i < warmup; i++ {
+		if err := step(); err != nil {
+			return Entry{}, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := step(); err != nil {
+			return Entry{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Entry{
+		N:              s.Len(),
+		Backend:        kind.String(),
+		Workers:        workers,
+		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
+		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
+	}, nil
+}
+
+// Run measures every (workload, backend, workers) cell of the config.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Note: fmt.Sprintf(
+		"engine Step cost: n≈%d, %d measured rounds after %d warmup, GOMAXPROCS=%d",
+		cfg.N, cfg.MeasureRounds, cfg.WarmupRounds, runtime.GOMAXPROCS(0))}
+	for _, name := range cfg.Workloads {
+		s, err := build(name, cfg.N)
+		if err != nil {
+			return Report{}, err
+		}
+		gatherRounds := 0
+		if cfg.Gather {
+			eng := fsync.New(s, core.Default(), fsync.Config{
+				MaxRounds: fsync.DefaultBudget(s.Len()).MaxRounds,
+			})
+			res := eng.Run()
+			if res.Err != nil || !res.Gathered {
+				return Report{}, fmt.Errorf("perf: %s gather run failed: %+v", name, res)
+			}
+			gatherRounds = res.Rounds
+		}
+		for _, kind := range cfg.Backends {
+			for _, workers := range cfg.Workers {
+				e, err := measure(s, kind, workers, cfg.WarmupRounds, cfg.MeasureRounds)
+				if err != nil {
+					return Report{}, fmt.Errorf("perf: %s/%s: %w", name, kind, err)
+				}
+				e.Workload = name
+				e.GatherRounds = gatherRounds
+				rep.Entries = append(rep.Entries, e)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func WriteJSON(rep Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteTable renders the report for terminals.
+func WriteTable(w io.Writer, rep Report) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tn\tbackend\tworkers\tms/round\tKB/round\tallocs/round\tgather rounds")
+	for _, e := range rep.Entries {
+		gather := ""
+		if e.GatherRounds > 0 {
+			gather = fmt.Sprintf("%d", e.GatherRounds)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.3f\t%.1f\t%.1f\t%s\n",
+			e.Workload, e.N, e.Backend, e.Workers,
+			e.NsPerRound/1e6, e.BytesPerRound/1024, e.AllocsPerRound, gather)
+	}
+	return tw.Flush()
+}
+
+// GuardTolerance is the noise margin of Guard: the dense backend fails
+// the bar only when it measures slower than the map oracle by more than
+// this factor. The real ratio is ~6x the other way, so the margin only
+// absorbs GC pauses and noisy CI neighbors in the short measurement
+// windows, not genuine regressions.
+const GuardTolerance = 1.25
+
+// Guard enforces the CI regression bar: for every (workload, workers)
+// pair measured on both backends, the dense backend must not be slower
+// than the map oracle (beyond GuardTolerance).
+func Guard(rep Report) error {
+	type key struct {
+		workload string
+		workers  int
+	}
+	mapNs := map[key]float64{}
+	for _, e := range rep.Entries {
+		if e.Backend == world.MapKind.String() {
+			mapNs[key{e.Workload, e.Workers}] = e.NsPerRound
+		}
+	}
+	for _, e := range rep.Entries {
+		if e.Backend != world.DenseKind.String() {
+			continue
+		}
+		ref, ok := mapNs[key{e.Workload, e.Workers}]
+		if !ok {
+			continue
+		}
+		if e.NsPerRound > ref*GuardTolerance {
+			return fmt.Errorf("perf: dense backend slower than map on %s (workers=%d): %.0fns vs %.0fns per round",
+				e.Workload, e.Workers, e.NsPerRound, ref)
+		}
+	}
+	return nil
+}

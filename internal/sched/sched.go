@@ -56,10 +56,14 @@ import (
 type Scheduler interface {
 	// Activate marks this round's activation set: active[i] corresponds to
 	// cells[i] and arrives all false. cells is the current population in
-	// deterministic sorted order (the engine's canonical cell order).
-	// Implementations must be deterministic functions of (round, cells) and
-	// their own state.
-	Activate(round int, cells []grid.Point, active []bool)
+	// deterministic sorted order (the engine's canonical cell order), and
+	// slots[i] is the stable engine slot of the robot at cells[i] — slots
+	// identify a robot across rounds (they move with it and are never
+	// reused after a merge), so per-robot bookkeeping indexes a flat
+	// slice instead of hashing cells. Implementations must be
+	// deterministic functions of (round, cells, slots) and their own
+	// state.
+	Activate(round int, cells []grid.Point, slots []int32, active []bool)
 	// Fairness returns an upper bound on the number of consecutive rounds
 	// any single robot can remain inactive when the population is n robots
 	// (1 = FSYNC). Callers scale simulation budgets by this bound.
@@ -76,7 +80,7 @@ func FSYNC() Scheduler { return fsyncSched{} }
 
 type fsyncSched struct{}
 
-func (fsyncSched) Activate(_ int, cells []grid.Point, active []bool) {
+func (fsyncSched) Activate(_ int, cells []grid.Point, _ []int32, active []bool) {
 	for i := range cells {
 		active[i] = true
 	}
@@ -110,7 +114,7 @@ func RoundRobin(k int) Scheduler {
 
 type roundRobin struct{ k int }
 
-func (s *roundRobin) Activate(round int, cells []grid.Point, active []bool) {
+func (s *roundRobin) Activate(round int, cells []grid.Point, _ []int32, active []bool) {
 	for i := range cells {
 		if i%s.k == round%s.k {
 			active[i] = true
@@ -121,52 +125,46 @@ func (s *roundRobin) Activate(round int, cells []grid.Point, active []bool) {
 func (s *roundRobin) Fairness(int) int { return s.k }
 func (s *roundRobin) String() string   { return fmt.Sprintf("ssync-rr:%d", s.k) }
 
-// deadlines tracks per-robot fairness deadlines keyed by cell. The keying is
-// sound because only activated robots move: a robot that sleeps keeps its
-// cell (so its deadline entry stays valid), and a robot observed on a new
-// cell necessarily moved there, i.e. was activated, the round before.
-// Deadlines only ever lie at most window rounds ahead, so the fairness bound
-// survives cell reuse after merges.
+// deadlines tracks per-robot fairness deadlines in a flat slice indexed by
+// the engine's stable robot slot — the round loop no longer hashes cells.
+// Slots move with their robot and are never reused after a merge, so a
+// robot keeps one deadline entry for its whole life; entries of merged
+// robots simply go stale and are never consulted again. A robot's first
+// deadline is a seeded spatial hash of its cell (staggering neighbors),
+// after which activation pushes the deadline a full window ahead.
+// Deadlines only ever lie at most window rounds ahead of the current
+// round, so the fairness bound holds for every robot at all times.
 type deadlines struct {
 	window int
 	seed   int64
-	cur    map[grid.Point]int
-	next   map[grid.Point]int
+	dl     []int // slot → deadline+1; 0 = not yet seen
 }
 
 func newDeadlines(window int, seed int64) deadlines {
-	return deadlines{
-		window: window,
-		seed:   seed,
-		cur:    make(map[grid.Point]int),
-		next:   make(map[grid.Point]int),
-	}
+	return deadlines{window: window, seed: seed}
 }
 
-// deadline returns the round by which the robot at p must activate,
-// assigning a hashed initial phase the first time a cell is seen.
-func (d *deadlines) deadline(round int, p grid.Point) int {
-	if dl, ok := d.cur[p]; ok {
-		return dl
+// deadline returns the round by which the robot in the given slot must
+// activate, assigning a hashed initial phase (from its cell p) the first
+// time the robot is seen.
+func (d *deadlines) deadline(round int, p grid.Point, slot int32) int {
+	if int(slot) < len(d.dl) && d.dl[slot] != 0 {
+		return d.dl[slot] - 1
 	}
 	return round + int(phaseHash(p, d.seed)%uint64(d.window))
 }
 
-// commit records whether the robot at p was activated this round and carries
-// its deadline into the next round's map.
-func (d *deadlines) commit(round int, p grid.Point, activated bool) {
-	if activated {
-		d.next[p] = round + d.window
-	} else {
-		d.next[p] = d.deadline(round, p)
+// commit records whether the robot in the given slot was activated this
+// round.
+func (d *deadlines) commit(round int, p grid.Point, slot int32, activated bool) {
+	for int(slot) >= len(d.dl) {
+		d.dl = append(d.dl, 0)
 	}
-}
-
-// swap rotates the double-buffered maps, dropping entries of cells that
-// left the population (merged away or moved).
-func (d *deadlines) swap() {
-	d.cur, d.next = d.next, d.cur
-	clear(d.next)
+	if activated {
+		d.dl[slot] = round + d.window + 1
+	} else {
+		d.dl[slot] = d.deadline(round, p, slot) + 1
+	}
 }
 
 // phaseHash mixes a cell and seed into a deterministic pseudo-random phase
@@ -205,13 +203,12 @@ type random struct {
 	dl  deadlines
 }
 
-func (s *random) Activate(round int, cells []grid.Point, active []bool) {
+func (s *random) Activate(round int, cells []grid.Point, slots []int32, active []bool) {
 	for i, c := range cells {
-		on := s.rng.Float64() < s.p || round >= s.dl.deadline(round, c)
+		on := s.rng.Float64() < s.p || round >= s.dl.deadline(round, c, slots[i])
 		active[i] = on
-		s.dl.commit(round, c, on)
+		s.dl.commit(round, c, slots[i], on)
 	}
-	s.dl.swap()
 }
 
 func (s *random) Fairness(int) int { return s.dl.window }
@@ -232,13 +229,12 @@ func Adversarial(k int, seed int64) Scheduler {
 
 type adversarial struct{ dl deadlines }
 
-func (s *adversarial) Activate(round int, cells []grid.Point, active []bool) {
+func (s *adversarial) Activate(round int, cells []grid.Point, slots []int32, active []bool) {
 	for i, c := range cells {
-		on := round >= s.dl.deadline(round, c)
+		on := round >= s.dl.deadline(round, c, slots[i])
 		active[i] = on
-		s.dl.commit(round, c, on)
+		s.dl.commit(round, c, slots[i], on)
 	}
-	s.dl.swap()
 }
 
 func (s *adversarial) Fairness(int) int { return s.dl.window }
@@ -263,7 +259,7 @@ type sequential struct {
 	cursor int
 }
 
-func (s *sequential) Activate(_ int, cells []grid.Point, active []bool) {
+func (s *sequential) Activate(_ int, cells []grid.Point, _ []int32, active []bool) {
 	n := len(cells)
 	if n == 0 {
 		return

@@ -15,10 +15,15 @@ func cellsN(n int) []grid.Point {
 	return out
 }
 
-// activate runs one round and returns a fresh mask.
+// activate runs one round and returns a fresh mask. Slots are assigned by
+// index, matching the engine's initial assignment over a static population.
 func activate(s Scheduler, round int, cells []grid.Point) []bool {
 	mask := make([]bool, len(cells))
-	s.Activate(round, cells, mask)
+	slots := make([]int32, len(cells))
+	for i := range slots {
+		slots[i] = int32(i)
+	}
+	s.Activate(round, cells, slots, mask)
 	return mask
 }
 

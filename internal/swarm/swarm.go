@@ -104,31 +104,55 @@ func (s *Swarm) Degree(p grid.Point) int {
 // Connected reports whether the swarm is connected with respect to
 // horizontal/vertical adjacency — the paper's connectivity notion. The empty
 // swarm is vacuously connected; a singleton is connected.
+//
+// Callers that check connectivity every round should hold a ConnScratch
+// and call its Connected method instead, which reuses the BFS structures.
 func (s *Swarm) Connected() bool {
+	var c ConnScratch
+	return c.Connected(s)
+}
+
+// ConnScratch is reusable scratch for repeated connectivity checks: the
+// BFS visited set and stack survive between calls, so a per-round check
+// (the engine's CheckConnectivity loop) stops allocating a fresh map and
+// stack every round. The zero value is ready to use; a ConnScratch must
+// not be shared between concurrent checks.
+type ConnScratch struct {
+	seen  map[grid.Point]struct{}
+	stack []grid.Point
+}
+
+// Connected reports whether s is connected, reusing the scratch.
+func (c *ConnScratch) Connected(s *Swarm) bool {
 	if len(s.cells) <= 1 {
 		return true
+	}
+	if c.seen == nil {
+		c.seen = make(map[grid.Point]struct{}, len(s.cells))
+	} else {
+		clear(c.seen)
 	}
 	var start grid.Point
 	for p := range s.cells {
 		start = p
 		break
 	}
-	seen := make(map[grid.Point]struct{}, len(s.cells))
-	stack := []grid.Point{start}
-	seen[start] = struct{}{}
+	stack := append(c.stack[:0], start)
+	c.seen[start] = struct{}{}
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, q := range grid.Neighbors4(p) {
 			if s.Has(q) {
-				if _, ok := seen[q]; !ok {
-					seen[q] = struct{}{}
+				if _, ok := c.seen[q]; !ok {
+					c.seen[q] = struct{}{}
 					stack = append(stack, q)
 				}
 			}
 		}
 	}
-	return len(seen) == len(s.cells)
+	c.stack = stack[:0]
+	return len(c.seen) == len(s.cells)
 }
 
 // Components returns the 4-connected components of the swarm, each as a

@@ -178,3 +178,25 @@ func TestValidatePanicsOnDisconnected(t *testing.T) {
 	}()
 	New(grid.Pt(0, 0), grid.Pt(3, 3)).Validate()
 }
+
+// TestConnScratchReuse checks the scratch-reusing connectivity variant
+// agrees with the one-shot method across reuse, including after the swarm
+// changes shape between calls.
+func TestConnScratchReuse(t *testing.T) {
+	var sc ConnScratch
+	s := New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	if !sc.Connected(s) {
+		t.Fatal("line reported disconnected")
+	}
+	s.Add(grid.Pt(4, 0)) // gap at x=3
+	if sc.Connected(s) {
+		t.Fatal("gapped line reported connected")
+	}
+	s.Add(grid.Pt(3, 0))
+	if !sc.Connected(s) {
+		t.Fatal("filled line reported disconnected")
+	}
+	if sc.Connected(New()) != true || sc.Connected(New(grid.Pt(9, 9))) != true {
+		t.Fatal("empty/singleton must be vacuously connected")
+	}
+}

@@ -11,12 +11,20 @@ import (
 
 	"gridgather/internal/fsync"
 	"gridgather/internal/grid"
-	"gridgather/internal/swarm"
 )
+
+// Occupancy is the minimal read surface Render draws from. Both
+// *swarm.Swarm and the engine's world.Backend satisfy it, so per-round
+// snapshots render straight off the engine state without materializing a
+// swarm copy each frame.
+type Occupancy interface {
+	Has(p grid.Point) bool
+	Bounds() grid.Rect
+}
 
 // Render draws the swarm clipped to the given bounds. Robots are '#',
 // runner positions 'R', free cells '·'.
-func Render(s *swarm.Swarm, runners []grid.Point, bounds grid.Rect) string {
+func Render(s Occupancy, runners []grid.Point, bounds grid.Rect) string {
 	if bounds.Empty() {
 		bounds = s.Bounds()
 	}
@@ -75,12 +83,13 @@ func NewRecorder(every int, bounds grid.Rect) *Recorder {
 // Snapshot records the engine's current state unconditionally.
 func (r *Recorder) Snapshot(e *fsync.Engine) {
 	runners := e.Runners()
+	w := e.World()
 	r.Frames = append(r.Frames, Frame{
 		Round:   e.Round(),
-		Robots:  e.Swarm().Len(),
+		Robots:  w.Len(),
 		Merges:  e.Merges(),
 		Runners: len(runners),
-		Art:     Render(e.Swarm(), runners, r.Bounds),
+		Art:     Render(w, runners, r.Bounds),
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
+	"gridgather/internal/world"
 )
 
 // View is one robot's lazy snapshot of its surroundings. Lookups are
@@ -23,6 +24,7 @@ type View struct {
 	origin  grid.Point
 	radius  int
 	checked bool
+	dense   *world.Dense
 	occ     func(grid.Point) bool
 	state   func(grid.Point) robot.State
 	round   int
@@ -34,10 +36,15 @@ type Config struct {
 	Radius int
 	// Checked panics on out-of-radius reads when true.
 	Checked bool
-	// Occ reports world-coordinate occupancy.
+	// Dense, when non-nil, is the direct fast path: lookups go straight
+	// to the tiled bitset backend (concrete method calls, no closures, no
+	// hashing). The radius enforcement of Checked applies unchanged.
+	Dense *world.Dense
+	// Occ reports world-coordinate occupancy (the closure slow path, used
+	// when Dense is nil — e.g. over the map oracle backend).
 	Occ func(grid.Point) bool
 	// State returns the state of the robot at a world coordinate (zero
-	// State if the cell is free).
+	// State if the cell is free). Closure slow path like Occ.
 	State func(grid.Point) robot.State
 }
 
@@ -48,6 +55,7 @@ func New(cfg Config, origin grid.Point, round int) *View {
 		origin:  origin,
 		radius:  cfg.Radius,
 		checked: cfg.Checked,
+		dense:   cfg.Dense,
 		occ:     cfg.Occ,
 		state:   cfg.State,
 		round:   round,
@@ -83,6 +91,9 @@ func (v *View) check(rel grid.Point) {
 // is occupied. Occ(grid.Zero) is always true.
 func (v *View) Occ(rel grid.Point) bool {
 	v.check(rel)
+	if v.dense != nil {
+		return v.dense.Has(v.origin.Add(rel))
+	}
 	return v.occ(v.origin.Add(rel))
 }
 
@@ -93,11 +104,19 @@ func (v *View) Free(rel grid.Point) bool { return !v.Occ(rel) }
 // "see the states of all robots inside the viewing range".
 func (v *View) StateAt(rel grid.Point) robot.State {
 	v.check(rel)
+	if v.dense != nil {
+		return v.dense.StateAt(v.origin.Add(rel))
+	}
 	return v.state(v.origin.Add(rel))
 }
 
 // Self returns the observing robot's own state.
-func (v *View) Self() robot.State { return v.state(v.origin) }
+func (v *View) Self() robot.State {
+	if v.dense != nil {
+		return v.dense.StateAt(v.origin)
+	}
+	return v.state(v.origin)
+}
 
 // AllOccIn reports whether every offset in rels is occupied.
 func (v *View) AllOccIn(rels ...grid.Point) bool {

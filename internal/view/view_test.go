@@ -5,6 +5,8 @@ import (
 
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+	"gridgather/internal/world"
 )
 
 func testConfig(occ map[grid.Point]bool, states map[grid.Point]robot.State, radius int, checked bool) Config {
@@ -91,5 +93,61 @@ func TestViewRadiusAccessor(t *testing.T) {
 	v := New(testConfig(nil, nil, 13, false), grid.Pt(0, 0), 0)
 	if v.Radius() != 13 {
 		t.Errorf("radius = %d", v.Radius())
+	}
+}
+
+// TestViewDenseFastPathStrictRadius proves the direct bitset fast path
+// preserves the locality enforcement: reads go straight to the dense
+// backend (no closures), but a checked view still panics on any read
+// outside the viewing radius — for occupancy and state reads alike.
+func TestViewDenseFastPathStrictRadius(t *testing.T) {
+	d := world.NewDense(swarm.New(grid.Pt(0, 0), grid.Pt(1, 0)), false)
+	v := New(Config{Radius: 4, Checked: true, Dense: d}, grid.Pt(0, 0), 0)
+	// In-radius reads answer from the bitset.
+	if !v.Occ(grid.Zero) || !v.Occ(grid.East) {
+		t.Fatal("fast path misses occupied cells")
+	}
+	if v.Occ(grid.Pt(2, 2)) {
+		t.Fatal("fast path reports a free cell occupied")
+	}
+	if st := v.StateAt(grid.East); st.HasRuns() {
+		t.Fatal("fast path invents run states")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: out-of-radius read did not panic on the fast path", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Occ", func() { v.Occ(grid.Pt(3, 2)) })
+	mustPanic("StateAt", func() { v.StateAt(grid.Pt(0, 5)) })
+}
+
+// TestViewDenseFastPathMatchesClosures runs the same reads through the
+// dense fast path and the closure slow path and requires identical
+// answers.
+func TestViewDenseFastPathMatchesClosures(t *testing.T) {
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(-1, -1), grid.Pt(0, -1))
+	d := world.NewDense(s, false)
+	fast := New(Config{Radius: 3, Checked: true, Dense: d}, grid.Pt(0, 0), 0)
+	slow := New(Config{
+		Radius:  3,
+		Checked: true,
+		Occ:     s.Has,
+		State:   func(grid.Point) robot.State { return robot.State{} },
+	}, grid.Pt(0, 0), 0)
+	for dx := -3; dx <= 3; dx++ {
+		for dy := -3; dy <= 3; dy++ {
+			rel := grid.Pt(dx, dy)
+			if rel.L1() > 3 {
+				continue
+			}
+			if fast.Occ(rel) != slow.Occ(rel) {
+				t.Fatalf("Occ(%v) diverged between fast and closure paths", rel)
+			}
+		}
 	}
 }

@@ -1,0 +1,606 @@
+package world
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+)
+
+const (
+	tileShift = 6
+	tileSize  = 1 << tileShift // 64×64 cells per chunk
+	tileMask  = tileSize - 1
+)
+
+// tile is one 64×64-cell chunk. Occupancy is one uint64 word per row
+// (bit x&63 of word y&63), double-buffered across the two round layers;
+// multi marks cells that received more than one arrival in the round being
+// built; vis is the BFS scratch plane for Connected/Components. The slot
+// planes are only meaningful under set occupancy bits, so they are never
+// cleared — stale entries are unreachable.
+type tile struct {
+	bits   [2][tileSize]uint64
+	multi  [tileSize]uint64
+	vis    [tileSize]uint64
+	marked [2]bool // on Dense.live[layer]: this tile may hold bits in that layer
+	slots  [2][tileSize * tileSize]int32
+}
+
+// slotState is a robot's run state in flat storage: MaxRuns is tiny, so
+// the runs are inlined and carrying a state is copy, not allocation.
+type slotState struct {
+	n    int8
+	runs [robot.MaxRuns]robot.Run
+}
+
+// cellSlot pairs an occupied cell with the slot of the robot on it.
+type cellSlot struct {
+	p    grid.Point
+	slot int32
+}
+
+// Dense is the tiled bitset backend. Chunks are addressed through a dense
+// chunk-grid table covering the swarm's (slightly padded) initial bounds;
+// the table grows if a robot leaves it and never shrinks or rebases — the
+// paper's swarm only contracts, so growth is a cold path.
+type Dense struct {
+	minCX, minCY int // chunk coordinate of table entry (0, 0)
+	cols, rows   int
+	tiles        []*tile    // nil = chunk never occupied
+	live         [2][]*tile // tiles that may hold bits per layer — Commit and the BFS scratch clear only these, so the per-round cost tracks the live population, not the initial bounds
+	cur          int        // active occupancy/slot layer (0 or 1)
+
+	states []slotState // slot → run state
+	clocks []int       // slot → logical clock; nil when clocks are off
+
+	count      int        // number of robots
+	occ        []cellSlot // sorted (Y, X) cell order with slots
+	occDirty   bool       // occ needs a rebuild from the bitset (Add/Remove)
+	nextOcc    []cellSlot // arrivals of the round being built
+	mergeBuf   []cellSlot // scratch for merging active and sleeper runs
+	sleepStart int        // index in nextOcc where the sleeper suffix starts
+
+	cellsBuf   []grid.Point // Cells() view of occ
+	slotsBuf   []int32      // Slots() view of occ
+	cellsValid bool
+
+	bounds     grid.Rect
+	boundsOK   bool
+	nextBounds grid.Rect // exact bounds of the round being built
+
+	stack []grid.Point // BFS scratch
+}
+
+var _ Backend = (*Dense)(nil)
+
+// NewDense builds the dense backend over the swarm's cells (the swarm is
+// not retained).
+func NewDense(s *swarm.Swarm, withClocks bool) *Dense {
+	cells := s.Cells()
+	d := &Dense{sleepStart: -1}
+	d.initTable(s.Bounds())
+	d.states = make([]slotState, len(cells))
+	if withClocks {
+		d.clocks = make([]int, len(cells))
+	}
+	d.occ = make([]cellSlot, len(cells))
+	for i, p := range cells {
+		slot := int32(i)
+		d.occ[i] = cellSlot{p, slot}
+		t := d.ensureTile(p)
+		d.mark(d.cur, t)
+		ry, rx := p.Y&tileMask, p.X&tileMask
+		t.bits[d.cur][ry] |= 1 << uint(rx)
+		t.slots[d.cur][ry<<tileShift|rx] = slot
+	}
+	d.count = len(cells)
+	d.bounds = s.Bounds()
+	d.boundsOK = true
+	return d
+}
+
+// initTable sizes the chunk table to the bounds plus one chunk of margin
+// per side, so ordinary L∞ ≤ 1 movement never grows the table.
+func (d *Dense) initTable(b grid.Rect) {
+	if b.Empty() {
+		b = grid.Rect{MinX: 0, MinY: 0, MaxX: 0, MaxY: 0}
+	}
+	d.minCX = (b.MinX >> tileShift) - 1
+	d.minCY = (b.MinY >> tileShift) - 1
+	d.cols = (b.MaxX >> tileShift) + 1 - d.minCX + 1
+	d.rows = (b.MaxY >> tileShift) + 1 - d.minCY + 1
+	d.tiles = make([]*tile, d.cols*d.rows)
+}
+
+// tileAt returns the chunk containing p, or nil if none was ever occupied
+// there.
+func (d *Dense) tileAt(p grid.Point) *tile {
+	cx := (p.X >> tileShift) - d.minCX
+	cy := (p.Y >> tileShift) - d.minCY
+	if uint(cx) >= uint(d.cols) || uint(cy) >= uint(d.rows) {
+		return nil
+	}
+	return d.tiles[cy*d.cols+cx]
+}
+
+// ensureTile returns the chunk containing p, allocating it (and growing
+// the chunk table) as needed.
+func (d *Dense) ensureTile(p grid.Point) *tile {
+	cx, cy := p.X>>tileShift, p.Y>>tileShift
+	ix, iy := cx-d.minCX, cy-d.minCY
+	if uint(ix) >= uint(d.cols) || uint(iy) >= uint(d.rows) {
+		d.grow(cx, cy)
+		ix, iy = cx-d.minCX, cy-d.minCY
+	}
+	t := d.tiles[iy*d.cols+ix]
+	if t == nil {
+		t = &tile{}
+		d.tiles[iy*d.cols+ix] = t
+	}
+	return t
+}
+
+// mark puts t on the layer's live list the first time the layer writes
+// into it.
+func (d *Dense) mark(layer int, t *tile) {
+	if !t.marked[layer] {
+		t.marked[layer] = true
+		d.live[layer] = append(d.live[layer], t)
+	}
+}
+
+// grow extends the chunk table to cover chunk (cx, cy) with one chunk of
+// fresh margin. Existing tiles keep their identity; only the table moves.
+func (d *Dense) grow(cx, cy int) {
+	minCX := min(d.minCX, cx-1)
+	minCY := min(d.minCY, cy-1)
+	maxCX := max(d.minCX+d.cols-1, cx+1)
+	maxCY := max(d.minCY+d.rows-1, cy+1)
+	cols, rows := maxCX-minCX+1, maxCY-minCY+1
+	tiles := make([]*tile, cols*rows)
+	for y := 0; y < d.rows; y++ {
+		copy(tiles[(y+d.minCY-minCY)*cols+(d.minCX-minCX):], d.tiles[y*d.cols:(y+1)*d.cols])
+	}
+	d.minCX, d.minCY, d.cols, d.rows, d.tiles = minCX, minCY, cols, rows, tiles
+}
+
+// Len returns the number of robots.
+func (d *Dense) Len() int { return d.count }
+
+// Has reports whether cell p is occupied. This is the view fast path: one
+// bounds check, one table index, one bit test — no hashing, no closures.
+func (d *Dense) Has(p grid.Point) bool {
+	t := d.tileAt(p)
+	return t != nil && t.bits[d.cur][p.Y&tileMask]&(1<<uint(p.X&tileMask)) != 0
+}
+
+// slotAt returns the slot stored for p in the given layer. The occupancy
+// bit must be set.
+func (d *Dense) slotAt(layer int, p grid.Point) int32 {
+	return d.tileAt(p).slots[layer][(p.Y&tileMask)<<tileShift|(p.X&tileMask)]
+}
+
+// SlotAt returns the slot of the robot at p.
+func (d *Dense) SlotAt(p grid.Point) int32 { return d.slotAt(d.cur, p) }
+
+// StateAt returns the run state of the robot at p. The Runs slice aliases
+// the flat state storage — read-only, valid until the state is rewritten.
+func (d *Dense) StateAt(p grid.Point) robot.State {
+	if !d.Has(p) {
+		return robot.State{}
+	}
+	s := &d.states[d.slotAt(d.cur, p)]
+	if s.n == 0 {
+		return robot.State{}
+	}
+	return robot.State{Runs: s.runs[:s.n]}
+}
+
+// packState stores st into the flat slot storage, copying the runs.
+func (d *Dense) packState(slot int32, st robot.State) {
+	if len(st.Runs) > robot.MaxRuns {
+		panic(fmt.Sprintf("world: %d runs exceed robot.MaxRuns", len(st.Runs)))
+	}
+	s := &d.states[slot]
+	s.n = int8(copy(s.runs[:], st.Runs))
+	for i := len(st.Runs); i < robot.MaxRuns; i++ {
+		s.runs[i] = robot.Run{}
+	}
+}
+
+// SetState overwrites the current-round state of the robot at p.
+func (d *Dense) SetState(p grid.Point, st robot.State) {
+	d.packState(d.slotAt(d.cur, p), st)
+}
+
+// ClockAt returns the logical clock of the robot at p.
+func (d *Dense) ClockAt(p grid.Point) int {
+	if d.clocks == nil || !d.Has(p) {
+		return 0
+	}
+	return d.clocks[d.slotAt(d.cur, p)]
+}
+
+// Bounds returns the smallest enclosing rectangle. Commit keeps it exact
+// from the round's arrivals; only ad-hoc Remove calls force a rescan.
+func (d *Dense) Bounds() grid.Rect {
+	if !d.boundsOK {
+		d.ensureOcc()
+		r := grid.EmptyRect
+		for _, c := range d.occ {
+			r = r.Include(c.p)
+		}
+		d.bounds = r
+		d.boundsOK = true
+	}
+	return d.bounds
+}
+
+// Gathered reports whether the swarm fits in a 2×2 square.
+func (d *Dense) Gathered() bool { return d.count > 0 && d.Bounds().FitsIn2x2() }
+
+// Degree returns the number of occupied 4-neighbors of p.
+func (d *Dense) Degree(p grid.Point) int {
+	n := 0
+	for _, q := range grid.Neighbors4(p) {
+		if d.Has(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// Cells returns the occupied cells in sorted (Y, X) order.
+func (d *Dense) Cells() []grid.Point {
+	d.ensureCellViews()
+	return d.cellsBuf
+}
+
+// Slots returns the slots aligned with Cells().
+func (d *Dense) Slots() []int32 {
+	d.ensureCellViews()
+	return d.slotsBuf
+}
+
+func (d *Dense) ensureCellViews() {
+	if d.cellsValid {
+		return
+	}
+	d.ensureOcc()
+	d.cellsBuf = d.cellsBuf[:0]
+	d.slotsBuf = d.slotsBuf[:0]
+	for _, c := range d.occ {
+		d.cellsBuf = append(d.cellsBuf, c.p)
+		d.slotsBuf = append(d.slotsBuf, c.slot)
+	}
+	d.cellsValid = true
+}
+
+// Snapshot returns a fresh swarm with the current occupancy.
+func (d *Dense) Snapshot() *swarm.Swarm {
+	d.ensureOcc()
+	s := swarm.NewSized(d.count)
+	for _, c := range d.occ {
+		s.Add(c.p)
+	}
+	return s
+}
+
+// Add marks cell p occupied, assigning the robot a fresh slot. Outside the
+// engine protocol this is construction/testing API; the engine's round
+// path never calls it.
+func (d *Dense) Add(p grid.Point) {
+	if d.Has(p) {
+		return
+	}
+	t := d.ensureTile(p)
+	d.mark(d.cur, t)
+	ry, rx := p.Y&tileMask, p.X&tileMask
+	t.bits[d.cur][ry] |= 1 << uint(rx)
+	t.slots[d.cur][ry<<tileShift|rx] = int32(len(d.states))
+	d.states = append(d.states, slotState{})
+	if d.clocks != nil {
+		d.clocks = append(d.clocks, 0)
+	}
+	d.count++
+	if d.boundsOK {
+		d.bounds = d.bounds.Include(p)
+	}
+	d.occDirty = true
+	d.cellsValid = false
+}
+
+// Remove marks cell p free.
+func (d *Dense) Remove(p grid.Point) {
+	if !d.Has(p) {
+		return
+	}
+	t := d.tileAt(p)
+	t.bits[d.cur][p.Y&tileMask] &^= 1 << uint(p.X&tileMask)
+	d.count--
+	if d.boundsOK && (p.X == d.bounds.MinX || p.X == d.bounds.MaxX ||
+		p.Y == d.bounds.MinY || p.Y == d.bounds.MaxY) {
+		d.boundsOK = false
+	}
+	d.occDirty = true
+	d.cellsValid = false
+}
+
+// ensureOcc rebuilds the sorted cell order from the bitset after ad-hoc
+// Add/Remove edits. The engine's round path maintains occ incrementally
+// and never hits this.
+func (d *Dense) ensureOcc() {
+	if !d.occDirty {
+		return
+	}
+	d.occ = d.occ[:0]
+	for ty := 0; ty < d.rows; ty++ {
+		for ry := 0; ry < tileSize; ry++ {
+			y := ((d.minCY + ty) << tileShift) | ry
+			for tx := 0; tx < d.cols; tx++ {
+				t := d.tiles[ty*d.cols+tx]
+				if t == nil {
+					continue
+				}
+				w := t.bits[d.cur][ry]
+				for w != 0 {
+					rx := bits.TrailingZeros64(w)
+					w &= w - 1
+					x := ((d.minCX + tx) << tileShift) | rx
+					d.occ = append(d.occ, cellSlot{grid.Pt(x, y), t.slots[d.cur][ry<<tileShift|rx]})
+				}
+			}
+		}
+	}
+	d.occDirty = false
+}
+
+// --- round protocol ---
+
+// BeginRound resets the next-round scratch.
+func (d *Dense) BeginRound() {
+	d.nextOcc = d.nextOcc[:0]
+	d.sleepStart = -1
+	d.nextBounds = grid.EmptyRect
+}
+
+// Arrive records the robot at from landing on dst in the next layer. The
+// first arrival carries its slot to dst; later arrivals merge — the multi
+// bit is set and any pending survivor state is cleared.
+func (d *Dense) Arrive(from, dst grid.Point) int {
+	slot := d.slotAt(d.cur, from)
+	t := d.ensureTile(dst)
+	nxt := d.cur ^ 1
+	d.mark(nxt, t)
+	ry, rx := dst.Y&tileMask, dst.X&tileMask
+	b := uint64(1) << uint(rx)
+	if t.bits[nxt][ry]&b == 0 {
+		t.bits[nxt][ry] |= b
+		t.slots[nxt][ry<<tileShift|rx] = slot
+		d.nextOcc = append(d.nextOcc, cellSlot{dst, slot})
+		d.nextBounds = d.nextBounds.Include(dst)
+		return 1
+	}
+	t.multi[ry] |= b
+	d.states[t.slots[nxt][ry<<tileShift|rx]] = slotState{}
+	return 2
+}
+
+// BeginSleep marks the boundary between the activated arrivals (a
+// near-sorted prefix of nextOcc) and the sleeper arrivals (an exactly
+// sorted suffix), so Commit can repair the prefix and merge the suffix.
+func (d *Dense) BeginSleep() { d.sleepStart = len(d.nextOcc) }
+
+// Sleep records the robot at p staying put. Its state lives in flat slot
+// storage and is simply not rewritten — frozen for free.
+func (d *Dense) Sleep(p grid.Point) int { return d.Arrive(p, p) }
+
+// SetArrivalState sets the pending state of the sole arrival at dst.
+func (d *Dense) SetArrivalState(dst grid.Point, st robot.State) {
+	d.packState(d.slotAt(d.cur^1, dst), st)
+}
+
+// ArrivalState returns the pending state at dst.
+func (d *Dense) ArrivalState(dst grid.Point) robot.State {
+	s := &d.states[d.slotAt(d.cur^1, dst)]
+	if s.n == 0 {
+		return robot.State{}
+	}
+	return robot.State{Runs: s.runs[:s.n]}
+}
+
+// ArrivalCount reports 0, 1 or 2 (≥ 2) arrivals at dst this round.
+func (d *Dense) ArrivalCount(dst grid.Point) int {
+	t := d.tileAt(dst)
+	if t == nil {
+		return 0
+	}
+	ry := dst.Y & tileMask
+	b := uint64(1) << uint(dst.X&tileMask)
+	switch {
+	case t.bits[d.cur^1][ry]&b == 0:
+		return 0
+	case t.multi[ry]&b != 0:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// RaiseClock raises the survivor's pending clock at dst to at least cl.
+// In-place maxing is sound: the survivor's own arrival always raises its
+// slot past the stale pre-round value before merge partners contribute.
+func (d *Dense) RaiseClock(dst grid.Point, cl int) {
+	if d.clocks == nil {
+		return
+	}
+	slot := d.slotAt(d.cur^1, dst)
+	if cl > d.clocks[slot] {
+		d.clocks[slot] = cl
+	}
+}
+
+// Commit swaps the pending round in: the cell order is repaired with a
+// near-sorted insertion pass (robots move L∞ ≤ 1) plus a merge with the
+// already-sorted sleeper suffix, the bounds come from the round's
+// arrivals, and the outgoing layer's occupancy words are cleared to become
+// the next round's scratch. Slot planes are never cleared (stale entries
+// are unreachable) and the chunk table never rebases.
+func (d *Dense) Commit() {
+	act := d.nextOcc
+	ss := d.sleepStart
+	if ss < 0 || ss > len(act) {
+		ss = len(act)
+	}
+	sortNearSorted(act[:ss])
+	if ss == len(act) {
+		d.nextOcc = d.occ
+		d.occ = act
+	} else {
+		out := d.mergeBuf[:0]
+		a, b := act[:ss], act[ss:]
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i].p.Less(b[j].p) {
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		out = append(out, b[j:]...)
+		d.mergeBuf = d.occ[:0]
+		d.occ = out
+	}
+	// Clear the outgoing layer (it becomes the next round's scratch) and
+	// the round's multi plane, touching only the tiles each layer actually
+	// wrote — as the swarm contracts, this tracks the live tiles, not the
+	// initial bounds.
+	old := d.cur
+	nxt := old ^ 1
+	for _, t := range d.live[old] {
+		t.bits[old] = [tileSize]uint64{}
+		t.marked[old] = false
+	}
+	d.live[old] = d.live[old][:0]
+	for _, t := range d.live[nxt] {
+		t.multi = [tileSize]uint64{}
+	}
+	d.cur = nxt
+	d.count = len(d.occ)
+	d.bounds = d.nextBounds
+	d.boundsOK = true
+	d.occDirty = false
+	d.cellsValid = false
+}
+
+// sortNearSorted sorts a by (Y, X) with an insertion pass that is O(n +
+// inversions) — linear on the engine's near-sorted arrival streams. A
+// shift budget bounds pathological rounds: past it, the remainder is
+// handed to the standard sort (keys are unique, so the result is
+// deterministic either way).
+func sortNearSorted(a []cellSlot) {
+	budget := 8*len(a) + 64
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		if !e.p.Less(a[j].p) {
+			continue
+		}
+		for j >= 0 && e.p.Less(a[j].p) {
+			a[j+1] = a[j]
+			j--
+			budget--
+			if budget < 0 {
+				a[j+1] = e
+				sort.Slice(a, func(x, y int) bool { return a[x].p.Less(a[y].p) })
+				return
+			}
+		}
+		a[j+1] = e
+	}
+}
+
+// --- connectivity ---
+
+func (d *Dense) visGet(p grid.Point) bool {
+	return d.tileAt(p).vis[p.Y&tileMask]&(1<<uint(p.X&tileMask)) != 0
+}
+
+func (d *Dense) visSet(p grid.Point) {
+	d.tileAt(p).vis[p.Y&tileMask] |= 1 << uint(p.X&tileMask)
+}
+
+func (d *Dense) visClear() {
+	// The BFS only ever marks occupied cells, so only the current layer's
+	// live tiles can hold vis bits.
+	for _, t := range d.live[d.cur] {
+		t.vis = [tileSize]uint64{}
+	}
+}
+
+// Connected reports 4-connectivity. The BFS marks cells in the per-tile
+// vis planes and reuses the stack buffer, so the per-round connectivity
+// check allocates nothing in steady state.
+func (d *Dense) Connected() bool {
+	d.ensureOcc()
+	n := len(d.occ)
+	if n <= 1 {
+		return true
+	}
+	d.visClear()
+	start := d.occ[0].p
+	stack := append(d.stack[:0], start)
+	d.visSet(start)
+	seen := 1
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range grid.Neighbors4(p) {
+			if d.Has(q) && !d.visGet(q) {
+				d.visSet(q)
+				seen++
+				stack = append(stack, q)
+			}
+		}
+	}
+	d.stack = stack[:0]
+	return seen == n
+}
+
+// Components returns the 4-connected components, each sorted, ordered by
+// smallest cell — the swarm.Swarm contract, for the oracle property tests.
+func (d *Dense) Components() [][]grid.Point {
+	d.ensureOcc()
+	d.visClear()
+	var comps [][]grid.Point
+	for _, c := range d.occ {
+		if d.visGet(c.p) {
+			continue
+		}
+		var comp []grid.Point
+		stack := append(d.stack[:0], c.p)
+		d.visSet(c.p)
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, p)
+			for _, q := range grid.Neighbors4(p) {
+				if d.Has(q) && !d.visGet(q) {
+					d.visSet(q)
+					stack = append(stack, q)
+				}
+			}
+		}
+		d.stack = stack[:0]
+		sort.Slice(comp, func(i, j int) bool { return comp[i].Less(comp[j]) })
+		comps = append(comps, comp)
+	}
+	return comps
+}

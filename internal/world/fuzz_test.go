@@ -1,0 +1,41 @@
+package world
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// FuzzOccupancy feeds arbitrary Add/Remove streams to Dense and the swarm
+// oracle. Each op is three bytes: a control byte (bit 0 remove, bit 1
+// stretch the coordinates far apart to exercise chunk-table growth) and
+// two signed coordinate bytes. The seed corpus covers the chunk seams at
+// 0/63/64 and the negative quadrants; `go test` replays it on every run.
+func FuzzOccupancy(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 63, 63, 0, 64, 64, 1, 63, 63})
+	f.Add([]byte{0, 255, 255, 0, 192, 192, 2, 100, 100, 2, 156, 156})
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 1, 1, 0, 0, 3, 0, 2, 80, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := swarm.New()
+		d := NewDense(s, false)
+		var probes []grid.Point
+		for i := 0; i+2 < len(data) && i < 3*200; i += 3 {
+			x, y := int(int8(data[i+1])), int(int8(data[i+2]))
+			if data[i]&2 != 0 {
+				x *= 97
+				y *= 131
+			}
+			p := grid.Pt(x, y)
+			probes = append(probes, p)
+			if data[i]&1 == 0 {
+				d.Add(p)
+				s.Add(p)
+			} else {
+				d.Remove(p)
+				s.Remove(p)
+			}
+		}
+		checkAgainstOracle(t, d, s, probes)
+	})
+}

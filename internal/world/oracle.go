@@ -1,0 +1,194 @@
+package world
+
+import (
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+)
+
+// MapWorld is the map-backed reference backend: the engine's original
+// representation (a swarm cell set plus point-keyed state/clock maps with
+// double-buffered per-round scratch), kept for one PR as the differential
+// oracle for Dense. It favors obviousness over speed.
+type MapWorld struct {
+	s     *swarm.Swarm
+	state map[grid.Point]robot.State
+	clock map[grid.Point]int // nil when clocks are off
+	slot  map[grid.Point]int32
+
+	occ          map[grid.Point]int // arrival counts of the round being built
+	stateScratch map[grid.Point]robot.State
+	clockScratch map[grid.Point]int
+	slotScratch  map[grid.Point]int32
+
+	cells      []grid.Point
+	slots      []int32
+	cellsValid bool
+	conn       swarm.ConnScratch
+}
+
+var _ Backend = (*MapWorld)(nil)
+
+// NewMapWorld builds the oracle backend over a clone of s.
+func NewMapWorld(s *swarm.Swarm, withClocks bool) *MapWorld {
+	m := &MapWorld{
+		s:            s.Clone(),
+		state:        make(map[grid.Point]robot.State),
+		slot:         make(map[grid.Point]int32, s.Len()),
+		occ:          make(map[grid.Point]int, s.Len()),
+		stateScratch: make(map[grid.Point]robot.State),
+		slotScratch:  make(map[grid.Point]int32, s.Len()),
+	}
+	if withClocks {
+		m.clock = make(map[grid.Point]int, s.Len())
+		m.clockScratch = make(map[grid.Point]int, s.Len())
+	}
+	for i, p := range m.s.Cells() {
+		m.slot[p] = int32(i)
+	}
+	return m
+}
+
+// Len returns the number of robots.
+func (m *MapWorld) Len() int { return m.s.Len() }
+
+// Has reports whether cell p is occupied.
+func (m *MapWorld) Has(p grid.Point) bool { return m.s.Has(p) }
+
+// StateAt returns the run state of the robot at p.
+func (m *MapWorld) StateAt(p grid.Point) robot.State { return m.state[p] }
+
+// SetState overwrites the current-round state of the robot at p.
+func (m *MapWorld) SetState(p grid.Point, st robot.State) {
+	if st.HasRuns() {
+		m.state[p] = st.Clone()
+	} else {
+		delete(m.state, p)
+	}
+}
+
+// ClockAt returns the logical clock of the robot at p.
+func (m *MapWorld) ClockAt(p grid.Point) int { return m.clock[p] }
+
+// SlotAt returns the slot of the robot at p.
+func (m *MapWorld) SlotAt(p grid.Point) int32 { return m.slot[p] }
+
+// Bounds returns the smallest enclosing rectangle (full rescan — oracle).
+func (m *MapWorld) Bounds() grid.Rect { return m.s.Bounds() }
+
+// Gathered reports whether the swarm fits in a 2×2 square.
+func (m *MapWorld) Gathered() bool { return m.s.Gathered() }
+
+// Connected reports 4-connectivity, reusing BFS scratch.
+func (m *MapWorld) Connected() bool { return m.conn.Connected(m.s) }
+
+// Cells returns the occupied cells in sorted (Y, X) order.
+func (m *MapWorld) Cells() []grid.Point {
+	m.ensureCellViews()
+	return m.cells
+}
+
+// Slots returns the slots aligned with Cells().
+func (m *MapWorld) Slots() []int32 {
+	m.ensureCellViews()
+	return m.slots
+}
+
+func (m *MapWorld) ensureCellViews() {
+	if m.cellsValid {
+		return
+	}
+	m.cells = m.s.Cells()
+	m.slots = m.slots[:0]
+	for _, p := range m.cells {
+		m.slots = append(m.slots, m.slot[p])
+	}
+	m.cellsValid = true
+}
+
+// Snapshot returns the live swarm (read-only by convention).
+func (m *MapWorld) Snapshot() *swarm.Swarm { return m.s }
+
+// BeginRound resets the next-round scratch maps.
+func (m *MapWorld) BeginRound() {
+	clear(m.occ)
+	clear(m.stateScratch)
+	clear(m.slotScratch)
+	if m.clockScratch != nil {
+		clear(m.clockScratch)
+	}
+}
+
+// Arrive records the robot at from landing on dst.
+func (m *MapWorld) Arrive(from, dst grid.Point) int {
+	cnt := m.occ[dst] + 1
+	m.occ[dst] = cnt
+	if cnt == 1 {
+		m.slotScratch[dst] = m.slot[from]
+		return 1
+	}
+	delete(m.stateScratch, dst)
+	return 2
+}
+
+// BeginSleep is a no-op for the oracle (it re-sorts at Commit anyway).
+func (m *MapWorld) BeginSleep() {}
+
+// Sleep records the robot at p staying in place with its state preserved.
+func (m *MapWorld) Sleep(p grid.Point) int {
+	cnt := m.Arrive(p, p)
+	if cnt == 1 {
+		if st := m.state[p]; st.HasRuns() {
+			m.stateScratch[p] = st
+		}
+	}
+	return cnt
+}
+
+// SetArrivalState sets the pending state of the sole arrival at dst.
+func (m *MapWorld) SetArrivalState(dst grid.Point, st robot.State) {
+	if st.HasRuns() {
+		m.stateScratch[dst] = st.Clone()
+	} else {
+		delete(m.stateScratch, dst)
+	}
+}
+
+// ArrivalState returns the pending state at dst.
+func (m *MapWorld) ArrivalState(dst grid.Point) robot.State {
+	return m.stateScratch[dst]
+}
+
+// ArrivalCount reports 0, 1 or 2 (≥ 2) arrivals at dst this round.
+func (m *MapWorld) ArrivalCount(dst grid.Point) int {
+	if cnt := m.occ[dst]; cnt < 2 {
+		return cnt
+	}
+	return 2
+}
+
+// RaiseClock raises the survivor's pending clock at dst to at least cl.
+func (m *MapWorld) RaiseClock(dst grid.Point, cl int) {
+	if m.clockScratch == nil {
+		return
+	}
+	if cl > m.clockScratch[dst] {
+		m.clockScratch[dst] = cl
+	}
+}
+
+// Commit rebuilds the swarm from the arrival counts and swaps the
+// double-buffered maps, exactly as the pre-world engine did.
+func (m *MapWorld) Commit() {
+	next := swarm.NewSized(len(m.occ))
+	for dst := range m.occ {
+		next.Add(dst)
+	}
+	m.s = next
+	m.state, m.stateScratch = m.stateScratch, m.state
+	m.slot, m.slotScratch = m.slotScratch, m.slot
+	if m.clock != nil {
+		m.clock, m.clockScratch = m.clockScratch, m.clock
+	}
+	m.cellsValid = false
+}

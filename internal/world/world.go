@@ -1,0 +1,149 @@
+// Package world provides the engine's global-state backends: occupancy,
+// per-robot run states and logical clocks, the canonical sorted cell order,
+// and the per-round apply protocol (arrivals, merges, state hand-offs).
+//
+// Two implementations exist for this transition period:
+//
+//   - Dense (the default): a tiled bitset occupancy index — 64-bit words
+//     over fixed 64×64-cell chunks, O(1) unchecked reads, no rebasing as
+//     the swarm shrinks — plus flat robot-indexed arrays for run states and
+//     logical clocks. Robots are identified by a stable slot assigned once
+//     at construction (in sorted cell order) and carried along as they
+//     move; a point→slot index lives in the chunk tiles and is maintained
+//     incrementally. The sorted cell order is repaired incrementally each
+//     round (robots move L∞ ≤ 1, so a near-sorted insertion pass replaces
+//     a full re-sort), and the enclosing bounds for the Gathered() check
+//     are accumulated from the round's arrivals instead of rescanned.
+//
+//   - MapWorld: the original hash-map representation (a swarm cell set
+//     plus point-keyed state/clock maps), kept for one PR as the
+//     differential-testing oracle. The determinism tests in internal/fsync
+//     prove the dense backend bit-identical to it round by round.
+//
+// The engine owns the round semantics (merge rules, transfer death rules,
+// clock maxing); a Backend only stores. Every Backend method is
+// deterministic, so two backends driven by the same call sequence hold the
+// same observable state.
+package world
+
+import (
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+)
+
+// Kind selects a backend implementation.
+type Kind int
+
+const (
+	// DenseKind selects the tiled bitset + flat array backend (the
+	// default).
+	DenseKind Kind = iota
+	// MapKind selects the map-backed reference backend, the differential
+	// oracle the dense backend is tested against.
+	MapKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DenseKind:
+		return "dense"
+	case MapKind:
+		return "map"
+	default:
+		return "world.Kind(?)"
+	}
+}
+
+// Backend is the engine-facing world state. Reads refer to the current
+// (pre-round) occupancy; the round protocol below builds the next round's
+// occupancy, which Commit swaps in.
+//
+// The per-round protocol, driven by the engine, is:
+//
+//	BeginRound
+//	  Arrive(from, dst) for every activated robot, in canonical cell
+//	  order of from; SetArrivalState after each sole-so-far arrival;
+//	  RaiseClock after each arrival (when clocks are on)
+//	BeginSleep
+//	  Sleep(p) for every sleeping robot, in canonical cell order;
+//	  RaiseClock after each (when clocks are on)
+//	ArrivalCount / ArrivalState / SetArrivalState for transfer resolution
+//	Commit
+type Backend interface {
+	// Len returns the number of robots.
+	Len() int
+	// Has reports whether cell p is occupied.
+	Has(p grid.Point) bool
+	// StateAt returns the run state of the robot at p (zero if free). The
+	// returned Runs slice may alias backend storage: treat it as read-only
+	// and do not retain it across Commit.
+	StateAt(p grid.Point) robot.State
+	// SetState overwrites the state of the robot at p in the current
+	// round (test scaffolding; p must be occupied). The runs are copied.
+	SetState(p grid.Point, st robot.State)
+	// ClockAt returns the logical clock of the robot at p (0 if free or
+	// clocks are disabled).
+	ClockAt(p grid.Point) int
+	// SlotAt returns the stable slot of the robot at p. Slots are
+	// assigned 0..n-1 in sorted cell order at construction, move with
+	// their robot, and are never reused after a merge, so they identify a
+	// robot across rounds. Calling it on a free cell is undefined.
+	SlotAt(p grid.Point) int32
+	// Bounds returns the smallest enclosing rectangle.
+	Bounds() grid.Rect
+	// Gathered reports whether the swarm fits in a 2×2 square.
+	Gathered() bool
+	// Connected reports 4-connectivity, reusing internal scratch so the
+	// per-round connectivity check allocates nothing in steady state.
+	Connected() bool
+	// Cells returns all occupied cells in sorted (Y, X) order. The slice
+	// is backend-owned: read-only, valid until the next Commit.
+	Cells() []grid.Point
+	// Slots returns the slots aligned with Cells(), same ownership rules.
+	Slots() []int32
+	// Snapshot returns the occupancy as a swarm (read-only by convention;
+	// the dense backend builds a fresh copy, so don't call it per round on
+	// hot paths).
+	Snapshot() *swarm.Swarm
+
+	// BeginRound resets the next-round scratch.
+	BeginRound()
+	// Arrive records the robot at from moving to dst (from == dst for a
+	// stay) and returns 1 if it is the sole arrival at dst so far, or 2 if
+	// it merged with earlier arrivals. The first arrival's slot survives
+	// at dst; a merge clears any pending state at dst.
+	Arrive(from, dst grid.Point) int
+	// BeginSleep marks the end of the activated arrivals. The sleeping
+	// robots that follow are passed in sorted order.
+	BeginSleep()
+	// Sleep records the robot at p staying in place with its state
+	// preserved (frozen, not rewritten). Merge handling is as in Arrive.
+	Sleep(p grid.Point) int
+	// SetArrivalState sets the pending next-round state of the sole robot
+	// at dst. The runs are copied; an empty state clears.
+	SetArrivalState(dst grid.Point, st robot.State)
+	// ArrivalState returns the pending next-round state at dst.
+	ArrivalState(dst grid.Point) robot.State
+	// ArrivalCount returns how many robots arrived at dst this round:
+	// 0 (none), 1 (sole survivor), or 2 (a merge happened; the exact
+	// count beyond two is not tracked).
+	ArrivalCount(dst grid.Point) int
+	// RaiseClock raises the pending logical clock of the survivor at dst
+	// to at least cl. No-op when clocks are disabled.
+	RaiseClock(dst grid.Point, cl int)
+	// Commit swaps the pending round in: occupancy, states, clocks and
+	// the sorted cell order all advance to the next round.
+	Commit()
+}
+
+// New builds a backend of the given kind from the swarm (which is not
+// retained by the dense backend and cloned by the map backend). withClocks
+// enables per-robot logical clock tracking (needed only under a
+// scheduler).
+func New(kind Kind, s *swarm.Swarm, withClocks bool) Backend {
+	if kind == MapKind {
+		return NewMapWorld(s, withClocks)
+	}
+	return NewDense(s, withClocks)
+}

@@ -1,0 +1,200 @@
+// Property and differential tests for the dense backend's occupancy
+// semantics: arbitrary Add/Remove sequences — including negative
+// coordinates, cells straddling chunk boundaries, and far-apart cells that
+// force the chunk table to grow — must leave Dense agreeing with the
+// map-backed swarm oracle on Has/Len/Bounds/Cells/Degree/Connected/
+// Components.
+package world
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+	"gridgather/internal/swarm"
+)
+
+// checkAgainstOracle compares every occupancy observable of d against the
+// swarm oracle.
+func checkAgainstOracle(t *testing.T, d *Dense, s *swarm.Swarm, probes []grid.Point) {
+	t.Helper()
+	if d.Len() != s.Len() {
+		t.Fatalf("Len: dense %d, oracle %d", d.Len(), s.Len())
+	}
+	if db, sb := d.Bounds(), s.Bounds(); db != sb {
+		t.Fatalf("Bounds: dense %v, oracle %v", db, sb)
+	}
+	cells := d.Cells()
+	oracle := s.Cells()
+	if len(cells) != len(oracle) {
+		t.Fatalf("Cells length: dense %d, oracle %d", len(cells), len(oracle))
+	}
+	for i := range cells {
+		if cells[i] != oracle[i] {
+			t.Fatalf("Cells[%d]: dense %v, oracle %v", i, cells[i], oracle[i])
+		}
+		if got, want := d.Degree(cells[i]), s.Degree(cells[i]); got != want {
+			t.Fatalf("Degree(%v): dense %d, oracle %d", cells[i], got, want)
+		}
+	}
+	for _, p := range probes {
+		if got, want := d.Has(p), s.Has(p); got != want {
+			t.Fatalf("Has(%v): dense %v, oracle %v", p, got, want)
+		}
+	}
+	if got, want := d.Connected(), s.Connected(); got != want {
+		t.Fatalf("Connected: dense %v, oracle %v", got, want)
+	}
+	dComps, sComps := d.Components(), s.Components()
+	if len(dComps) != len(sComps) {
+		t.Fatalf("Components count: dense %d, oracle %d", len(dComps), len(sComps))
+	}
+	for i := range dComps {
+		if len(dComps[i]) != len(sComps[i]) {
+			t.Fatalf("component %d size: dense %d, oracle %d", i, len(dComps[i]), len(sComps[i]))
+		}
+		for j := range dComps[i] {
+			if dComps[i][j] != sComps[i][j] {
+				t.Fatalf("component %d cell %d: dense %v, oracle %v", i, j, dComps[i][j], sComps[i][j])
+			}
+		}
+	}
+	if got, want := d.Gathered(), s.Gathered(); got != want {
+		t.Fatalf("Gathered: dense %v, oracle %v", got, want)
+	}
+}
+
+// applyOps replays an op stream (coordinate pairs with an add/remove bit)
+// on a fresh Dense and swarm oracle, comparing after every step.
+func applyOps(t *testing.T, ops []struct {
+	p   grid.Point
+	add bool
+}, probes []grid.Point) {
+	t.Helper()
+	s := swarm.New()
+	d := NewDense(s, false)
+	for i, op := range ops {
+		if op.add {
+			d.Add(op.p)
+			s.Add(op.p)
+		} else {
+			d.Remove(op.p)
+			s.Remove(op.p)
+		}
+		if i%7 == 0 || i == len(ops)-1 {
+			checkAgainstOracle(t, d, s, probes)
+		}
+	}
+}
+
+// TestDenseOccupancyProperty drives seeded random Add/Remove sequences
+// over a coordinate range that crosses chunk boundaries in all four
+// quadrants (chunk size 64: the range [-130, 130] spans five chunk columns
+// including the negative-to-positive seam).
+func TestDenseOccupancyProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ops []struct {
+			p   grid.Point
+			add bool
+		}
+		var pool []grid.Point
+		for i := 0; i < 300; i++ {
+			var p grid.Point
+			if len(pool) > 0 && rng.Intn(3) == 0 {
+				p = pool[rng.Intn(len(pool))] // revisit: duplicate adds / real removes
+			} else {
+				p = grid.Pt(rng.Intn(261)-130, rng.Intn(261)-130)
+				pool = append(pool, p)
+			}
+			ops = append(ops, struct {
+				p   grid.Point
+				add bool
+			}{p, rng.Intn(3) != 0})
+		}
+		probes := pool
+		applyOps(t, ops, probes)
+	}
+}
+
+// TestDenseFarApartGrowth places cells tens of thousands of cells apart —
+// each Add lands outside the chunk table and forces it to grow — and
+// checks the observables still match the oracle, including the
+// multi-component Connected/Components answers.
+func TestDenseFarApartGrowth(t *testing.T) {
+	pts := []grid.Point{
+		grid.Pt(0, 0), grid.Pt(1, 0),
+		grid.Pt(20000, 3), grid.Pt(20001, 3),
+		grid.Pt(-15000, -7), grid.Pt(-15000, -8),
+		grid.Pt(5, 30000), grid.Pt(-3, -25000),
+	}
+	s := swarm.New()
+	d := NewDense(s, false)
+	for _, p := range pts {
+		d.Add(p)
+		s.Add(p)
+		checkAgainstOracle(t, d, s, pts)
+	}
+	if d.Connected() {
+		t.Fatal("far-apart cells reported connected")
+	}
+	for _, p := range pts[:4] {
+		d.Remove(p)
+		s.Remove(p)
+		checkAgainstOracle(t, d, s, pts)
+	}
+}
+
+// TestDenseConstructionMatchesWorkloads builds Dense from every seeded
+// workload and checks the full observable surface, plus slot assignment in
+// sorted cell order.
+func TestDenseConstructionMatchesWorkloads(t *testing.T) {
+	for _, w := range gen.SeededCatalog() {
+		t.Run(w.Name, func(t *testing.T) {
+			s := w.Build(80, 7)
+			d := NewDense(s, false)
+			checkAgainstOracle(t, d, s, s.Cells())
+			for i, slot := range d.Slots() {
+				if slot != int32(i) {
+					t.Fatalf("initial slot %d = %d, want index order", i, slot)
+				}
+			}
+			if snap := d.Snapshot(); !snap.Equal(s) {
+				t.Fatal("Snapshot differs from source swarm")
+			}
+		})
+	}
+}
+
+// TestSortNearSortedFallback feeds the insertion pass a fully reversed
+// permutation — far past the shift budget — and checks the fallback still
+// sorts correctly.
+func TestSortNearSortedFallback(t *testing.T) {
+	const n = 4096
+	a := make([]cellSlot, n)
+	for i := range a {
+		a[i] = cellSlot{grid.Pt(n-i, 0), int32(i)}
+	}
+	sortNearSorted(a)
+	for i := 1; i < n; i++ {
+		if !a[i-1].p.Less(a[i].p) {
+			t.Fatalf("not sorted at %d: %v then %v", i, a[i-1].p, a[i].p)
+		}
+	}
+}
+
+// TestDenseClocksDisabled pins the clocks-off contract: ClockAt is 0 and
+// RaiseClock a no-op.
+func TestDenseClocksDisabled(t *testing.T) {
+	d := NewDense(swarm.New(grid.Pt(0, 0)), false)
+	d.BeginRound()
+	d.Arrive(grid.Pt(0, 0), grid.Pt(0, 0))
+	d.SetArrivalState(grid.Pt(0, 0), robot.State{})
+	d.RaiseClock(grid.Pt(0, 0), 9)
+	d.Commit()
+	if got := d.ClockAt(grid.Pt(0, 0)); got != 0 {
+		t.Fatalf("ClockAt with clocks disabled = %d", got)
+	}
+}
