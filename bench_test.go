@@ -15,7 +15,6 @@ import (
 	"gridgather/internal/swarm"
 	"gridgather/internal/sweep"
 	"gridgather/internal/view"
-	"gridgather/internal/world"
 )
 
 // The benchmarks regenerate the experiment suite under `go test -bench`.
@@ -137,16 +136,16 @@ func BenchmarkEngineRound(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineStepWorkers measures the cost of one FSYNC round on large
-// instances (n ≥ 2000) for both world backends (the dense tiled bitset
-// default and the map oracle), for the serial compute path (Workers=1)
-// against the sharded worker pool (Workers=GOMAXPROCS and an explicit 4).
-// Outcomes are bit-identical across worker counts and backends (see the
-// internal/fsync parallel and backend differential tests); this benchmark
-// quantifies the round cost and the per-round allocations — the dense
-// backend shows up as both lower ns/op and near-zero allocs/op, the
-// sharding as ns/op on multi-core machines. CI's regression guard runs it
-// on both backends via gatherbench -bench-guard.
+// BenchmarkEngineStepWorkers measures the cost of one full FSYNC round on
+// large instances (n ≥ 2000) for the serial pipeline (Workers=1) against
+// the chunk-owned sharded pipeline (Workers=4 and GOMAXPROCS) — the whole
+// round now shards, not just Look+Compute: Resolve buckets arrivals by
+// target-chunk ownership and Commit repairs the arrival lanes
+// concurrently. Outcomes are bit-identical across worker counts (see the
+// internal/fsync parallel and pipeline differential tests); this benchmark
+// quantifies the round cost and the per-round allocations — the sharding
+// shows up as ns/op on multi-core machines. CI's serial-vs-parallel
+// regression guard re-measures via gatherbench -bench-guard.
 func BenchmarkEngineStepWorkers(b *testing.B) {
 	families := []struct {
 		name  string
@@ -157,29 +156,26 @@ func BenchmarkEngineStepWorkers(b *testing.B) {
 		{"line", func() *swarm.Swarm { return gen.Line(2048) }},
 		{"blob", func() *swarm.Swarm { return gen.RandomBlob(2000, 42) }},
 	}
-	backends := []world.Kind{world.DenseKind, world.MapKind}
 	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
 	for _, f := range families {
 		s := f.build()
-		for _, kind := range backends {
-			for _, workers := range workerCounts {
-				cfg := fsync.Config{Workers: workers, Backend: kind}
-				b.Run(fmt.Sprintf("%s/n=%d/%s/workers=%d", f.name, s.Len(), kind, workers), func(b *testing.B) {
-					eng := fsync.New(s, core.Default(), cfg)
-					b.ReportAllocs()
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						if err := eng.Step(); err != nil {
-							b.Fatal(err)
-						}
-						if eng.Gathered() {
-							b.StopTimer()
-							eng = fsync.New(s, core.Default(), cfg)
-							b.StartTimer()
-						}
+		for _, workers := range workerCounts {
+			cfg := fsync.Config{Workers: workers}
+			b.Run(fmt.Sprintf("%s/n=%d/workers=%d", f.name, s.Len(), workers), func(b *testing.B) {
+				eng := fsync.New(s, core.Default(), cfg)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.Step(); err != nil {
+						b.Fatal(err)
 					}
-				})
-			}
+					if eng.Gathered() {
+						b.StopTimer()
+						eng = fsync.New(s, core.Default(), cfg)
+						b.StartTimer()
+					}
+				}
+			})
 		}
 	}
 }

@@ -7,13 +7,14 @@
 //	gatherbench                         # run the full experiment suite
 //	gatherbench -exp e2                 # run one experiment
 //	gatherbench -jobs 4                 # cap concurrent simulations at 4
-//	gatherbench -bench-json BENCH_engine.json
+//	gatherbench -bench-json BENCH_engine.json -bench-workers 1,2,4,8
 //	                                    # measure Engine.Step per workload
-//	                                    # and backend, write bench JSON
+//	                                    # and worker count, write bench JSON
 //	gatherbench -bench-json out.json -bench-n 512 -bench-rounds 60 \
-//	            -bench-gather=false -bench-guard
+//	            -bench-gather=false -bench-workers 1,4 -bench-guard
 //	                                    # CI smoke: quick measurement plus
-//	                                    # the dense-vs-map regression guard
+//	                                    # the serial-vs-parallel regression
+//	                                    # guard
 //
 // Experiments that batch many independent simulations (E1, E18, E21) fan
 // them out through the sweep runner (internal/sweep); -jobs bounds that
@@ -21,22 +22,40 @@
 // experiment suite, use cmd/gathersweep.
 //
 // -bench-json runs the internal/perf harness over the acceptance
-// workloads (hollow, solid, line, blob) on both world backends, prints
-// the table, and writes the JSON to the given path. The committed
+// workloads (hollow, solid, line, blob) for every -bench-workers count,
+// prints the table, and writes the JSON to the given path. The committed
 // BENCH_engine.json at the repo root is the performance baseline —
 // regenerate it with the default flags on a quiet machine. -bench-guard
-// exits non-zero if the dense backend measured slower than the map
-// oracle on any workload.
+// exits non-zero if the parallel pipeline measured slower than the serial
+// path on any workload (beyond perf.GuardTolerance).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"gridgather/internal/exp"
 	"gridgather/internal/perf"
 )
+
+// parseWorkers parses the -bench-workers comma-separated list.
+func parseWorkers(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -bench-workers entry %q (want positive integers)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	which := flag.String("exp", "all", "experiment to run: all, e1, e1b, e2, e3, e15, e18, e20, e21")
@@ -45,15 +64,22 @@ func main() {
 	benchN := flag.Int("bench-n", 2048, "approximate robot count for -bench-json workloads")
 	benchRounds := flag.Int("bench-rounds", 150, "measured rounds per -bench-json cell")
 	benchGather := flag.Bool("bench-gather", true, "also record full-simulation gather rounds per workload in -bench-json")
-	benchGuard := flag.Bool("bench-guard", false, "exit non-zero if the dense backend is slower than the map oracle")
+	benchWorkers := flag.String("bench-workers", "1", "comma-separated worker counts to measure per -bench-json workload")
+	benchGuard := flag.Bool("bench-guard", false, "exit non-zero if the parallel pipeline is slower than the serial path")
 	flag.Parse()
 	exp.Concurrency = *jobs
 
 	w := os.Stdout
 	if *benchJSON != "" {
+		workers, err := parseWorkers(*benchWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		rep, err := perf.Run(perf.Config{
 			N:             *benchN,
 			MeasureRounds: *benchRounds,
+			Workers:       workers,
 			Gather:        *benchGather,
 		})
 		if err != nil {
@@ -74,7 +100,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintln(w, "regression guard: dense ≤ map on every workload")
+			fmt.Fprintln(w, "regression guard: parallel ≤ serial on every workload")
 		}
 		return
 	}

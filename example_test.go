@@ -48,13 +48,16 @@ func ExampleWorkloads() {
 	// hollow
 	// staircase
 	// spiral
+	// sierpinski
 	// tree
 	// blob
+	// clusters
 }
 
-// Options.Workers shards each round's compute phase across a goroutine
-// pool. The engine combines worker results in deterministic cell order, so
-// any worker count produces the identical simulation.
+// Options.Workers shards each round's whole pipeline — Look+Compute, move
+// and merge resolution (by chunk ownership), and the commit — across a
+// goroutine pool. The engine combines worker results in deterministic cell
+// order, so any worker count produces the identical simulation.
 func ExampleOptions_workers() {
 	cells, _ := gridgather.Workload("hollow", 60)
 	serial := gridgather.Gather(cells, gridgather.Options{Workers: 1})

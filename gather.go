@@ -78,12 +78,13 @@ type Options struct {
 	// cell outside the viewing radius (a proof of locality; small
 	// overhead).
 	StrictLocality bool
-	// Workers is the number of goroutines the engine shards each round's
-	// Look+Compute phase across. 0 uses all available CPUs
-	// (runtime.GOMAXPROCS); 1 forces the serial path. Results are
-	// bit-identical for every worker count — the FSYNC model computes all
-	// actions from the same immutable pre-round snapshot, and the engine
-	// combines them in deterministic cell order.
+	// Workers is the number of goroutines the engine shards each round
+	// across — the Look+Compute phase and the move/merge/commit write
+	// phase alike (the latter by chunk ownership with a serial seam pass).
+	// 0 uses all available CPUs (runtime.GOMAXPROCS); 1 forces the serial
+	// path. Results are bit-identical for every worker count — all actions
+	// are computed from the same immutable pre-round snapshot and every
+	// stage combines worker results in deterministic cell order.
 	Workers int
 	// OnRound, if non-nil, receives a snapshot after every round.
 	OnRound func(RoundInfo)

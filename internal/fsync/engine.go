@@ -7,12 +7,39 @@
 // same location they are merged to be only one robot"), delivers run-state
 // transfers, and checks model invariants.
 //
-// The global state lives in a world.Backend: by default the dense tiled
-// bitset backend (O(1) occupancy reads, flat slot-indexed run states and
-// logical clocks, an incrementally maintained sorted cell order), with the
-// original map representation available as world.MapKind for
-// differential testing — the determinism tests prove both backends
-// bit-identical round by round.
+// The global state lives in a world.Dense: a tiled bitset occupancy index
+// over 64×64-cell chunks with flat slot-indexed run states and logical
+// clocks and an incrementally maintained sorted cell order.
+//
+// # The staged round pipeline
+//
+// Step executes each round in four explicit stages over that chunk grid:
+//
+//	Activate  resolve the round's activation set (everyone under FSYNC; a
+//	          scheduler subset otherwise — contiguous activation windows
+//	          are sliced straight out of the cell order via
+//	          sched.RangeActivator, without a per-robot mask pass)
+//	Compute   Look+Compute for every activated robot, sharded across
+//	          workers against the immutable pre-round snapshot
+//	Resolve   apply all moves: merge resolution, run-state commits,
+//	          logical clocks, and transfer collection. Robots are bucketed
+//	          by the chunk that owns their *target* cell (a stable hash of
+//	          absolute chunk coordinates) and each worker resolves its
+//	          chunks' arrivals fully in parallel against a per-worker
+//	          arrival lane — two robots can conflict only when they target
+//	          the same cell, and a cell has exactly one owner, so the hot
+//	          path takes no locks. Targets on a chunk seam (within L∞ 1 of
+//	          a chunk border) go to a flat seam bucket resolved in a short
+//	          deterministic serial pass after the workers join, followed by
+//	          run adoption and transfer delivery in canonical order.
+//	Commit    the world repairs each lane's sorted order concurrently and
+//	          k-way merges the lanes into the canonical cell order.
+//
+// Every stage combines results in deterministic cell order (per-worker
+// collections carry their global collection index and are merged back into
+// it), so the outcome is bit-identical for every worker count — the
+// differential tests prove serial ≡ parallel round by round across the
+// workload corpus, every scheduler family and workers ∈ {1..16}.
 //
 // A Config.Scheduler (internal/sched) relaxes the synchrony: each round
 // only the scheduler's activation subset runs a look-compute-move cycle
@@ -73,12 +100,13 @@ type Config struct {
 	// OnRound, if non-nil, is called after every completed round with the
 	// engine in its post-round state (used by tracing and tests).
 	OnRound func(e *Engine)
-	// Workers is the number of goroutines sharding the Look+Compute phase
-	// of each round. 0 means runtime.GOMAXPROCS(0); 1 keeps the serial
-	// path. The FSYNC model makes the phase embarrassingly parallel — every
+	// Workers is the number of goroutines sharding both the Compute and
+	// the Resolve stage of each round. 0 means runtime.GOMAXPROCS(0); 1
+	// keeps the fully serial path. Compute shards the activation set (every
 	// robot runs the same pure function on the same immutable pre-round
-	// snapshot — and results are combined in deterministic cell order, so
-	// the outcome is bit-identical for every worker count. The Algorithm's
+	// snapshot); Resolve shards by target-chunk ownership with a serial
+	// seam pass; both combine results in deterministic order, so the
+	// outcome is bit-identical for every worker count. The Algorithm's
 	// Compute must be safe for concurrent calls when Workers != 1
 	// (core.Gatherer is: it only reads the view and bumps atomic counters).
 	Workers int
@@ -92,11 +120,6 @@ type Config struct {
 	// merged onto. Budgets (MaxRounds, NoMergeLimit) should be scaled by
 	// the scheduler's fairness bound; see DefaultBudget.Scale.
 	Scheduler sched.Scheduler
-	// Backend selects the world representation: world.DenseKind (the
-	// tiled bitset backend, default) or world.MapKind (the original map
-	// representation, kept as the differential-testing oracle). Both are
-	// bit-identical round by round; the map oracle is the slow reference.
-	Backend world.Kind
 }
 
 // Result summarizes a simulation.
@@ -120,10 +143,9 @@ type Result struct {
 
 // Engine drives one swarm under one algorithm.
 type Engine struct {
-	cfg   Config
-	alg   Algorithm
-	w     world.Backend
-	dense *world.Dense // non-nil when w is the dense backend (view fast path)
+	cfg Config
+	alg Algorithm
+	w   *world.Dense
 
 	round      int
 	merges     int
@@ -135,15 +157,20 @@ type Engine struct {
 
 	// Scratch structures reused across rounds. Each Step fills them from
 	// scratch; nothing outside Step may retain references to them.
-	order        []grid.Point // this round's activation set
-	sleep        []grid.Point // robots outside the activation set
-	mask         []bool       // scheduler activation mask over the cell order
-	acts         []actionAt
-	transferList []pendingTransfer
-	freshKeeps   []grid.Point
+	order        []grid.Point  // this round's activation set
+	sleep        []grid.Point  // robots outside the activation set
+	mask         []bool        // scheduler activation mask over the cell order
+	acts         []actionAt    // actions indexed like order
+	actBuckets   [][]int32     // action indices per resolve lane (last = seam)
+	sleepBuckets [][]int32     // sleeper indices per resolve lane
+	outs         []resolveOut  // per-lane resolve collections
+	mergeCur     []int         // k-way merge cursors over outs
+	freshKeeps   []idxKeep     // merged brand-new kept runs, collection order
+	transferList []idxTransfer // merged pending hand-offs, collection order
 	deliver      deliverSlice
 	runScratch   [robot.MaxRuns + 2]robot.Run
 	computeErrs  []error
+	runnersBuf   []grid.Point
 }
 
 // actionAt pairs a robot's pre-round position with its computed action.
@@ -152,11 +179,36 @@ type actionAt struct {
 	act  Action
 }
 
-// pendingTransfer is a run hand-off collected during the move pass. It is
-// delivered only if the sender survives the round without merging: run
-// states of merged robots stop (Table 1, condition 3), including states the
-// robot was handing off in the very round it merged.
-type pendingTransfer struct {
+// resolveOut is one lane's Resolve-stage output: everything the shared
+// serial tail (run adoption, transfer resolution) needs, tagged with the
+// global action index so the per-lane collections merge back into the
+// order a serial pass would have produced.
+type resolveOut struct {
+	moved     int
+	keeps     []idxKeep
+	transfers []idxTransfer
+}
+
+func (o *resolveOut) reset() {
+	o.moved = 0
+	o.keeps = o.keeps[:0]
+	o.transfers = o.transfers[:0]
+}
+
+// idxKeep is a surviving-so-far brand-new kept run awaiting adoption,
+// tagged with the keeper's action index.
+type idxKeep struct {
+	idx int32
+	dst grid.Point
+}
+
+// idxTransfer is a run hand-off collected during the Resolve stage,
+// tagged with the sender's action index. It is delivered only if the
+// sender survives the round without merging: run states of merged robots
+// stop (Table 1, condition 3), including states the robot was handing off
+// in the very round it merged.
+type idxTransfer struct {
+	idx       int32
 	senderDst grid.Point // the sender's post-move cell; its occupancy decides the sender's fate
 	to        grid.Point // the recipient cell (pre-round coordinates)
 	run       robot.Run
@@ -215,14 +267,12 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 	if cfg.MaxRounds < 0 {
 		cfg.MaxRounds = 0 // reserved: negative means the same as "no limit"
 	}
-	e := &Engine{
+	return &Engine{
 		cfg:       cfg,
 		alg:       alg,
-		w:         world.New(cfg.Backend, s, cfg.Scheduler != nil),
+		w:         world.NewDense(s, cfg.Scheduler != nil),
 		nextRunID: 1,
 	}
-	e.dense, _ = e.w.(*world.Dense)
-	return e
 }
 
 // workers resolves the configured worker count for a round over n robots.
@@ -240,14 +290,12 @@ func (e *Engine) workers(n int) int {
 	return w
 }
 
-// Swarm exposes the current occupancy as a swarm. With the dense backend
-// this builds a fresh snapshot, so avoid calling it per round on hot
-// paths; with the map oracle it is the live (read-only by convention)
-// swarm.
+// Swarm exposes the current occupancy as a freshly built swarm, so avoid
+// calling it per round on hot paths (OnRound hooks should read World()).
 func (e *Engine) Swarm() *swarm.Swarm { return e.w.Snapshot() }
 
-// World exposes the engine's state backend (read-only by convention).
-func (e *Engine) World() world.Backend { return e.w }
+// World exposes the engine's state (read-only by convention).
+func (e *Engine) World() *world.Dense { return e.w }
 
 // Round returns the number of completed rounds.
 func (e *Engine) Round() int { return e.round }
@@ -278,16 +326,18 @@ func (e *Engine) localRound(p grid.Point) int {
 	return e.w.ClockAt(p)
 }
 
-// Runners returns the positions of all robots currently holding run states,
-// in deterministic order.
+// Runners returns the positions of all robots currently holding run
+// states, in deterministic order. The returned slice is engine-owned
+// scratch — read-only, valid until the next Runners or Step call — so the
+// per-round stats/trace paths allocate nothing.
 func (e *Engine) Runners() []grid.Point {
-	var out []grid.Point
+	e.runnersBuf = e.runnersBuf[:0]
 	for _, p := range e.w.Cells() {
 		if e.w.StateAt(p).HasRuns() {
-			out = append(out, p)
+			e.runnersBuf = append(e.runnersBuf, p)
 		}
 	}
-	return out
+	return e.runnersBuf
 }
 
 // SetRound overrides the round counter (test scaffolding: starting at a
@@ -313,20 +363,14 @@ func (e *Engine) SetState(p grid.Point, st robot.State) {
 // Gathered reports whether the swarm fits in a 2×2 square.
 func (e *Engine) Gathered() bool { return e.w.Gathered() }
 
-// viewConfig builds the view accessor bundle against current state: the
-// direct bitset fast path for the dense backend, closures otherwise.
+// viewConfig builds the view accessor bundle against current state: views
+// read the tiled bitset directly (no closures, no hashing).
 func (e *Engine) viewConfig() view.Config {
-	vc := view.Config{
+	return view.Config{
 		Radius:  e.alg.Radius(),
 		Checked: e.cfg.StrictViews,
+		Dense:   e.w,
 	}
-	if e.dense != nil {
-		vc.Dense = e.dense
-	} else {
-		vc.Occ = e.w.Has
-		vc.State = e.w.StateAt
-	}
-	return vc
 }
 
 // computeRange runs Look+Compute for the robots e.order[lo:hi), writing
@@ -347,159 +391,167 @@ func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 	return nil
 }
 
-// Step executes one round. It returns an error if an invariant broke.
+// Step executes one round through the staged pipeline: Activate → Compute
+// → Resolve → Commit. It returns an error if an invariant broke.
 func (e *Engine) Step() error {
-	vc := e.viewConfig()
 	scheduled := e.cfg.Scheduler != nil
+	e.stageActivate(scheduled)
+	prevPop := len(e.order) + len(e.sleep)
+	workers := e.workers(len(e.order))
+	if err := e.stageCompute(workers); err != nil {
+		return err
+	}
+	moved := e.stageResolve(scheduled, workers)
+	e.w.Commit()
 
-	// Activation: under FSYNC every robot runs a full look-compute-move
-	// cycle every round; a Scheduler restricts the round to its activation
-	// subset, and the rest of the swarm sleeps in place. The backend keeps
-	// the cell order sorted incrementally, so no per-round re-sort happens
-	// on either path.
+	removed := prevPop - e.w.Len()
+	e.round++
+	e.moves += moved
+	e.merges += removed
+	e.roundMerge = removed
+	if removed > 0 {
+		e.lastMerge = e.round
+	}
+
+	if e.cfg.CheckConnectivity && e.round%e.cfg.CheckEvery == 0 {
+		if !e.w.Connected() {
+			return ErrDisconnected{Round: e.round}
+		}
+	}
+	if e.cfg.NoMergeLimit > 0 && e.round-e.lastMerge >= e.cfg.NoMergeLimit && !e.Gathered() {
+		return ErrStuck{Round: e.round, SinceMerge: e.round - e.lastMerge}
+	}
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(e)
+	}
+	return nil
+}
+
+// stageActivate fills e.order (this round's activation set) and e.sleep
+// (everyone else), both in canonical cell order. Under FSYNC every robot
+// runs a full look-compute-move cycle every round; a Scheduler restricts
+// the round to its activation subset. Schedulers whose activation set is a
+// contiguous window of the cell order (sched.RangeActivator — FSYNC,
+// ASYNC wavefronts) deliver it as a slot range sliced straight out of the
+// sorted order, skipping the per-robot mask pass entirely.
+func (e *Engine) stageActivate(scheduled bool) {
 	cells := e.w.Cells()
 	e.order = e.order[:0]
 	e.sleep = e.sleep[:0]
 	if !scheduled {
 		e.order = append(e.order, cells...)
-	} else {
-		slots := e.w.Slots()
-		if cap(e.mask) < len(cells) {
-			e.mask = make([]bool, len(cells))
-		}
-		mask := e.mask[:len(cells)]
-		clear(mask)
-		e.cfg.Scheduler.Activate(e.round, cells, slots, mask)
-		for i, p := range cells {
-			if mask[i] {
-				e.order = append(e.order, p)
-			} else {
-				e.sleep = append(e.sleep, p)
+		return
+	}
+	if ra, ok := e.cfg.Scheduler.(sched.RangeActivator); ok {
+		if lo, m, ok := ra.ActivateRange(e.round, len(cells)); ok {
+			n := len(cells)
+			switch hi := lo + m; {
+			case m >= n:
+				e.order = append(e.order, cells...)
+			case hi <= n:
+				e.order = append(e.order, cells[lo:hi]...)
+				e.sleep = append(e.sleep, cells[:lo]...)
+				e.sleep = append(e.sleep, cells[hi:]...)
+			default: // the window wraps: ascending order is [0,hi-n) ∪ [lo,n)
+				e.order = append(e.order, cells[:hi-n]...)
+				e.order = append(e.order, cells[lo:]...)
+				e.sleep = append(e.sleep, cells[hi-n:lo]...)
 			}
+			return
 		}
 	}
+	slots := e.w.Slots()
+	if cap(e.mask) < len(cells) {
+		e.mask = make([]bool, len(cells))
+	}
+	mask := e.mask[:len(cells)]
+	clear(mask)
+	e.cfg.Scheduler.Activate(e.round, cells, slots, mask)
+	for i, p := range cells {
+		if mask[i] {
+			e.order = append(e.order, p)
+		} else {
+			e.sleep = append(e.sleep, p)
+		}
+	}
+}
 
-	// Look + Compute: every activated robot simultaneously, from the same
-	// snapshot. The pre-round state is immutable during this phase, so no
-	// cloning is required — the phase shards freely across workers, each
-	// writing its robots' actions to fixed indices of e.acts.
+// stageCompute runs Look+Compute for every activated robot simultaneously,
+// from the same snapshot. The pre-round state is immutable during this
+// stage, so no cloning is required — the stage shards freely across
+// workers, each writing its robots' actions to fixed indices of e.acts.
+func (e *Engine) stageCompute(workers int) error {
+	vc := e.viewConfig()
 	n := len(e.order)
 	if cap(e.acts) < n {
 		e.acts = make([]actionAt, n)
 	}
 	e.acts = e.acts[:n]
-	if workers := e.workers(n); workers == 1 {
-		if err := e.computeRange(vc, 0, n); err != nil {
-			return err
+	if workers == 1 {
+		return e.computeRange(vc, 0, n)
+	}
+	if cap(e.computeErrs) < workers {
+		e.computeErrs = make([]error, workers)
+	}
+	errs := e.computeErrs[:workers]
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = e.computeRange(vc, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range errs {
+		// The lowest shard's error wins, matching what the serial loop
+		// would have reported first.
+		if errs[w] != nil {
+			return errs[w]
 		}
+	}
+	return nil
+}
+
+// stageResolve applies all moves through the world's arrival protocol and
+// returns the number of robots that hopped. The first arrival at a cell is
+// the provisional survivor and keeps its runs; any later arrival is a
+// merge — run states of merged robots stop (Table 1, condition 3/6).
+// Sleeping robots stand still, keeping their run states (frozen, not aged)
+// and logical clocks; they still merge if an activated robot lands on
+// their cell. With several workers the arrivals are resolved by
+// target-chunk ownership (see resolveParallel); the stage ends with the
+// shared serial tail: run adoption and transfer delivery.
+func (e *Engine) stageResolve(scheduled bool, workers int) int {
+	var moved int
+	if workers == 1 {
+		e.w.BeginRound()
+		if len(e.outs) == 0 {
+			e.outs = make([]resolveOut, 1)
+		}
+		e.resolveLane(0, true, nil, nil, scheduled, &e.outs[0])
+		moved = e.mergeOuts(e.outs[:1])
 	} else {
-		if cap(e.computeErrs) < workers {
-			e.computeErrs = make([]error, workers)
-		}
-		errs := e.computeErrs[:workers]
-		chunk := (n + workers - 1) / workers
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := min(lo+chunk, n)
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				errs[w] = e.computeRange(vc, lo, hi)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for w := range errs {
-			// The lowest shard's error wins, matching what the serial loop
-			// would have reported first.
-			if errs[w] != nil {
-				return errs[w]
-			}
-		}
-	}
-
-	// Move: apply all hops simultaneously through the backend's arrival
-	// protocol. The first arrival at a cell is the provisional survivor
-	// and keeps its runs; any later arrival is a merge — run states of
-	// merged robots stop (Table 1, condition 3/6).
-	e.w.BeginRound()
-	e.transferList = e.transferList[:0]
-	e.freshKeeps = e.freshKeeps[:0]
-	moved, arrivals := 0, 0
-	for i := range e.acts {
-		c := &e.acts[i]
-		dst := c.from.Add(c.act.Move)
-		if dst != c.from {
-			moved++
-		}
-		var cl int
-		if scheduled {
-			// The cycle completes: the robot's logical clock ticks. A
-			// merged cell keeps the largest arriving clock (deterministic
-			// regardless of arrival order).
-			cl = e.w.ClockAt(c.from) + 1
-		}
-		if e.w.Arrive(c.from, dst) == 1 {
-			keep := c.act.Keep()
-			e.w.SetArrivalState(dst, robot.State{Runs: keep})
-			for _, r := range keep {
-				if r.ID == 0 {
-					// Brand-new kept run: adoption (ID, RunsStarted) waits
-					// until the keeper's merge fate is known, like the
-					// transfer hand-offs below.
-					e.freshKeeps = append(e.freshKeeps, dst)
-					break
-				}
-			}
-		}
-		if scheduled {
-			e.w.RaiseClock(dst, cl)
-		}
-		arrivals++
-		for _, tr := range c.act.Transfers() {
-			// Collected, not yet delivered: whether the hand-off succeeds
-			// depends on the sender not merging this round, which is known
-			// only after all arrivals are counted. Adoption (ID assignment,
-			// RunsStarted accounting) happens at resolution so a dropped
-			// hand-off of a brand-new run is never counted as started.
-			e.transferList = append(e.transferList, pendingTransfer{
-				senderDst: dst,
-				to:        c.from.Add(tr.To),
-				run:       tr.Run,
-			})
-		}
-	}
-
-	// Sleeping robots stand still, keeping their run states (frozen, not
-	// aged) and logical clocks. They still merge if an activated robot
-	// lands on their cell.
-	e.w.BeginSleep()
-	for _, p := range e.sleep {
-		var cl int
-		if scheduled {
-			cl = e.w.ClockAt(p)
-		}
-		e.w.Sleep(p)
-		if scheduled {
-			e.w.RaiseClock(p, cl)
-		}
-		arrivals++
+		moved = e.resolveParallel(scheduled, workers)
 	}
 
 	// Adopt brand-new kept runs now that every robot's fate is known: a
 	// robot that kept a fresh run but was merged onto this round never
 	// started it (Table 1, condition 3 — the merge clears its pending
 	// state), so only surviving keepers get IDs and RunsStarted credit.
-	for _, dst := range e.freshKeeps {
-		if e.w.ArrivalCount(dst) != 1 {
+	for _, k := range e.freshKeeps {
+		if e.w.ArrivalCount(k.dst) != 1 {
 			continue
 		}
-		st := e.w.ArrivalState(dst)
+		st := e.w.ArrivalState(k.dst)
 		rb := e.runScratch[:0]
 		for _, r := range st.Runs {
 			rb = append(rb, e.adoptRun(r))
 		}
-		e.w.SetArrivalState(dst, robot.State{Runs: rb})
+		e.w.SetArrivalState(k.dst, robot.State{Runs: rb})
 	}
 
 	// Resolve the collected hand-offs now that every robot's fate is known:
@@ -538,29 +590,195 @@ func (e *Engine) Step() error {
 		}
 		i = j
 	}
+	return moved
+}
 
-	e.w.Commit()
-	removed := arrivals - e.w.Len()
-	e.round++
-	e.moves += moved
-	e.merges += removed
-	e.roundMerge = removed
-	if removed > 0 {
-		e.lastMerge = e.round
+// resolveParallel is the chunk-owned Resolve fan-out: every action (and
+// sleeper) is bucketed by the lane owning its target cell's chunk — seam
+// targets (within L∞ 1 of a chunk border) go to the extra seam lane —
+// then one goroutine per worker drains its buckets in parallel, and the
+// seam lane runs serially after the join, where cross-chunk conflicts are
+// possible. The single classification sweep also pre-marks every target
+// chunk, so the workers never touch shared world structures.
+func (e *Engine) resolveParallel(scheduled bool, workers int) int {
+	lanes := workers + 1
+	seam := workers
+	e.w.BeginRoundShards(lanes)
+	for len(e.actBuckets) < lanes {
+		e.actBuckets = append(e.actBuckets, nil)
+		e.sleepBuckets = append(e.sleepBuckets, nil)
 	}
+	for i := 0; i < lanes; i++ {
+		e.actBuckets[i] = e.actBuckets[i][:0]
+		e.sleepBuckets[i] = e.sleepBuckets[i][:0]
+	}
+	for i := range e.acts {
+		c := &e.acts[i]
+		ln, onSeam := e.w.Classify(c.from.Add(c.act.Move), workers)
+		if onSeam {
+			ln = seam
+		}
+		e.actBuckets[ln] = append(e.actBuckets[ln], int32(i))
+	}
+	for i, p := range e.sleep {
+		ln, onSeam := e.w.Classify(p, workers)
+		if onSeam {
+			ln = seam
+		}
+		e.sleepBuckets[ln] = append(e.sleepBuckets[ln], int32(i))
+	}
+	for len(e.outs) < lanes {
+		e.outs = append(e.outs, resolveOut{})
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			e.resolveLane(k, false, e.actBuckets[k], e.sleepBuckets[k], scheduled, &e.outs[k])
+		}(k)
+	}
+	wg.Wait()
+	// The seam pass: short, serial, deterministic — the only arrivals whose
+	// neighborhoods span chunks another worker owns.
+	e.resolveLane(seam, false, e.actBuckets[seam], e.sleepBuckets[seam], scheduled, &e.outs[seam])
+	return e.mergeOuts(e.outs[:lanes])
+}
 
-	if e.cfg.CheckConnectivity && e.round%e.cfg.CheckEvery == 0 {
-		if !e.w.Connected() {
-			return ErrDisconnected{Round: e.round}
+// resolveLane replays the arrival protocol for one lane's bucket of action
+// indices and sleeper indices (all=true drains everything — the serial
+// path). Within a lane, activated arrivals run before sleepers — the same
+// relative order a serial pass uses — and any two arrivals at the same
+// cell are always in the same lane, so per-cell merge resolution is
+// order-identical to serial.
+func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, scheduled bool, out *resolveOut) {
+	out.reset()
+	nA := len(actIdx)
+	if all {
+		nA = len(e.acts)
+	}
+	for k := 0; k < nA; k++ {
+		i := int32(k)
+		if !all {
+			i = actIdx[k]
+		}
+		c := &e.acts[i]
+		dst := c.from.Add(c.act.Move)
+		if dst != c.from {
+			out.moved++
+		}
+		var cl int
+		if scheduled {
+			// The cycle completes: the robot's logical clock ticks. A
+			// merged cell keeps the largest arriving clock (deterministic
+			// regardless of arrival order).
+			cl = e.w.ClockAt(c.from) + 1
+		}
+		if e.w.ArriveShard(ln, c.from, dst) == 1 {
+			keep := c.act.Keep()
+			e.w.SetArrivalState(dst, robot.State{Runs: keep})
+			for _, r := range keep {
+				if r.ID == 0 {
+					// Brand-new kept run: adoption (ID, RunsStarted) waits
+					// until the keeper's merge fate is known, like the
+					// transfer hand-offs below.
+					out.keeps = append(out.keeps, idxKeep{idx: i, dst: dst})
+					break
+				}
+			}
+		}
+		if scheduled {
+			e.w.RaiseClock(dst, cl)
+		}
+		for _, tr := range c.act.Transfers() {
+			// Collected, not yet delivered: whether the hand-off succeeds
+			// depends on the sender not merging this round, which is known
+			// only after all arrivals are counted.
+			out.transfers = append(out.transfers, idxTransfer{
+				idx:       i,
+				senderDst: dst,
+				to:        c.from.Add(tr.To),
+				run:       tr.Run,
+			})
 		}
 	}
-	if e.cfg.NoMergeLimit > 0 && e.round-e.lastMerge >= e.cfg.NoMergeLimit && !e.Gathered() {
-		return ErrStuck{Round: e.round, SinceMerge: e.round - e.lastMerge}
+	e.w.BeginSleepShard(ln)
+	nS := len(sleepIdx)
+	if all {
+		nS = len(e.sleep)
 	}
-	if e.cfg.OnRound != nil {
-		e.cfg.OnRound(e)
+	for k := 0; k < nS; k++ {
+		i := int32(k)
+		if !all {
+			i = sleepIdx[k]
+		}
+		p := e.sleep[i]
+		var cl int
+		if scheduled {
+			cl = e.w.ClockAt(p)
+		}
+		e.w.SleepShard(ln, p)
+		if scheduled {
+			e.w.RaiseClock(p, cl)
+		}
 	}
-	return nil
+}
+
+// mergeOuts folds the per-lane Resolve outputs back into global collection
+// order: the kept-run and transfer lists are k-way merged by action index
+// (each lane's list is already ascending — buckets are drained in index
+// order), so adoption later hands out run IDs exactly as a serial pass
+// would. Returns the summed hop count.
+func (e *Engine) mergeOuts(outs []resolveOut) int {
+	moved := 0
+	for i := range outs {
+		moved += outs[i].moved
+	}
+	if len(outs) == 1 {
+		e.freshKeeps = append(e.freshKeeps[:0], outs[0].keeps...)
+		e.transferList = append(e.transferList[:0], outs[0].transfers...)
+		return moved
+	}
+	cur := e.mergeCur[:0]
+	for range outs {
+		cur = append(cur, 0)
+	}
+	e.mergeCur = cur
+	e.freshKeeps = mergeByIdx(e.freshKeeps[:0], len(outs), cur,
+		func(i int) []idxKeep { return outs[i].keeps },
+		func(k idxKeep) int32 { return k.idx })
+	e.transferList = mergeByIdx(e.transferList[:0], len(outs), cur,
+		func(i int) []idxTransfer { return outs[i].transfers },
+		func(t idxTransfer) int32 { return t.idx })
+	return moved
+}
+
+// mergeByIdx k-way merges n lists — each already ascending by idx — into
+// dst with a linear min-scan over the list heads (lane counts are small).
+// Ascending input plus "first list wins ties" keeps the merge stable;
+// across resolve lanes ties cannot occur at all, since an action index
+// lives in exactly one lane.
+func mergeByIdx[T any](dst []T, n int, cur []int, list func(int) []T, idx func(T) int32) []T {
+	for i := 0; i < n; i++ {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		for i := 0; i < n; i++ {
+			l := list(i)
+			if cur[i] >= len(l) {
+				continue
+			}
+			if best < 0 || idx(l[cur[i]]) < idx(list(best)[cur[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, list(best)[cur[best]])
+		cur[best]++
+	}
 }
 
 // adoptRun assigns an engine-unique ID to newly created runs and counts

@@ -274,6 +274,132 @@ func RandomWalk(n int, seed int64) *swarm.Swarm {
 	return s
 }
 
+// RandomClusters grows k compact random blobs joined by random monotone
+// lattice paths — the "several dense villages, thin roads" shape that
+// stresses both merge-rich regions and long mergeless corridors in one
+// instance. Centers are spread on a deterministic jittered ring so the
+// paths have real length at every n; the blobs are then grown round-robin
+// (random attach, RandomTree-style) until the swarm holds exactly n robots
+// (or the paths alone already exceed n, for tiny n). The result is
+// connected and deterministic for a fixed seed.
+func RandomClusters(n, k int, seed int64) *swarm.Swarm {
+	if k < 1 {
+		k = 1
+	}
+	if maxK := n/8 + 1; k > maxK {
+		k = maxK
+	}
+	rng := rand.New(rand.NewSource(seed))
+	spread := 2*isqrt(n) + 4
+	centers := make([]grid.Point, k)
+	for i := 1; i < k; i++ {
+		// Next center: a jittered step away from the previous one, biased
+		// outward so clusters don't collapse onto each other.
+		dx := spread/2 + rng.Intn(spread)
+		dy := spread/2 + rng.Intn(spread)
+		if rng.Intn(2) == 0 {
+			dy = -dy
+		}
+		centers[i] = centers[i-1].Add(grid.Pt(dx, dy))
+	}
+	s := swarm.New(centers[0])
+	// Carve a random monotone lattice path between consecutive centers:
+	// every step moves one cell toward the target, choosing the axis at
+	// random — a different staircase per seed, always connected.
+	for i := 1; i < k; i++ {
+		cur, dst := centers[i-1], centers[i]
+		for cur != dst {
+			stepX := cur.X != dst.X && (cur.Y == dst.Y || rng.Intn(2) == 0)
+			if stepX {
+				cur.X += sign(dst.X - cur.X)
+			} else {
+				cur.Y += sign(dst.Y - cur.Y)
+			}
+			s.Add(cur)
+		}
+	}
+	// Grow the blobs round-robin until the population is exact: attach a
+	// robot 4-adjacent to a random existing member of the cluster.
+	clusters := make([][]grid.Point, k)
+	for i, c := range centers {
+		clusters[i] = append(clusters[i], c)
+	}
+	for i := 0; s.Len() < n; i = (i + 1) % k {
+		cl := clusters[i]
+		for {
+			base := cl[rng.Intn(len(cl))]
+			q := base.Add(grid.Axis4[rng.Intn(4)])
+			if !s.Has(q) {
+				s.Add(q)
+				clusters[i] = append(cl, q)
+				break
+			}
+			// Occupied: keep the walk going from the occupied cell so
+			// dense cluster cores don't stall the growth.
+			cl = append(cl, q)
+		}
+	}
+	return s
+}
+
+func sign(v int) int {
+	if v < 0 {
+		return -1
+	}
+	if v > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Sierpinski returns the depth-d Sierpinski carpet: the 3^d × 3^d square
+// with every center ninth removed recursively — 8^d robots in a connected,
+// maximally hole-ridden fractal. It exercises boundary machinery at every
+// scale at once: the workload has Θ(n) boundary cells (against Θ(√n) for a
+// solid square) spread over nested subboundaries.
+func Sierpinski(depth int) *swarm.Swarm {
+	if depth < 0 {
+		depth = 0
+	}
+	size := 1
+	for i := 0; i < depth; i++ {
+		size *= 3
+	}
+	s := swarm.New()
+	for x := 0; x < size; x++ {
+		for y := 0; y < size; y++ {
+			if carpetCell(x, y) {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return s
+}
+
+// carpetCell reports whether (x, y) survives the carpet recursion: no
+// base-3 digit position may read (1, 1).
+func carpetCell(x, y int) bool {
+	for x > 0 || y > 0 {
+		if x%3 == 1 && y%3 == 1 {
+			return false
+		}
+		x /= 3
+		y /= 3
+	}
+	return true
+}
+
+// sierpinskiDepth picks the carpet depth whose population 8^d is nearest
+// to n in log scale.
+func sierpinskiDepth(n int) int {
+	d, pop := 1, 8
+	for pop*8 <= n*3 { // next depth is closer as long as n ≥ pop·8/3 ≈ geometric midpoint
+		d++
+		pop *= 8
+	}
+	return d
+}
+
 // Workload is a named workload family: a builder parameterized only by n
 // (robot count), seeded deterministically where random.
 type Workload struct {
@@ -304,9 +430,11 @@ func SeededCatalog() []SeededWorkload {
 		{Name: "hollow", Build: func(n int, _ int64) *swarm.Swarm { w := n/4 + 1; return Hollow(w, w) }},
 		{Name: "staircase", Build: func(n int, _ int64) *swarm.Swarm { return Staircase(n, 1) }},
 		{Name: "spiral", Build: func(n int, _ int64) *swarm.Swarm { return Spiral(spiralSize(n)) }},
+		{Name: "sierpinski", Build: func(n int, _ int64) *swarm.Swarm { return Sierpinski(sierpinskiDepth(n)) }},
 		{Name: "tree", Build: RandomTree, Random: true},
 		{Name: "blob", Build: RandomBlob, Random: true},
 		{Name: "walk", Build: RandomWalk, Random: true},
+		{Name: "clusters", Build: func(n int, seed int64) *swarm.Swarm { return RandomClusters(n, 4, seed) }, Random: true},
 	}
 }
 

@@ -46,6 +46,9 @@ func TestAllGeneratorsConnected(t *testing.T) {
 	check("tree", RandomTree(120, 7))
 	check("blob", RandomBlob(120, 7))
 	check("walk", RandomWalk(120, 7))
+	check("clusters", RandomClusters(200, 4, 7))
+	check("clusters-tiny", RandomClusters(9, 4, 7))
+	check("sierpinski", Sierpinski(3))
 }
 
 func TestGeneratorSizes(t *testing.T) {
@@ -75,6 +78,44 @@ func TestGeneratorSizes(t *testing.T) {
 	}
 	if got := Diamond(3).Len(); got != 25 {
 		t.Errorf("diamond len = %d", got)
+	}
+	if got := RandomClusters(300, 4, 3).Len(); got != 300 {
+		t.Errorf("clusters len = %d", got)
+	}
+	// The carpet holds exactly 8^depth robots.
+	if got := Sierpinski(2).Len(); got != 64 {
+		t.Errorf("sierpinski(2) len = %d", got)
+	}
+	if got := Sierpinski(3).Len(); got != 512 {
+		t.Errorf("sierpinski(3) len = %d", got)
+	}
+}
+
+func TestSierpinskiShape(t *testing.T) {
+	s := Sierpinski(2)
+	// The center ninth is removed at both recursion levels.
+	if s.Has(grid.Pt(4, 4)) {
+		t.Error("center of the carpet should be empty")
+	}
+	if s.Has(grid.Pt(1, 1)) {
+		t.Error("center of the first sub-square should be empty")
+	}
+	if !s.Has(grid.Pt(0, 0)) || !s.Has(grid.Pt(8, 8)) {
+		t.Error("carpet corners missing")
+	}
+	if b := s.Bounds(); b.MaxX != 8 || b.MaxY != 8 {
+		t.Errorf("carpet bounds = %v, want 9x9", b)
+	}
+}
+
+func TestRandomClustersDeterministic(t *testing.T) {
+	a := RandomClusters(250, 5, 11)
+	b := RandomClusters(250, 5, 11)
+	if !a.Equal(b) {
+		t.Error("RandomClusters not deterministic for equal seed")
+	}
+	if a.Equal(RandomClusters(250, 5, 12)) {
+		t.Error("different seeds produced identical cluster swarms (suspicious)")
 	}
 }
 

@@ -41,7 +41,8 @@ type Config struct {
 	// hashing). The radius enforcement of Checked applies unchanged.
 	Dense *world.Dense
 	// Occ reports world-coordinate occupancy (the closure slow path, used
-	// when Dense is nil — e.g. over the map oracle backend).
+	// when Dense is nil — e.g. views built over a bare swarm in tests and
+	// micro-benchmarks).
 	Occ func(grid.Point) bool
 	// State returns the state of the robot at a world coordinate (zero
 	// State if the cell is free). Closure slow path like Occ.

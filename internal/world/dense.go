@@ -1,9 +1,61 @@
+// Package world provides the engine's global state: occupancy, per-robot
+// run states and logical clocks, the canonical sorted cell order, and the
+// per-round apply protocol (arrivals, merges, state hand-offs).
+//
+// The single implementation is Dense, a tiled bitset occupancy index —
+// 64-bit words over fixed 64×64-cell chunks, O(1) unchecked reads, no
+// rebasing as the swarm shrinks — plus flat robot-indexed arrays for run
+// states and logical clocks. Robots are identified by a stable slot
+// assigned once at construction (in sorted cell order) and carried along as
+// they move; a point→slot index lives in the chunk tiles and is maintained
+// incrementally. The sorted cell order is repaired incrementally each round
+// (robots move L∞ ≤ 1, so a near-sorted insertion pass replaces a full
+// re-sort), and the enclosing bounds for the Gathered() check are
+// accumulated from the round's arrivals instead of rescanned.
+//
+// (The original map-backed representation lived here for one PR as a
+// differential oracle; the dense backend was proven bit-identical to it
+// round by round and the oracle is gone. The engine's determinism bar is
+// now serial-vs-parallel: see the differential tests in internal/fsync.)
+//
+// # Round protocol
+//
+// The engine owns the round semantics (merge rules, transfer death rules,
+// clock maxing); the world only stores. Reads refer to the current
+// (pre-round) occupancy; the round protocol builds the next round's
+// occupancy, which Commit swaps in:
+//
+//	BeginRound
+//	  Arrive(from, dst) for every activated robot, in canonical cell
+//	  order of from; SetArrivalState after each sole-so-far arrival;
+//	  RaiseClock after each arrival (when clocks are on)
+//	BeginSleep
+//	  Sleep(p) for every sleeping robot, in canonical cell order;
+//	  RaiseClock after each (when clocks are on)
+//	ArrivalCount / ArrivalState / SetArrivalState for transfer resolution
+//	Commit
+//
+// # Sharded round protocol
+//
+// The protocol above is the single-lane view. For the chunk-owned parallel
+// pipeline the same protocol runs over independent arrival lanes:
+// BeginRoundShards(k) opens k lanes, Classify assigns every target cell a
+// stable owner lane from its 64×64 chunk (and flags seam cells — within
+// L∞ 1 of a chunk border — for the caller's serial conflict pass), and
+// ArriveShard/SleepShard/BeginSleepShard are the per-lane protocol calls.
+// Two arrivals can conflict only at the same target cell, and a cell's
+// chunk has exactly one owner, so lanes touch disjoint tiles, slots and
+// clock entries — the hot path takes no locks. Commit repairs each lane's
+// order independently (in parallel when there are several) and k-way-merges
+// the lanes into the canonical sorted order, which makes the result
+// bit-identical to the single-lane protocol for every lane count.
 package world
 
 import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
@@ -43,7 +95,56 @@ type cellSlot struct {
 	slot int32
 }
 
-// Dense is the tiled bitset backend. Chunks are addressed through a dense
+// lane is one independent arrival buffer of the round being built: the
+// arrivals of the robots whose target chunk the lane owns, split into an
+// activated prefix (near-sorted) and a sleeper suffix (sorted), plus the
+// lane's exact arrival bounds. buf is the lane-local merge scratch.
+type lane struct {
+	occ        []cellSlot
+	buf        []cellSlot
+	sleepStart int
+	bounds     grid.Rect
+}
+
+// reset prepares the lane for a new round.
+func (l *lane) reset() {
+	l.occ = l.occ[:0]
+	l.sleepStart = -1
+	l.bounds = grid.EmptyRect
+}
+
+// repair sorts the lane: the activated prefix is repaired with a
+// near-sorted insertion pass (robots move L∞ ≤ 1) and merged with the
+// already-sorted sleeper suffix, leaving l.occ fully sorted.
+func (l *lane) repair() {
+	act := l.occ
+	ss := l.sleepStart
+	if ss < 0 || ss > len(act) {
+		ss = len(act)
+	}
+	sortNearSorted(act[:ss])
+	if ss == len(act) {
+		return
+	}
+	out := l.buf[:0]
+	a, b := act[:ss], act[ss:]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].p.Less(b[j].p) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	l.buf = act[:0]
+	l.occ = out
+}
+
+// Dense is the tiled bitset world. Chunks are addressed through a dense
 // chunk-grid table covering the swarm's (slightly padded) initial bounds;
 // the table grows if a robot leaves it and never shrinks or rebases — the
 // paper's swarm only contracts, so growth is a cold path.
@@ -60,28 +161,26 @@ type Dense struct {
 	count      int        // number of robots
 	occ        []cellSlot // sorted (Y, X) cell order with slots
 	occDirty   bool       // occ needs a rebuild from the bitset (Add/Remove)
-	nextOcc    []cellSlot // arrivals of the round being built
-	mergeBuf   []cellSlot // scratch for merging active and sleeper runs
-	sleepStart int        // index in nextOcc where the sleeper suffix starts
+	lanes      []lane     // arrival lanes of the round being built
+	nlanes     int        // lanes in use this round
+	mergeHeads []int      // k-way merge cursors (Commit scratch)
 
 	cellsBuf   []grid.Point // Cells() view of occ
 	slotsBuf   []int32      // Slots() view of occ
 	cellsValid bool
 
-	bounds     grid.Rect
-	boundsOK   bool
-	nextBounds grid.Rect // exact bounds of the round being built
+	bounds   grid.Rect
+	boundsOK bool
 
 	stack []grid.Point // BFS scratch
 }
 
-var _ Backend = (*Dense)(nil)
-
-// NewDense builds the dense backend over the swarm's cells (the swarm is
-// not retained).
+// NewDense builds the dense world over the swarm's cells (the swarm is
+// not retained). withClocks enables per-robot logical clock tracking
+// (needed only under a scheduler).
 func NewDense(s *swarm.Swarm, withClocks bool) *Dense {
 	cells := s.Cells()
-	d := &Dense{sleepStart: -1}
+	d := &Dense{}
 	d.initTable(s.Bounds())
 	d.states = make([]slotState, len(cells))
 	if withClocks {
@@ -184,11 +283,15 @@ func (d *Dense) slotAt(layer int, p grid.Point) int32 {
 	return d.tileAt(p).slots[layer][(p.Y&tileMask)<<tileShift|(p.X&tileMask)]
 }
 
-// SlotAt returns the slot of the robot at p.
+// SlotAt returns the stable slot of the robot at p. Slots are assigned
+// 0..n-1 in sorted cell order at construction, move with their robot, and
+// are never reused after a merge, so they identify a robot across rounds.
+// Calling it on a free cell is undefined.
 func (d *Dense) SlotAt(p grid.Point) int32 { return d.slotAt(d.cur, p) }
 
-// StateAt returns the run state of the robot at p. The Runs slice aliases
-// the flat state storage — read-only, valid until the state is rewritten.
+// StateAt returns the run state of the robot at p (zero if free). The Runs
+// slice aliases the flat state storage — read-only, valid until the state
+// is rewritten; do not retain it across Commit.
 func (d *Dense) StateAt(p grid.Point) robot.State {
 	if !d.Has(p) {
 		return robot.State{}
@@ -212,12 +315,14 @@ func (d *Dense) packState(slot int32, st robot.State) {
 	}
 }
 
-// SetState overwrites the current-round state of the robot at p.
+// SetState overwrites the state of the robot at p in the current round
+// (test scaffolding; p must be occupied). The runs are copied.
 func (d *Dense) SetState(p grid.Point, st robot.State) {
 	d.packState(d.slotAt(d.cur, p), st)
 }
 
-// ClockAt returns the logical clock of the robot at p.
+// ClockAt returns the logical clock of the robot at p (0 if free or clocks
+// are disabled).
 func (d *Dense) ClockAt(p grid.Point) int {
 	if d.clocks == nil || !d.Has(p) {
 		return 0
@@ -254,13 +359,14 @@ func (d *Dense) Degree(p grid.Point) int {
 	return n
 }
 
-// Cells returns the occupied cells in sorted (Y, X) order.
+// Cells returns all occupied cells in sorted (Y, X) order. The slice is
+// world-owned: read-only, valid until the next Commit.
 func (d *Dense) Cells() []grid.Point {
 	d.ensureCellViews()
 	return d.cellsBuf
 }
 
-// Slots returns the slots aligned with Cells().
+// Slots returns the slots aligned with Cells(), same ownership rules.
 func (d *Dense) Slots() []int32 {
 	d.ensureCellViews()
 	return d.slotsBuf
@@ -280,7 +386,8 @@ func (d *Dense) ensureCellViews() {
 	d.cellsValid = true
 }
 
-// Snapshot returns a fresh swarm with the current occupancy.
+// Snapshot returns the occupancy as a fresh swarm (don't call it per round
+// on hot paths).
 func (d *Dense) Snapshot() *swarm.Swarm {
 	d.ensureOcc()
 	s := swarm.NewSized(d.count)
@@ -361,28 +468,85 @@ func (d *Dense) ensureOcc() {
 
 // --- round protocol ---
 
-// BeginRound resets the next-round scratch.
-func (d *Dense) BeginRound() {
-	d.nextOcc = d.nextOcc[:0]
-	d.sleepStart = -1
-	d.nextBounds = grid.EmptyRect
+// BeginRound resets the next-round scratch with a single arrival lane (the
+// serial path).
+func (d *Dense) BeginRound() { d.BeginRoundShards(1) }
+
+// BeginRoundShards resets the next-round scratch with n independent
+// arrival lanes. The caller routes every arrival to the lane owning its
+// target chunk (see Classify); lanes then never contend on tiles, slots or
+// clocks, so they are safe to fill from concurrent goroutines.
+func (d *Dense) BeginRoundShards(n int) {
+	for len(d.lanes) < n {
+		d.lanes = append(d.lanes, lane{})
+	}
+	d.nlanes = n
+	for i := 0; i < n; i++ {
+		d.lanes[i].reset()
+	}
 }
 
-// Arrive records the robot at from landing on dst in the next layer. The
-// first arrival carries its slot to dst; later arrivals merge — the multi
-// bit is set and any pending survivor state is cleared.
-func (d *Dense) Arrive(from, dst grid.Point) int {
-	slot := d.slotAt(d.cur, from)
+// Classify returns the arrival lane owning dst's 64×64 chunk among
+// `workers` lanes, and whether dst is a seam cell — within L∞ 1 of a chunk
+// border, i.e. a cell whose 8-neighborhood spans more than one chunk. It
+// also pre-marks dst's chunk live for the round being built, so the
+// concurrent ArriveShard calls never touch the shared live list or grow
+// the chunk table; call it serially for every target cell (activated dst
+// and sleeper cell alike) before fanning out.
+//
+// Ownership hashes the absolute chunk coordinates, so it is stable across
+// chunk-table growth and independent of the swarm's position.
+func (d *Dense) Classify(dst grid.Point, workers int) (owner int, seam bool) {
 	t := d.ensureTile(dst)
+	d.mark(d.cur^1, t)
+	rx, ry := dst.X&tileMask, dst.Y&tileMask
+	seam = rx == 0 || rx == tileMask || ry == 0 || ry == tileMask
+	owner = int(chunkHash(dst.X>>tileShift, dst.Y>>tileShift) % uint64(workers))
+	return owner, seam
+}
+
+// chunkHash mixes absolute chunk coordinates into a stable pseudo-random
+// ownership key (splitmix64-style finalizer, like sched's phase hash).
+func chunkHash(cx, cy int) uint64 {
+	x := uint64(int64(cx))*0x9e3779b97f4a7c15 ^ uint64(int64(cy))*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Arrive records the robot at from landing on dst on the single lane of
+// the serial path. See ArriveShard.
+func (d *Dense) Arrive(from, dst grid.Point) int { return d.ArriveShard(0, from, dst) }
+
+// ArriveShard records the robot at from landing on dst (from == dst for a
+// stay) on the given arrival lane, and returns 1 if it is the sole arrival
+// at dst so far, or 2 if it merged with earlier arrivals. The first
+// arrival's slot survives at dst; a merge clears any pending state at dst.
+//
+// Concurrent calls are safe when each lane runs on one goroutine and every
+// dst was routed to the lane Classify owns it to: arrivals then write
+// disjoint tiles, disjoint slot states and disjoint clock entries.
+func (d *Dense) ArriveShard(ln int, from, dst grid.Point) int {
+	slot := d.slotAt(d.cur, from)
 	nxt := d.cur ^ 1
-	d.mark(nxt, t)
+	t := d.tileAt(dst)
+	if t == nil || !t.marked[nxt] {
+		// Cold path: only the single-lane protocol takes it (Classify
+		// pre-marks every target of a sharded round).
+		t = d.ensureTile(dst)
+		d.mark(nxt, t)
+	}
 	ry, rx := dst.Y&tileMask, dst.X&tileMask
 	b := uint64(1) << uint(rx)
 	if t.bits[nxt][ry]&b == 0 {
 		t.bits[nxt][ry] |= b
 		t.slots[nxt][ry<<tileShift|rx] = slot
-		d.nextOcc = append(d.nextOcc, cellSlot{dst, slot})
-		d.nextBounds = d.nextBounds.Include(dst)
+		l := &d.lanes[ln]
+		l.occ = append(l.occ, cellSlot{dst, slot})
+		l.bounds = l.bounds.Include(dst)
 		return 1
 	}
 	t.multi[ry] |= b
@@ -390,21 +554,31 @@ func (d *Dense) Arrive(from, dst grid.Point) int {
 	return 2
 }
 
-// BeginSleep marks the boundary between the activated arrivals (a
-// near-sorted prefix of nextOcc) and the sleeper arrivals (an exactly
-// sorted suffix), so Commit can repair the prefix and merge the suffix.
-func (d *Dense) BeginSleep() { d.sleepStart = len(d.nextOcc) }
+// BeginSleep marks the end of the activated arrivals on the serial path's
+// single lane.
+func (d *Dense) BeginSleep() { d.BeginSleepShard(0) }
 
-// Sleep records the robot at p staying put. Its state lives in flat slot
-// storage and is simply not rewritten — frozen for free.
-func (d *Dense) Sleep(p grid.Point) int { return d.Arrive(p, p) }
+// BeginSleepShard marks the boundary between the lane's activated arrivals
+// (a near-sorted prefix) and its sleeper arrivals (an exactly sorted
+// suffix), so Commit can repair the prefix and merge the suffix.
+func (d *Dense) BeginSleepShard(ln int) { d.lanes[ln].sleepStart = len(d.lanes[ln].occ) }
 
-// SetArrivalState sets the pending state of the sole arrival at dst.
+// Sleep records the robot at p staying in place on the serial path's
+// single lane. See SleepShard.
+func (d *Dense) Sleep(p grid.Point) int { return d.ArriveShard(0, p, p) }
+
+// SleepShard records the robot at p staying put on the given lane. Its
+// state lives in flat slot storage and is simply not rewritten — frozen
+// for free. Merge handling is as in ArriveShard.
+func (d *Dense) SleepShard(ln int, p grid.Point) int { return d.ArriveShard(ln, p, p) }
+
+// SetArrivalState sets the pending next-round state of the sole robot at
+// dst. The runs are copied; an empty state clears.
 func (d *Dense) SetArrivalState(dst grid.Point, st robot.State) {
 	d.packState(d.slotAt(d.cur^1, dst), st)
 }
 
-// ArrivalState returns the pending state at dst.
+// ArrivalState returns the pending next-round state at dst.
 func (d *Dense) ArrivalState(dst grid.Point) robot.State {
 	s := &d.states[d.slotAt(d.cur^1, dst)]
 	if s.n == 0 {
@@ -413,7 +587,9 @@ func (d *Dense) ArrivalState(dst grid.Point) robot.State {
 	return robot.State{Runs: s.runs[:s.n]}
 }
 
-// ArrivalCount reports 0, 1 or 2 (≥ 2) arrivals at dst this round.
+// ArrivalCount returns how many robots arrived at dst this round: 0
+// (none), 1 (sole survivor), or 2 (a merge happened; the exact count
+// beyond two is not tracked).
 func (d *Dense) ArrivalCount(dst grid.Point) int {
 	t := d.tileAt(dst)
 	if t == nil {
@@ -431,9 +607,11 @@ func (d *Dense) ArrivalCount(dst grid.Point) int {
 	}
 }
 
-// RaiseClock raises the survivor's pending clock at dst to at least cl.
-// In-place maxing is sound: the survivor's own arrival always raises its
-// slot past the stale pre-round value before merge partners contribute.
+// RaiseClock raises the pending logical clock of the survivor at dst to at
+// least cl. No-op when clocks are disabled. In-place maxing is sound: the
+// survivor's own arrival always raises its slot past the stale pre-round
+// value before merge partners contribute, and under the sharded protocol
+// only the lane owning dst ever writes the survivor's entry.
 func (d *Dense) RaiseClock(dst grid.Point, cl int) {
 	if d.clocks == nil {
 		return
@@ -444,60 +622,124 @@ func (d *Dense) RaiseClock(dst grid.Point, cl int) {
 	}
 }
 
-// Commit swaps the pending round in: the cell order is repaired with a
-// near-sorted insertion pass (robots move L∞ ≤ 1) plus a merge with the
-// already-sorted sleeper suffix, the bounds come from the round's
-// arrivals, and the outgoing layer's occupancy words are cleared to become
-// the next round's scratch. Slot planes are never cleared (stale entries
-// are unreachable) and the chunk table never rebases.
+// Commit swaps the pending round in: occupancy, states, clocks and the
+// sorted cell order all advance to the next round. Each lane's order is
+// repaired independently — concurrently when the round ran sharded — and
+// the lanes are then k-way merged into the canonical sorted order; the
+// bounds come from the round's arrivals, and the outgoing layer's
+// occupancy words are cleared to become the next round's scratch. Slot
+// planes are never cleared (stale entries are unreachable) and the chunk
+// table never rebases.
 func (d *Dense) Commit() {
-	act := d.nextOcc
-	ss := d.sleepStart
-	if ss < 0 || ss > len(act) {
-		ss = len(act)
-	}
-	sortNearSorted(act[:ss])
-	if ss == len(act) {
-		d.nextOcc = d.occ
-		d.occ = act
+	lanes := d.lanes[:d.nlanes]
+	if d.nlanes == 1 {
+		d.commitSingle(&lanes[0])
 	} else {
-		out := d.mergeBuf[:0]
-		a, b := act[:ss], act[ss:]
-		i, j := 0, 0
-		for i < len(a) && j < len(b) {
-			if a[i].p.Less(b[j].p) {
-				out = append(out, a[i])
-				i++
-			} else {
-				out = append(out, b[j])
-				j++
-			}
-		}
-		out = append(out, a[i:]...)
-		out = append(out, b[j:]...)
-		d.mergeBuf = d.occ[:0]
-		d.occ = out
+		d.commitSharded(lanes)
 	}
-	// Clear the outgoing layer (it becomes the next round's scratch) and
-	// the round's multi plane, touching only the tiles each layer actually
-	// wrote — as the swarm contracts, this tracks the live tiles, not the
-	// initial bounds.
 	old := d.cur
 	nxt := old ^ 1
-	for _, t := range d.live[old] {
-		t.bits[old] = [tileSize]uint64{}
-		t.marked[old] = false
-	}
-	d.live[old] = d.live[old][:0]
-	for _, t := range d.live[nxt] {
-		t.multi = [tileSize]uint64{}
-	}
+	d.clearLayers(old, nxt, d.nlanes > 1)
 	d.cur = nxt
 	d.count = len(d.occ)
-	d.bounds = d.nextBounds
+	bounds := grid.EmptyRect
+	for i := range lanes {
+		bounds = unionRect(bounds, lanes[i].bounds)
+	}
+	d.bounds = bounds
 	d.boundsOK = true
 	d.occDirty = false
 	d.cellsValid = false
+}
+
+// commitSingle is the serial path: repair the lone lane in place, then
+// swap it with occ so the outgoing occ array becomes next round's lane
+// scratch — no copy happens in the common no-sleeper round.
+func (d *Dense) commitSingle(l *lane) {
+	l.repair()
+	d.occ, l.occ = l.occ, d.occ[:0]
+}
+
+// commitSharded repairs every lane concurrently, then k-way merges the
+// sorted lanes into occ. The merge is a linear min-scan over the lane
+// heads — lane counts are small (workers + the seam lane) and cells are
+// unique, so the result is the canonical sorted order.
+func (d *Dense) commitSharded(lanes []lane) {
+	var wg sync.WaitGroup
+	for i := range lanes {
+		wg.Add(1)
+		go func(l *lane) {
+			defer wg.Done()
+			l.repair()
+		}(&lanes[i])
+	}
+	wg.Wait()
+	out := d.occ[:0]
+	heads := d.mergeHeads[:0]
+	for range lanes {
+		heads = append(heads, 0)
+	}
+	d.mergeHeads = heads
+	for {
+		best := -1
+		for i := range lanes {
+			if heads[i] >= len(lanes[i].occ) {
+				continue
+			}
+			if best < 0 || lanes[i].occ[heads[i]].p.Less(lanes[best].occ[heads[best]].p) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lanes[best].occ[heads[best]])
+		heads[best]++
+	}
+	d.occ = out
+}
+
+// clearLayers clears the outgoing layer (it becomes the next round's
+// scratch) and the round's multi plane, touching only the tiles each layer
+// actually wrote — as the swarm contracts, this tracks the live tiles, not
+// the initial bounds. Sharded rounds clear concurrently.
+func (d *Dense) clearLayers(old, nxt int, parallel bool) {
+	clearOld := func(ts []*tile) {
+		for _, t := range ts {
+			t.bits[old] = [tileSize]uint64{}
+			t.marked[old] = false
+		}
+	}
+	clearMulti := func(ts []*tile) {
+		for _, t := range ts {
+			t.multi = [tileSize]uint64{}
+		}
+	}
+	if !parallel || len(d.live[old])+len(d.live[nxt]) < 4 {
+		clearOld(d.live[old])
+		clearMulti(d.live[nxt])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); clearOld(d.live[old]) }()
+		go func() { defer wg.Done(); clearMulti(d.live[nxt]) }()
+		wg.Wait()
+	}
+	d.live[old] = d.live[old][:0]
+}
+
+// unionRect returns the smallest rectangle containing both rectangles.
+func unionRect(a, b grid.Rect) grid.Rect {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	return grid.Rect{
+		MinX: min(a.MinX, b.MinX), MinY: min(a.MinY, b.MinY),
+		MaxX: max(a.MaxX, b.MaxX), MaxY: max(a.MaxY, b.MaxY),
+	}
 }
 
 // sortNearSorted sorts a by (Y, X) with an insertion pass that is O(n +
@@ -545,9 +787,8 @@ func (d *Dense) visClear() {
 	}
 }
 
-// Connected reports 4-connectivity. The BFS marks cells in the per-tile
-// vis planes and reuses the stack buffer, so the per-round connectivity
-// check allocates nothing in steady state.
+// Connected reports 4-connectivity, reusing internal scratch so the
+// per-round connectivity check allocates nothing in steady state.
 func (d *Dense) Connected() bool {
 	d.ensureOcc()
 	n := len(d.occ)
