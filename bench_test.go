@@ -1,9 +1,11 @@
-package gridgather
+package gridgather_test
 
 import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"gridgather"
 
 	"gridgather/internal/baseline/asyncseq"
 	"gridgather/internal/baseline/gtc"
@@ -252,15 +254,65 @@ func BenchmarkLowerBound(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionObserver measures one observed engine round through the
+// session event API against the bare unobserved round. The event payload
+// borrows session-owned scratch (see gridgather.Event), so the observer
+// path must report the same allocs/op as the bare path — zero in steady
+// state; the legacy Options.OnRound hook rebuilt two slices per round.
+// TestObserverPathAllocationFree asserts the same bound; this benchmark
+// quantifies the time cost.
+func BenchmarkSessionObserver(b *testing.B) {
+	for _, observed := range []bool{false, true} {
+		name := "bare"
+		if observed {
+			name = "observed"
+		}
+		b.Run(name, func(b *testing.B) {
+			cells, err := gridgather.Workload("hollow", 2048)
+			if err != nil {
+				b.Fatal(err)
+			}
+			newSim := func() *gridgather.Simulation {
+				opts := []gridgather.Option{gridgather.WithWorkers(1)}
+				if observed {
+					opts = append(opts, gridgather.WithObserver(gridgather.AllEvents, func(ev gridgather.Event) {
+						if len(ev.Robots) == 0 {
+							b.Fatal("empty event payload")
+						}
+					}))
+				}
+				sim, err := gridgather.New(cells, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return sim
+			}
+			sim := newSim()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.Step(); err != nil {
+					b.Fatal(err)
+				}
+				if sim.Status().Gathered {
+					b.StopTimer()
+					sim = newSim()
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPublicAPI measures the end-to-end public entry point.
 func BenchmarkPublicAPI(b *testing.B) {
-	cells, err := Workload("blob", 150)
+	cells, err := gridgather.Workload("blob", 150)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := Gather(cells, Options{})
+		res := gridgather.Gather(cells, gridgather.Options{})
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}

@@ -1,19 +1,31 @@
 // Command gathersim runs one gathering simulation on one workload and
-// prints the simulation metrics.
+// prints the simulation metrics. It drives the public Simulation session,
+// so runs can be checkpointed to a file mid-flight and resumed later —
+// the resumed run is bit-identical to an uninterrupted one.
 //
 // Usage:
 //
 //	gathersim -workload hollow -n 200 [-radius 20] [-l 22] [-verify]
 //	gathersim -workload hollow -n 200 -scheduler ssync -algorithm greedy
+//	gathersim -workload hollow -n 400 -checkpoint run.ggss -checkpoint-round 150
+//	gathersim -resume run.ggss
+//	gathersim -resume run.ggss -checkpoint run2.ggss -checkpoint-round 300
 //
 // The -verify flag enables per-round connectivity checking and strict view
 // locality (slower, but proves the run obeyed the model). The -scheduler
 // flag relaxes the time model (FSYNC by default) — note that the paper's
 // algorithm is only safe under FSYNC; pair relaxed schedulers with
 // -algorithm greedy for runs that cannot disconnect the swarm.
+//
+// -checkpoint stops at -checkpoint-round (or at gathering, whichever comes
+// first), writes the session snapshot to the file, and exits. -resume
+// loads a snapshot instead of building a workload; the structural
+// configuration (workload shape, scheduler, algorithm, radius, L) comes
+// from the snapshot, while -verify still applies to the resumed rounds.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,36 +36,60 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "hollow", "workload family: "+strings.Join(gridgather.Workloads(), ", "))
-		n         = flag.Int("n", 100, "approximate robot count")
-		radius    = flag.Int("radius", 0, "viewing radius (0 = paper default 20)")
-		l         = flag.Int("l", 0, "run start period (0 = paper default 22)")
-		scheduler = flag.String("scheduler", "fsync", "time model: "+strings.Join(gridgather.Schedulers(), ", "))
-		algorithm = flag.String("algorithm", "paper", "robot program: "+strings.Join(gridgather.Algorithms(), ", "))
-		seed      = flag.Int64("seed", 1, "seed for randomized schedulers")
-		verify    = flag.Bool("verify", false, "check connectivity every round and enforce view locality")
-		quiet     = flag.Bool("q", false, "print only the result line")
+		workload   = flag.String("workload", "hollow", "workload family: "+strings.Join(gridgather.Workloads(), ", "))
+		n          = flag.Int("n", 100, "approximate robot count")
+		radius     = flag.Int("radius", 0, "viewing radius (0 = paper default 20)")
+		l          = flag.Int("l", 0, "run start period (0 = paper default 22)")
+		scheduler  = flag.String("scheduler", "fsync", "time model: "+strings.Join(gridgather.Schedulers(), ", "))
+		algorithm  = flag.String("algorithm", "paper", "robot program: "+strings.Join(gridgather.Algorithms(), ", "))
+		seed       = flag.Int64("seed", 1, "seed for randomized schedulers")
+		verify     = flag.Bool("verify", false, "check connectivity every round and enforce view locality")
+		quiet      = flag.Bool("q", false, "print only the result line")
+		checkpoint = flag.String("checkpoint", "", "write a session snapshot to this file and exit")
+		ckptRound  = flag.Int("checkpoint-round", 0, "round to checkpoint at (with -checkpoint; 0 = at gathering)")
+		resume     = flag.String("resume", "", "resume from a snapshot file instead of building a workload")
 	)
 	flag.Parse()
 
-	cells, err := gridgather.Workload(*workload, *n)
+	sim, err := openSession(*resume, *workload, *n, *radius, *l, *scheduler, *algorithm, *seed, *verify, *quiet)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if !*quiet {
-		fmt.Printf("workload %q with %d robots (%s under %s)\n",
-			*workload, len(cells), *algorithm, *scheduler)
+
+	if *checkpoint != "" {
+		target := *ckptRound
+		for target == 0 || sim.Status().Round < target {
+			if err := sim.Step(); err != nil {
+				break // gathered or aborted: checkpoint whatever state we have
+			}
+			if sim.Status().Gathered {
+				break
+			}
+		}
+		snap, err := sim.Snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*checkpoint, snap, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := sim.Status()
+		fmt.Printf("checkpointed at round %d (%d robots, gathered=%v) to %s (%d bytes)\n",
+			st.Round, st.Robots, st.Gathered, *checkpoint, len(snap))
+		if st.Err != nil {
+			// The checkpoint holds the aborted state (restorable for
+			// inspection, or with a bigger budget for round-limit aborts),
+			// but the abort itself must not read as success.
+			fmt.Fprintf(os.Stderr, "simulation aborted before the checkpoint round: %v\n", st.Err)
+			os.Exit(1)
+		}
+		return
 	}
-	res := gridgather.Gather(cells, gridgather.Options{
-		Radius:            *radius,
-		L:                 *l,
-		Scheduler:         *scheduler,
-		SchedulerSeed:     *seed,
-		Algorithm:         *algorithm,
-		CheckConnectivity: *verify,
-		StrictLocality:    *verify,
-	})
+
+	res := sim.Run(context.Background())
 	if res.Err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", res.Err)
 		os.Exit(1)
@@ -62,4 +98,42 @@ func main() {
 		res.Gathered, res.Rounds, res.Merges, res.RunsStarted, res.Moves,
 		res.InitialRobots, res.FinalRobots,
 		float64(res.Rounds)/float64(res.InitialRobots))
+}
+
+// openSession builds the session: from a snapshot file when resuming,
+// from a generated workload otherwise.
+func openSession(resume, workload string, n, radius, l int, scheduler, algorithm string, seed int64, verify, quiet bool) (*gridgather.Simulation, error) {
+	if resume != "" {
+		snap, err := os.ReadFile(resume)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := gridgather.Restore(snap,
+			gridgather.WithConnectivityCheck(verify),
+			gridgather.WithStrictLocality(verify))
+		if err != nil {
+			return nil, err
+		}
+		if !quiet {
+			st := sim.Status()
+			fmt.Printf("resumed %s at round %d (%d robots)\n", resume, st.Round, st.Robots)
+		}
+		return sim, nil
+	}
+	cells, err := gridgather.Workload(workload, n)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Printf("workload %q with %d robots (%s under %s)\n",
+			workload, len(cells), algorithm, scheduler)
+	}
+	return gridgather.New(cells,
+		gridgather.WithRadius(radius),
+		gridgather.WithL(l),
+		gridgather.WithScheduler(scheduler),
+		gridgather.WithSchedulerSeed(seed),
+		gridgather.WithAlgorithm(algorithm),
+		gridgather.WithConnectivityCheck(verify),
+		gridgather.WithStrictLocality(verify))
 }

@@ -26,6 +26,11 @@
 // phase inside each simulation (0 = all CPUs, useful for a few huge
 // instances). Every simulation is deterministic, so sweep outputs are
 // reproducible.
+//
+// Each worker in the sweep's pool drives its jobs as public gridgather
+// sessions (gridgather.New + Run) — the sweep harness consumes the same
+// Simulation surface as every other client, so budgets, seed semantics and
+// scenario resolution cannot drift between the sweep and the API.
 package main
 
 import (

@@ -1,5 +1,7 @@
 // Command gatherviz animates a gathering run as ASCII frames, making the
-// merge waves and the runner pipeline of the paper visible.
+// merge waves and the runner pipeline of the paper visible. It observes a
+// public Simulation session through the typed event API — frames are built
+// inside the round-event callback from the borrowed event payload.
 //
 // Usage:
 //
@@ -8,15 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"gridgather/internal/core"
-	"gridgather/internal/fsync"
-	"gridgather/internal/gen"
+	"gridgather"
+	"gridgather/internal/grid"
 	"gridgather/internal/trace"
 )
 
@@ -29,48 +31,70 @@ func main() {
 		delay    = flag.Duration("delay", 60*time.Millisecond, "frame delay in -live mode")
 	)
 	flag.Parse()
-
-	var found bool
-	for _, w := range gen.Catalog() {
-		if w.Name == *workload {
-			s := w.Build(*n)
-			rec := trace.NewRecorder(*every, s.Bounds())
-			g := core.Default()
-			budget := fsync.DefaultBudget(s.Len())
-			eng := fsync.New(s, g, fsync.Config{
-				MaxRounds:    budget.MaxRounds,
-				NoMergeLimit: budget.NoMergeLimit,
-				OnRound:      rec.Hook(),
-			})
-			rec.Snapshot(eng)
-			res := eng.Run()
-			if res.Err != nil {
-				fmt.Fprintf(os.Stderr, "simulation failed: %v\n", res.Err)
-				os.Exit(1)
-			}
-			if *live {
-				for _, f := range rec.Frames {
-					fmt.Print("\033[H\033[2J")
-					fmt.Printf("round %d | robots %d | merges %d | runners %d\n%s",
-						f.Round, f.Robots, f.Merges, f.Runners, f.Art)
-					time.Sleep(*delay)
-				}
-			} else if err := rec.Play(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("gathered in %d rounds (%d merges, %d runs)\n",
-				res.Rounds, res.Merges, res.RunsStarted)
-			found = true
-			break
-		}
+	if *every < 1 {
+		*every = 1
 	}
-	if !found {
-		names := []string{}
-		for _, w := range gen.Catalog() {
-			names = append(names, w.Name)
-		}
-		fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", *workload, strings.Join(names, ", "))
+
+	cells, err := gridgather.Workload(*workload, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (have %s)\n", err, strings.Join(gridgather.Workloads(), ", "))
 		os.Exit(2)
 	}
+	viewport := boundsOf(cells)
+
+	var frames []trace.Frame
+	frames = append(frames, trace.FrameOf(0, toGrid(cells), nil, 0, viewport))
+	sim, err := gridgather.New(cells,
+		gridgather.WithObserver(gridgather.RoundEvents|gridgather.GatheredEvents, func(ev gridgather.Event) {
+			if ev.Kind == gridgather.EventRound && ev.Round%*every != 0 {
+				return
+			}
+			if len(frames) > 0 && frames[len(frames)-1].Round == ev.Round {
+				return // the gathered event follows the final round event
+			}
+			frames = append(frames, trace.FrameOf(ev.Round, toGrid(ev.Robots), toGrid(ev.Runners), ev.Merges, viewport))
+		}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res := sim.Run(context.Background())
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", res.Err)
+		os.Exit(1)
+	}
+
+	if *live {
+		for _, f := range frames {
+			fmt.Print("\033[H\033[2J")
+			fmt.Printf("round %d | robots %d | merges %d | runners %d\n%s",
+				f.Round, f.Robots, f.Merges, f.Runners, f.Art)
+			time.Sleep(*delay)
+		}
+	} else {
+		for _, f := range frames {
+			fmt.Printf("--- round %d | robots %d | merges %d | runners %d ---\n%s\n",
+				f.Round, f.Robots, f.Merges, f.Runners, f.Art)
+		}
+	}
+	fmt.Printf("gathered in %d rounds (%d merges, %d runs)\n",
+		res.Rounds, res.Merges, res.RunsStarted)
+}
+
+// toGrid converts borrowed public event points into grid points (copying —
+// the event payload must not be retained past the callback).
+func toGrid(pts []gridgather.Point) []grid.Point {
+	out := make([]grid.Point, len(pts))
+	for i, p := range pts {
+		out[i] = grid.Pt(p.X, p.Y)
+	}
+	return out
+}
+
+func boundsOf(cells []gridgather.Point) grid.Rect {
+	r := grid.EmptyRect
+	for _, c := range cells {
+		r = r.Include(grid.Pt(c.X, c.Y))
+	}
+	return r
 }

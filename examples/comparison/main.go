@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,19 +24,24 @@ func main() {
 	fmt.Printf("%6s  %12s  %16s  %8s\n", "n", "grid (paper)", "plane [DKL+11]", "ratio")
 
 	for _, n := range []int{48, 96, 192, 384} {
-		// Grid: the paper's algorithm on a ring of ~n robots.
+		// Grid: the paper's algorithm on a ring of ~n robots, driven as a
+		// session.
 		cells, err := gridgather.Workload("hollow", n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		grid := gridgather.Gather(cells, gridgather.Options{})
+		sim, err := gridgather.New(cells)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid := sim.Run(context.Background())
 		if grid.Err != nil {
 			log.Fatal(grid.Err)
 		}
 
 		// Plane: go-to-center on a circle of exactly as many robots.
-		sim := gtc.NewSim(gtc.CircleInstance(grid.InitialRobots, 1.0), gtc.DefaultParams())
-		plane := sim.Run(2_000_000)
+		planeSim := gtc.NewSim(gtc.CircleInstance(grid.InitialRobots, 1.0), gtc.DefaultParams())
+		plane := planeSim.Run(2_000_000)
 		if plane.Err != nil {
 			log.Fatal(plane.Err)
 		}

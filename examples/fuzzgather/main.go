@@ -1,12 +1,16 @@
-// Fuzzgather: a randomized soak of the algorithm through the public API.
-// Every workload family is simulated at random sizes with full checking;
-// the run aborts on the first violation of the paper's guarantees
-// (connectivity, locality, linear-budget termination).
+// Fuzzgather: a randomized soak of the algorithm through the public
+// session API. Every workload family is simulated at random sizes with
+// full checking; each run is additionally checkpointed at a random mid-run
+// round, restored, and raced against the uninterrupted session — the soak
+// aborts on the first violation of the paper's guarantees (connectivity,
+// locality, linear-budget termination) or of the snapshot contract (the
+// restored run must finish with the identical Result).
 //
 //	go run ./examples/fuzzgather [-rounds 40]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,20 +35,49 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := gridgather.Gather(cells, gridgather.Options{
-			CheckConnectivity: true,
-			StrictLocality:    true,
-		})
+		opts := []gridgather.Option{
+			gridgather.WithConnectivityCheck(true),
+			gridgather.WithStrictLocality(true),
+		}
+
+		// The uninterrupted reference run.
+		sim, err := gridgather.New(cells, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Run(context.Background())
 		if res.Err != nil || !res.Gathered {
 			log.Fatalf("FAIL %s n=%d: %+v", name, len(cells), res)
 		}
+
+		// Checkpoint a twin at a random round, restore, run to the end:
+		// the snapshot contract promises the identical Result.
+		twin, err := gridgather.New(cells, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := twin.StepN(1 + rng.Intn(res.Rounds)); err != nil {
+			log.Fatalf("FAIL %s n=%d stepping twin: %v", name, len(cells), err)
+		}
+		snap, err := twin.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		restored, err := gridgather.Restore(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got := restored.Run(context.Background()); got != res {
+			log.Fatalf("FAIL %s n=%d: restored run %+v != uninterrupted %+v", name, len(cells), got, res)
+		}
+
 		ratio := float64(res.Rounds) / float64(res.InitialRobots)
 		if ratio > worst {
 			worst = ratio
 		}
-		fmt.Printf("ok  %-10s n=%-4d rounds=%-5d rounds/n=%.2f merges=%d runs=%d\n",
-			name, res.InitialRobots, res.Rounds, ratio, res.Merges, res.RunsStarted)
+		fmt.Printf("ok  %-10s n=%-4d rounds=%-5d rounds/n=%.2f merges=%d runs=%d snapshot=%dB\n",
+			name, res.InitialRobots, res.Rounds, ratio, res.Merges, res.RunsStarted, len(snap))
 	}
-	fmt.Printf("\nall %d simulations gathered; worst rounds/n = %.2f (linear budget holds)\n",
+	fmt.Printf("\nall %d simulations gathered and resumed bit-identically; worst rounds/n = %.2f\n",
 		*iterations, worst)
 }

@@ -3,10 +3,15 @@
 // while earlier runs are still rolling robots into the hole — the paper's
 // pipelining (§4.2, Fig. 15) that makes the total time linear.
 //
+// The runner counts stream out of the session's typed event API: the
+// Event payload borrows engine-owned scratch, so observing every round
+// costs no allocations — only the lengths are kept here.
+//
 //	go run ./examples/pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +26,14 @@ func main() {
 	fmt.Printf("mergeless ring with %d robots; runner count per round:\n\n", len(cells))
 
 	history := []int{}
-	res := gridgather.Gather(cells, gridgather.Options{
-		OnRound: func(ri gridgather.RoundInfo) {
-			history = append(history, len(ri.Runners))
-		},
-	})
+	sim, err := gridgather.New(cells,
+		gridgather.WithObserver(gridgather.RoundEvents, func(ev gridgather.Event) {
+			history = append(history, len(ev.Runners))
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.Run(context.Background())
 	if res.Err != nil {
 		log.Fatal(res.Err)
 	}

@@ -1,9 +1,11 @@
-// Quickstart: gather a small swarm and print what happened.
+// Quickstart: create a simulation session, run it, and print what
+// happened.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,10 +22,23 @@ func main() {
 	}
 	fmt.Printf("initial swarm (%d robots):\n%s\n", len(cells), gridgather.Render(cells))
 
-	res := gridgather.Gather(cells, gridgather.Options{
-		CheckConnectivity: true, // validate the paper's safety property
-		StrictLocality:    true, // panic if any decision looks beyond radius 20
-	})
+	sim, err := gridgather.New(cells,
+		gridgather.WithConnectivityCheck(true), // validate the paper's safety property
+		gridgather.WithStrictLocality(true),    // panic if any decision looks beyond radius 20
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step the first few rounds by hand — the session is incremental…
+	if _, err := sim.StepN(3); err != nil {
+		log.Fatal(err)
+	}
+	st := sim.Status()
+	fmt.Printf("after %d rounds: %d robots remain\n\n", st.Round, st.Robots)
+
+	// …then run the rest to completion (the context could cancel it).
+	res := sim.Run(context.Background())
 	if res.Err != nil {
 		log.Fatal(res.Err)
 	}

@@ -10,23 +10,29 @@
 // communication and only constant-radius vision — into a 2×2 square in
 // O(n) fully synchronous rounds, which is asymptotically optimal.
 //
-// The package exposes the high-level simulation API; the algorithm itself
-// and its substrates (grid geometry, swarm state, FSYNC engine, local
-// views, baselines) live in the internal packages.
+// The public surface is the Simulation session: a resumable, observable,
+// checkpointable simulation created with New (or Restore, from a
+// Snapshot) and driven incrementally with Step/StepN or to completion
+// with Run. Gather remains as a one-call convenience over it.
 //
 // Quick start:
 //
 //	cells, _ := gridgather.Workload("hollow", 100)
-//	res := gridgather.Gather(cells, gridgather.Options{})
+//	sim, _ := gridgather.New(cells)
+//	res := sim.Run(context.Background())
 //	fmt.Printf("gathered in %d rounds\n", res.Rounds)
+//
+// The algorithm itself and its substrates (grid geometry, swarm state,
+// the FSYNC engine, local views, baselines) live in the internal
+// packages.
 package gridgather
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
-	"gridgather/internal/core"
-	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
 	"gridgather/internal/grid"
 	"gridgather/internal/scenario"
@@ -40,8 +46,14 @@ type Point struct {
 	X, Y int
 }
 
-// Options configure a simulation. The zero value uses the paper's
-// constants and safe defaults.
+// Options is the legacy all-in-one configuration struct for Gather. The
+// zero value uses the paper's constants and safe defaults.
+//
+// Deprecated: new code should create a Simulation with New and functional
+// options; each field maps onto one option (WithRadius, WithL,
+// WithMaxRounds, WithNoMergeLimit, WithScheduler, WithSchedulerSeed,
+// WithAlgorithm, WithConnectivityCheck, WithStrictLocality, WithWorkers,
+// WithObserver). Options and Gather keep working unchanged.
 type Options struct {
 	// Radius is the viewing radius (L1). Default 20 (the paper's value).
 	Radius int
@@ -56,37 +68,27 @@ type Options struct {
 	// window 40·n + 500 (scaled like MaxRounds); negative disables the
 	// watchdog.
 	NoMergeLimit int
-	// Scheduler selects the time model: "" or "fsync" (the paper's fully
-	// synchronous model, default), "ssync"/"ssync-rr:k" (round-robin
-	// subsets), "ssync-rand:k" (random subsets), "ssync-lazy:k" (lazy
-	// adversarial subsets), "async:w" (a sequential wavefront of width w).
-	// The paper's algorithm is proved for FSYNC only — under relaxed
-	// schedulers its merge operations can disconnect the swarm (reported
-	// via Result.Err); pair them with Algorithm "greedy" for runs that are
-	// safe under every scheduler.
+	// Scheduler selects the time model (see WithScheduler for the spec
+	// grammar).
 	Scheduler string
 	// SchedulerSeed seeds the randomized schedulers (ssync-rand,
 	// ssync-lazy); 0 means 1. Deterministic schedulers ignore it.
 	SchedulerSeed int64
-	// Algorithm selects the robot program: "" or "paper" (the paper's
-	// algorithm, default) or "greedy" (the scheduler-robust local strategy;
-	// it ignores Radius and L).
+	// Algorithm selects the robot program: "" or "paper" (default) or
+	// "greedy" (the scheduler-robust local strategy).
 	Algorithm string
 	// CheckConnectivity validates swarm connectivity after every round.
 	CheckConnectivity bool
 	// StrictLocality makes the simulation panic if the algorithm reads any
-	// cell outside the viewing radius (a proof of locality; small
-	// overhead).
+	// cell outside the viewing radius (a proof of locality).
 	StrictLocality bool
 	// Workers is the number of goroutines the engine shards each round
-	// across — the Look+Compute phase and the move/merge/commit write
-	// phase alike (the latter by chunk ownership with a serial seam pass).
-	// 0 uses all available CPUs (runtime.GOMAXPROCS); 1 forces the serial
-	// path. Results are bit-identical for every worker count — all actions
-	// are computed from the same immutable pre-round snapshot and every
-	// stage combines worker results in deterministic cell order.
+	// across; 0 uses all available CPUs, 1 forces the serial path. Results
+	// are bit-identical for every worker count.
 	Workers int
-	// OnRound, if non-nil, receives a snapshot after every round.
+	// OnRound, if non-nil, receives a snapshot after every round. Unlike
+	// the Event payloads of the session API, RoundInfo slices are freshly
+	// allocated per call and may be retained.
 	OnRound func(RoundInfo)
 }
 
@@ -116,8 +118,9 @@ type Result struct {
 	Moves int
 	// InitialRobots and FinalRobots give the population before and after.
 	InitialRobots, FinalRobots int
-	// Err reports an aborted simulation (round limit, disconnection, or a
-	// stuck watchdog) and is nil on success.
+	// Err reports an aborted or cancelled simulation (round limit,
+	// disconnection, stuck watchdog, or context cancellation) and is nil
+	// on success.
 	Err error
 }
 
@@ -129,24 +132,19 @@ var ErrNotConnected = errors.New("gridgather: input swarm is not connected")
 // ErrEmpty is returned for an empty input.
 var ErrEmpty = errors.New("gridgather: input swarm is empty")
 
-// ErrNegativeMaxRounds is returned for Options.MaxRounds < 0, which is
+// ErrNegativeMaxRounds is returned for a negative MaxRounds, which is
 // reserved (0 already selects the default budget; there is no "unlimited"
 // knob in the public API — a broken configuration should abort, not spin).
 var ErrNegativeMaxRounds = errors.New("gridgather: negative MaxRounds (0 selects the default budget)")
 
-// toSwarm validates and converts public points.
-func toSwarm(cells []Point) (*swarm.Swarm, error) {
-	if len(cells) == 0 {
-		return nil, ErrEmpty
-	}
-	s := swarm.New()
+// buildSwarm converts public points into a swarm. It is the single
+// swarm-construction loop behind New, Gather, Connected and Render.
+func buildSwarm(cells []Point) *swarm.Swarm {
+	s := swarm.NewSized(len(cells))
 	for _, c := range cells {
 		s.Add(grid.Pt(c.X, c.Y))
 	}
-	if !s.Connected() {
-		return nil, ErrNotConnected
-	}
-	return s, nil
+	return s
 }
 
 func fromSwarm(s *swarm.Swarm) []Point {
@@ -158,76 +156,64 @@ func fromSwarm(s *swarm.Swarm) []Point {
 	return out
 }
 
-func toPoints(cells []grid.Point) []Point {
-	out := make([]Point, len(cells))
-	for i, c := range cells {
-		out[i] = Point{X: c.X, Y: c.Y}
+// options translates the legacy struct into the equivalent option list.
+func (o Options) options() []Option {
+	opts := []Option{
+		WithRadius(o.Radius),
+		WithL(o.L),
+		WithMaxRounds(o.MaxRounds),
+		WithNoMergeLimit(o.NoMergeLimit),
+		WithScheduler(o.Scheduler),
+		WithSchedulerSeed(o.SchedulerSeed),
+		WithAlgorithm(o.Algorithm),
+		WithConnectivityCheck(o.CheckConnectivity),
+		WithStrictLocality(o.StrictLocality),
+		WithWorkers(o.Workers),
 	}
-	return out
-}
-
-// params builds the core parameters from Options.
-func (o Options) params() core.Params {
-	return core.WithConstants(o.Radius, o.L)
+	if o.OnRound != nil {
+		opts = append(opts, WithObserver(RoundEvents, func(ev Event) {
+			// The legacy hook's contract lets callers retain the slices, so
+			// the shim copies the borrowed event payload.
+			o.OnRound(RoundInfo{
+				Round:   ev.Round,
+				Robots:  append([]Point(nil), ev.Robots...),
+				Runners: append([]Point(nil), ev.Runners...),
+				Merges:  ev.Merges,
+			})
+		}))
+	}
+	return opts
 }
 
 // Gather runs the selected gathering algorithm (the paper's by default) on
 // the given connected swarm under the selected time model (FSYNC by
 // default) until it gathers (all robots within a 2×2 square) and returns
-// the result. The input slice is not modified.
+// the result. The input slice is not modified. It is a convenience over
+// the Simulation session: New + Run with no cancellation.
 func Gather(cells []Point, opt Options) Result {
-	s, err := toSwarm(cells)
+	sim, err := New(cells, opt.options()...)
 	if err != nil {
 		return Result{Err: err, InitialRobots: len(cells)}
 	}
-	p := opt.params()
-	if err := p.Validate(); err != nil {
-		return Result{Err: err, InitialRobots: s.Len()}
-	}
-	if opt.MaxRounds < 0 {
-		return Result{Err: ErrNegativeMaxRounds, InitialRobots: s.Len()}
-	}
-	seed := opt.SchedulerSeed
-	if seed == 0 {
-		seed = 1
-	}
-	sc, err := scenario.Resolve(opt.Algorithm, opt.Scheduler, seed, p, s.Len())
-	if err != nil {
-		return Result{Err: fmt.Errorf("gridgather: %w", err), InitialRobots: s.Len()}
-	}
-	budget := sc.Budget.WithOverrides(opt.MaxRounds, opt.NoMergeLimit)
-	var hook func(*fsync.Engine)
-	if opt.OnRound != nil {
-		hook = func(e *fsync.Engine) {
-			opt.OnRound(RoundInfo{
-				Round:   e.Round(),
-				Robots:  toPoints(e.World().Cells()),
-				Runners: toPoints(e.Runners()),
-				Merges:  e.Merges(),
-			})
-		}
-	}
-	eng := fsync.New(s, sc.Algorithm, fsync.Config{
-		MaxRounds:         budget.MaxRounds,
-		NoMergeLimit:      budget.NoMergeLimit,
-		CheckConnectivity: opt.CheckConnectivity,
-		StrictViews:       opt.StrictLocality,
-		Workers:           opt.Workers,
-		Scheduler:         sc.Scheduler,
-		OnRound:           hook,
-	})
-	r := eng.Run()
-	return Result{
-		Gathered:      r.Gathered,
-		Rounds:        r.Rounds,
-		Merges:        r.Merges,
-		RunsStarted:   r.RunsStarted,
-		Moves:         r.Moves,
-		InitialRobots: r.InitialRobots,
-		FinalRobots:   r.FinalRobots,
-		Err:           r.Err,
-	}
+	return sim.Run(context.Background())
 }
+
+// catalog indexes the workload families once; Workload and Workloads are
+// called per lookup (some per round in observer tooling) and must not
+// re-walk gen.Catalog linearly every time.
+var catalog = sync.OnceValue(func() (c struct {
+	byName map[string]gen.Workload
+	names  []string
+}) {
+	all := gen.Catalog()
+	c.byName = make(map[string]gen.Workload, len(all))
+	c.names = make([]string, 0, len(all))
+	for _, w := range all {
+		c.byName[w.Name] = w
+		c.names = append(c.names, w.Name)
+	}
+	return c
+})
 
 // Workload builds one of the named workload families at (approximately)
 // the requested robot count. See Workloads for the available names.
@@ -235,27 +221,23 @@ func Workload(name string, n int) ([]Point, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gridgather: workload size %d", n)
 	}
-	for _, w := range gen.Catalog() {
-		if w.Name == name {
-			return fromSwarm(w.Build(n)), nil
-		}
+	w, ok := catalog().byName[name]
+	if !ok {
+		return nil, fmt.Errorf("gridgather: unknown workload %q (have %v)", name, Workloads())
 	}
-	return nil, fmt.Errorf("gridgather: unknown workload %q (have %v)", name, Workloads())
+	return fromSwarm(w.Build(n)), nil
 }
 
 // Workloads lists the available workload family names.
 func Workloads() []string {
-	var out []string
-	for _, w := range gen.Catalog() {
-		out = append(out, w.Name)
-	}
-	return out
+	return append([]string(nil), catalog().names...)
 }
 
-// Schedulers lists the accepted Options.Scheduler spec grammars.
+// Schedulers lists the accepted scheduler spec grammars (see
+// WithScheduler).
 func Schedulers() []string { return sched.Specs() }
 
-// Algorithms lists the available Options.Algorithm names.
+// Algorithms lists the available robot program names (see WithAlgorithm).
 func Algorithms() []string { return scenario.Algorithms() }
 
 // Connected reports whether the cells form a connected swarm under the
@@ -264,19 +246,11 @@ func Connected(cells []Point) bool {
 	if len(cells) == 0 {
 		return false
 	}
-	s := swarm.New()
-	for _, c := range cells {
-		s.Add(grid.Pt(c.X, c.Y))
-	}
-	return s.Connected()
+	return buildSwarm(cells).Connected()
 }
 
 // Render draws the cells as ASCII art ('#' robots, '·' free), highest y
 // first — a convenience for demos and debugging.
 func Render(cells []Point) string {
-	s := swarm.New()
-	for _, c := range cells {
-		s.Add(grid.Pt(c.X, c.Y))
-	}
-	return s.String()
+	return buildSwarm(cells).String()
 }

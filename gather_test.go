@@ -1,6 +1,7 @@
 package gridgather
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -116,6 +117,91 @@ func TestGatherOptionValidation(t *testing.T) {
 	}
 	if res := Gather(cells, Options{Algorithm: "magic"}); res.Err == nil {
 		t.Error("expected error for unknown algorithm")
+	}
+}
+
+// Every malformed input must fail identically through both entry points:
+// the legacy Gather call and the session constructor.
+func TestNewAndGatherErrorPaths(t *testing.T) {
+	cells, _ := Workload("line", 10)
+	cases := []struct {
+		name string
+		opts Options
+		want error // nil = any non-nil error accepted
+	}{
+		{"unknown scheduler", Options{Scheduler: "warp"}, nil},
+		{"malformed ssync param", Options{Scheduler: "ssync:0"}, nil},
+		{"parameterized fsync", Options{Scheduler: "fsync:2"}, nil},
+		{"non-numeric param", Options{Scheduler: "async:x"}, nil},
+		{"unknown algorithm", Options{Algorithm: "magic"}, nil},
+		{"negative MaxRounds", Options{MaxRounds: -1}, ErrNegativeMaxRounds},
+		{"invalid radius", Options{Radius: 2}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Gather(cells, tc.opts)
+			if res.Err == nil {
+				t.Fatal("Gather accepted the options")
+			}
+			if tc.want != nil && res.Err != tc.want {
+				t.Fatalf("Gather err = %v, want %v", res.Err, tc.want)
+			}
+			if res.InitialRobots != len(cells) {
+				t.Errorf("error result InitialRobots = %d", res.InitialRobots)
+			}
+			sim, err := New(cells, tc.opts.options()...)
+			if err == nil {
+				t.Fatal("New accepted the options")
+			}
+			if tc.want != nil && err != tc.want {
+				t.Fatalf("New err = %v, want %v", err, tc.want)
+			}
+			if sim != nil {
+				t.Error("New returned a session alongside an error")
+			}
+		})
+	}
+
+	// Disconnected and empty inputs, through both entry points.
+	disconnected := []Point{{0, 0}, {5, 5}}
+	if res := Gather(disconnected, Options{}); res.Err != ErrNotConnected {
+		t.Errorf("Gather disconnected err = %v", res.Err)
+	}
+	if _, err := New(disconnected); err != ErrNotConnected {
+		t.Errorf("New disconnected err = %v", err)
+	}
+	if res := Gather(nil, Options{}); res.Err != ErrEmpty {
+		t.Errorf("Gather empty err = %v", res.Err)
+	}
+	if _, err := New(nil); err != ErrEmpty {
+		t.Errorf("New empty err = %v", err)
+	}
+}
+
+// SchedulerSeed 0 means 1: the two configurations are one simulation, for
+// every randomized scheduler and through both entry points.
+func TestSchedulerSeedZeroMeansOne(t *testing.T) {
+	cells, _ := Workload("hollow", 40)
+	for _, spec := range []string{"ssync-rand:3", "ssync-lazy:5"} {
+		zero := Gather(cells, Options{Scheduler: spec, SchedulerSeed: 0, Algorithm: "greedy"})
+		one := Gather(cells, Options{Scheduler: spec, SchedulerSeed: 1, Algorithm: "greedy"})
+		if zero.Err != nil || one.Err != nil {
+			t.Fatalf("%s: %v / %v", spec, zero.Err, one.Err)
+		}
+		if zero != one {
+			t.Errorf("%s: seed 0 diverged from seed 1: %+v vs %+v", spec, zero, one)
+		}
+		two := Gather(cells, Options{Scheduler: spec, SchedulerSeed: 2, Algorithm: "greedy"})
+		if two == one {
+			t.Logf("%s: seed 2 happened to match seed 1 (possible, but suspicious)", spec)
+		}
+
+		simZero := mustNew(t, cells, WithScheduler(spec), WithAlgorithm("greedy"))
+		simOne := mustNew(t, cells, WithScheduler(spec), WithSchedulerSeed(1), WithAlgorithm("greedy"))
+		rz, ro := simZero.Run(context.Background()), simOne.Run(context.Background())
+		if rz != ro {
+			t.Errorf("%s: session seed 0 diverged from seed 1: %+v vs %+v", spec, rz, ro)
+		}
 	}
 }
 

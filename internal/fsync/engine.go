@@ -309,6 +309,9 @@ func (e *Engine) RoundMerges() int { return e.roundMerge }
 // RunsStarted returns the number of run states created so far.
 func (e *Engine) RunsStarted() int { return e.runsStart }
 
+// Moves returns the total robot hops performed so far.
+func (e *Engine) Moves() int { return e.moves }
+
 // StateAt returns the state of the robot at p (zero state if free).
 func (e *Engine) StateAt(p grid.Point) robot.State { return e.w.StateAt(p) }
 

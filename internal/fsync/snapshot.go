@@ -1,0 +1,87 @@
+package fsync
+
+// This file is the engine checkpoint codec: the full resumable state of a
+// simulation between rounds is the engine's counters, the dense world, and
+// the scheduler's cursor. Everything else in the Engine struct is per-round
+// scratch that every Step rebuilds, so it is not state and is not encoded —
+// which keeps the encoding deterministic (equal engine states produce equal
+// bytes) and the restored engine bit-identical to the original on every
+// future round, for any worker count (the differential tests prove worker
+// count never influences outcomes).
+
+import (
+	"fmt"
+
+	"gridgather/internal/codec"
+	"gridgather/internal/sched"
+	"gridgather/internal/world"
+)
+
+// AppendState appends the engine's complete resumable state. Call it only
+// between rounds (i.e. never from inside a Step). The configuration
+// (algorithm, scheduler construction, budgets, worker count) is NOT
+// encoded — the caller must restore into an engine built with an
+// equivalent Config via NewRestored.
+func (e *Engine) AppendState(b []byte) []byte {
+	b = codec.AppendUvarint(b, uint64(e.round))
+	b = codec.AppendUvarint(b, uint64(e.merges))
+	b = codec.AppendUvarint(b, uint64(e.moves))
+	b = codec.AppendUvarint(b, uint64(e.runsStart))
+	b = codec.AppendUvarint(b, uint64(e.nextRunID))
+	b = codec.AppendUvarint(b, uint64(e.lastMerge))
+	b = codec.AppendUvarint(b, uint64(e.roundMerge))
+	b = e.w.AppendState(b)
+	if e.cfg.Scheduler != nil {
+		// Parse-built schedulers all implement CursorCodec; a custom one
+		// that does not simply has no cursor to carry.
+		if cc, ok := e.cfg.Scheduler.(sched.CursorCodec); ok {
+			b = cc.AppendCursor(b)
+		}
+	}
+	return b
+}
+
+// NewRestored builds an engine whose state is decoded from a snapshot
+// written by AppendState, returning the unread remainder of b. cfg and alg
+// must be equivalent to the snapshotted engine's (same algorithm and
+// parameters, a scheduler freshly built from the same spec and seed);
+// worker count and hooks may differ freely. The scheduler's cursor is
+// restored into cfg.Scheduler in place.
+func NewRestored(alg Algorithm, cfg Config, b []byte) (*Engine, []byte, error) {
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 1
+	}
+	if cfg.MaxRounds < 0 {
+		cfg.MaxRounds = 0
+	}
+	e := &Engine{cfg: cfg, alg: alg}
+	r := codec.NewReader(b)
+	e.round = int(r.Uvarint())
+	e.merges = int(r.Uvarint())
+	e.moves = int(r.Uvarint())
+	e.runsStart = int(r.Uvarint())
+	e.nextRunID = int(r.Uvarint())
+	e.lastMerge = int(r.Uvarint())
+	e.roundMerge = int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if e.nextRunID < 1 {
+		return nil, nil, fmt.Errorf("fsync: snapshot run-ID counter %d (must be ≥ 1)", e.nextRunID)
+	}
+	w, rest, err := world.DecodeDense(r.Rest(), cfg.Scheduler != nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.w = w
+	if cfg.Scheduler != nil {
+		cc, ok := cfg.Scheduler.(sched.CursorCodec)
+		if !ok {
+			return nil, nil, fmt.Errorf("fsync: scheduler %v cannot restore a cursor", cfg.Scheduler)
+		}
+		if rest, err = cc.RestoreCursor(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return e, rest, nil
+}

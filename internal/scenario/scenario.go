@@ -46,8 +46,13 @@ func CheckAlgorithm(name string) error {
 // or "paper" for the paper's algorithm (built from params, which must
 // already be validated — core.NewGatherer panics on invalid parameters) and
 // "greedy" for the scheduler-robust strategy (params ignored). scheduler is
-// a sched.Parse spec; seed feeds its randomized variants.
+// a sched.Parse spec; seed feeds its randomized variants, with seed 0
+// normalized to 1 here — the single place that rule lives, so the public
+// API, the sweep harness and checkpoint restoration cannot drift on it.
 func Resolve(algorithm, scheduler string, seed int64, params core.Params, n int) (Scenario, error) {
+	if seed == 0 {
+		seed = 1
+	}
 	sch, err := sched.Parse(scheduler, seed)
 	if err != nil {
 		return Scenario{}, err

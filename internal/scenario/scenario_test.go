@@ -6,6 +6,7 @@ import (
 	"gridgather/internal/baseline/asyncseq"
 	"gridgather/internal/core"
 	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
 )
 
 func TestResolveDefaults(t *testing.T) {
@@ -37,6 +38,37 @@ func TestResolveRelaxed(t *testing.T) {
 	}
 	if want := fsync.DefaultBudget(100).Scale(3); s.Budget != want {
 		t.Errorf("budget = %+v, want %+v (fairness-scaled)", s.Budget, want)
+	}
+}
+
+// Seed 0 normalizes to 1 inside Resolve — the one place the rule lives —
+// so every entry point (public API, sweep, checkpoint restore) agrees.
+func TestResolveSeedZeroMeansOne(t *testing.T) {
+	cells := gen.Hollow(8, 8).Cells()
+	slots := make([]int32, len(cells))
+	for i := range slots {
+		slots[i] = int32(i)
+	}
+	for _, spec := range []string{"ssync-rand:3", "ssync-lazy:5"} {
+		zero, err := Resolve("greedy", spec, 0, core.Defaults(), len(cells))
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := Resolve("greedy", spec, 1, core.Defaults(), len(cells))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 20; round++ {
+			mz := make([]bool, len(cells))
+			mo := make([]bool, len(cells))
+			zero.Scheduler.Activate(round, cells, slots, mz)
+			one.Scheduler.Activate(round, cells, slots, mo)
+			for i := range mz {
+				if mz[i] != mo[i] {
+					t.Fatalf("%s round %d: seed 0 diverged from seed 1 at %d", spec, round, i)
+				}
+			}
+		}
 	}
 }
 

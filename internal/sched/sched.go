@@ -44,10 +44,10 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 
+	"gridgather/internal/codec"
 	"gridgather/internal/grid"
 )
 
@@ -70,6 +70,20 @@ type Scheduler interface {
 	Fairness(n int) int
 	// String names the scheduler for reports and sweep group keys.
 	String() string
+}
+
+// CursorCodec checkpoints a scheduler's mutable per-simulation state — the
+// cursors, fairness deadlines and RNG streams that advance as rounds are
+// consumed. Every scheduler Parse builds implements it, which is what makes
+// simulation snapshots resumable under any time model: AppendCursor encodes
+// the state (construction parameters like the fairness window are NOT
+// encoded — the caller re-parses the spec and then restores the cursor into
+// the fresh instance), and RestoreCursor decodes it, returning the unread
+// remainder. A restored scheduler must produce exactly the activation sets
+// the original would have produced from that round on.
+type CursorCodec interface {
+	AppendCursor(b []byte) []byte
+	RestoreCursor(b []byte) ([]byte, error)
 }
 
 // RangeActivator is an optional fast-path interface for schedulers whose
@@ -107,6 +121,10 @@ func (fsyncSched) ActivateRange(_, n int) (int, int, bool) { return 0, n, true }
 func (fsyncSched) Fairness(int) int { return 1 }
 func (fsyncSched) String() string   { return "fsync" }
 
+// FSYNC is stateless: activation is a pure function of the round.
+func (fsyncSched) AppendCursor(b []byte) []byte           { return b }
+func (fsyncSched) RestoreCursor(b []byte) ([]byte, error) { return b, nil }
+
 // IsFSYNC reports whether s is the fully synchronous scheduler (or nil,
 // which engines treat as FSYNC). Callers use it to route FSYNC runs through
 // the engine's faster nil-scheduler path.
@@ -142,6 +160,11 @@ func (s *roundRobin) Activate(round int, cells []grid.Point, _ []int32, active [
 
 func (s *roundRobin) Fairness(int) int { return s.k }
 func (s *roundRobin) String() string   { return fmt.Sprintf("ssync-rr:%d", s.k) }
+
+// Round-robin is stateless: the window k is a construction parameter and
+// the activation set is a pure function of the round.
+func (s *roundRobin) AppendCursor(b []byte) []byte           { return b }
+func (s *roundRobin) RestoreCursor(b []byte) ([]byte, error) { return b, nil }
 
 // deadlines tracks per-robot fairness deadlines in a flat slice indexed by
 // the engine's stable robot slot — the round loop no longer hashes cells.
@@ -185,6 +208,37 @@ func (d *deadlines) commit(round int, p grid.Point, slot int32, activated bool) 
 	}
 }
 
+// appendCursor encodes the deadline slice (window and seed are
+// construction parameters, re-supplied when the spec is re-parsed).
+func (d *deadlines) appendCursor(b []byte) []byte {
+	b = codec.AppendUvarint(b, uint64(len(d.dl)))
+	for _, v := range d.dl {
+		b = codec.AppendInt(b, v)
+	}
+	return b
+}
+
+// restoreCursor decodes a deadline slice written by appendCursor.
+func (d *deadlines) restoreCursor(b []byte) ([]byte, error) {
+	r := codec.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > uint64(r.Len()) { // each entry is ≥ 1 byte: cheap corruption guard
+		return nil, fmt.Errorf("sched: deadline cursor claims %d entries in %d bytes", n, r.Len())
+	}
+	dl := make([]int, n)
+	for i := range dl {
+		dl[i] = r.Int()
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	d.dl = dl
+	return r.Rest(), nil
+}
+
 // phaseHash mixes a cell and seed into a deterministic pseudo-random phase
 // (splitmix64-style finalizer).
 func phaseHash(p grid.Point, seed int64) uint64 {
@@ -196,6 +250,27 @@ func phaseHash(p grid.Point, seed int64) uint64 {
 	x ^= x >> 31
 	return x
 }
+
+// splitmix is the scheduler coin-flip stream: a splitmix64 generator whose
+// entire state is one word, so scheduler cursors stay checkpointable
+// (math/rand.Rand hides its state, which is why it is not used here). The
+// stream is deterministic per seed and statistically adequate for
+// activation coin flips.
+type splitmix struct{ state uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *splitmix) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
 
 // Random returns the SSYNC random scheduler: each robot is activated
 // independently with probability p each round, from a stream seeded by
@@ -210,20 +285,20 @@ func Random(p float64, k int, seed int64) Scheduler {
 	}
 	return &random{
 		p:   p,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: splitmix{state: uint64(seed)},
 		dl:  newDeadlines(k, seed),
 	}
 }
 
 type random struct {
 	p   float64
-	rng *rand.Rand
+	rng splitmix
 	dl  deadlines
 }
 
 func (s *random) Activate(round int, cells []grid.Point, slots []int32, active []bool) {
 	for i, c := range cells {
-		on := s.rng.Float64() < s.p || round >= s.dl.deadline(round, c, slots[i])
+		on := s.rng.float64() < s.p || round >= s.dl.deadline(round, c, slots[i])
 		active[i] = on
 		s.dl.commit(round, c, slots[i], on)
 	}
@@ -231,6 +306,26 @@ func (s *random) Activate(round int, cells []grid.Point, slots []int32, active [
 
 func (s *random) Fairness(int) int { return s.dl.window }
 func (s *random) String() string   { return fmt.Sprintf("ssync-rand:%d", s.dl.window) }
+
+// AppendCursor encodes the RNG stream position and the fairness deadlines.
+func (s *random) AppendCursor(b []byte) []byte {
+	b = codec.AppendUvarint(b, s.rng.state)
+	return s.dl.appendCursor(b)
+}
+
+func (s *random) RestoreCursor(b []byte) ([]byte, error) {
+	r := codec.NewReader(b)
+	state := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	rest, err := s.dl.restoreCursor(r.Rest())
+	if err != nil {
+		return nil, err
+	}
+	s.rng.state = state
+	return rest, nil
+}
 
 // Adversarial returns the lazy SSYNC scheduler: every robot sleeps for as
 // long as the fairness window k permits and is activated only when its
@@ -257,6 +352,12 @@ func (s *adversarial) Activate(round int, cells []grid.Point, slots []int32, act
 
 func (s *adversarial) Fairness(int) int { return s.dl.window }
 func (s *adversarial) String() string   { return fmt.Sprintf("ssync-lazy:%d", s.dl.window) }
+
+// AppendCursor encodes the fairness deadlines (the lazy schedule's only
+// mutable state).
+func (s *adversarial) AppendCursor(b []byte) []byte { return s.dl.appendCursor(b) }
+
+func (s *adversarial) RestoreCursor(b []byte) ([]byte, error) { return s.dl.restoreCursor(b) }
 
 // Sequential returns the ASYNC wavefront scheduler: a cursor sweeps the
 // sorted population activating `width` robots per round, wrapping around
@@ -317,6 +418,21 @@ func (s *sequential) Fairness(n int) int {
 }
 
 func (s *sequential) String() string { return fmt.Sprintf("async:%d", s.width) }
+
+// AppendCursor encodes the wavefront position.
+func (s *sequential) AppendCursor(b []byte) []byte {
+	return codec.AppendUvarint(b, uint64(s.cursor))
+}
+
+func (s *sequential) RestoreCursor(b []byte) ([]byte, error) {
+	r := codec.NewReader(b)
+	cur := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.cursor = int(cur)
+	return r.Rest(), nil
+}
 
 // Default fairness windows and probabilities for schedulers named without
 // explicit parameters. 3 and 5 are coprime to the paper's L = 22.

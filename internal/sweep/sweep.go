@@ -23,13 +23,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"gridgather"
 	"gridgather/internal/core"
-	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
 	"gridgather/internal/scenario"
 	"gridgather/internal/sched"
@@ -93,9 +94,16 @@ type Result struct {
 	Duration time.Duration `json:"duration_ns"`
 }
 
-// RunOne executes a single job synchronously. It is the primitive the
-// Runner fans out, and also what the experiment harness (internal/exp) uses
-// for its one-off instances.
+// RunOne executes a single job synchronously by driving a public
+// gridgather session end to end — the sweep harness consumes the same
+// Simulation surface every other caller does, so the two cannot drift on
+// budgets, seeds or scenario resolution. It is the primitive the Runner
+// fans out, and also what the experiment harness (internal/exp) uses for
+// its one-off instances.
+//
+// Job.Params contributes its (Radius, L) pair; the dependent constants are
+// re-derived through core.WithConstants, which is where every parameter
+// set in this codebase comes from (see the WithConstants doc).
 func RunOne(job Job) Result {
 	out := Result{Job: job}
 	builder, err := builderFor(job.Workload)
@@ -112,20 +120,24 @@ func RunOne(job Job) Result {
 		return out
 	}
 	s := builder(job.N, job.Seed)
-	sc, err := scenario.Resolve(job.Algorithm, job.Scheduler, job.Seed, job.Params, s.Len())
+	sim, err := gridgather.New(toPoints(s),
+		gridgather.WithRadius(job.Params.Radius),
+		gridgather.WithL(job.Params.L),
+		gridgather.WithScheduler(job.Scheduler),
+		gridgather.WithSchedulerSeed(job.Seed),
+		gridgather.WithAlgorithm(job.Algorithm),
+		gridgather.WithMaxRounds(job.MaxRounds),
+		gridgather.WithNoMergeLimit(job.NoMergeLimit),
+		gridgather.WithWorkers(max(job.EngineWorkers, 1)),
+	)
 	if err != nil {
 		out.Err = err.Error()
 		return out
 	}
-	budget := sc.Budget.WithOverrides(job.MaxRounds, job.NoMergeLimit)
+	// Duration measures the simulation itself — session construction
+	// (swarm validation, scenario resolution) stays outside the timer.
 	start := time.Now()
-	eng := fsync.New(s, sc.Algorithm, fsync.Config{
-		MaxRounds:    budget.MaxRounds,
-		NoMergeLimit: budget.NoMergeLimit,
-		Workers:      max(job.EngineWorkers, 1),
-		Scheduler:    sc.Scheduler,
-	})
-	res := eng.Run()
+	res := sim.Run(context.Background())
 	out.Duration = time.Since(start)
 	out.Robots = res.InitialRobots
 	out.FinalRobots = res.FinalRobots
@@ -145,6 +157,16 @@ func RunOne(job Job) Result {
 
 // Algorithms lists the robot programs available to sweeps.
 func Algorithms() []string { return scenario.Algorithms() }
+
+// toPoints converts a built swarm into the public API's point slice.
+func toPoints(s *swarm.Swarm) []gridgather.Point {
+	cells := s.Cells()
+	out := make([]gridgather.Point, len(cells))
+	for i, c := range cells {
+		out[i] = gridgather.Point{X: c.X, Y: c.Y}
+	}
+	return out
+}
 
 // builderFor resolves a workload family name to its seeded builder.
 func builderFor(name string) (func(n int, seed int64) *swarm.Swarm, error) {

@@ -1,22 +1,20 @@
-// Package trace renders swarm states as ASCII frames and records
-// round-by-round simulation histories for the visualization tool and for
-// test debugging. Runners (robots holding run states) are highlighted,
-// making the reshapement waves of §3.2 visible in the animation.
+// Package trace renders swarm states as ASCII frames for the
+// visualization tool and for test debugging. Runners (robots holding run
+// states) are highlighted, making the reshapement waves of §3.2 visible
+// in the animation. Frames are built from plain position lists (FrameOf)
+// — the shape of the public session event payload — so consumers observe
+// a gridgather.Simulation instead of hooking the engine.
 package trace
 
 import (
-	"fmt"
-	"io"
 	"strings"
 
-	"gridgather/internal/fsync"
 	"gridgather/internal/grid"
 )
 
-// Occupancy is the minimal read surface Render draws from. Both
-// *swarm.Swarm and the engine's world.Backend satisfy it, so per-round
-// snapshots render straight off the engine state without materializing a
-// swarm copy each frame.
+// Occupancy is the minimal read surface Render draws from. *swarm.Swarm,
+// the engine's world.Dense and the pointSet behind FrameOf all satisfy
+// it, so frames render without materializing a swarm copy.
 type Occupancy interface {
 	Has(p grid.Point) bool
 	Bounds() grid.Rect
@@ -62,53 +60,35 @@ type Frame struct {
 	Art     string
 }
 
-// Recorder captures frames from an engine via its OnRound hook.
-type Recorder struct {
-	// Every records one frame per Every rounds (plus round 0 and the final
-	// round). Default 1.
-	Every  int
-	Bounds grid.Rect // fixed viewport; empty = per-frame bounds
-	Frames []Frame
-}
+// pointSet adapts a plain cell list to the Occupancy read surface, for
+// rendering frames from session event payloads rather than engine state.
+type pointSet map[grid.Point]bool
 
-// NewRecorder builds a recorder capturing every k-th round within the given
-// viewport (pass grid.EmptyRect for auto bounds).
-func NewRecorder(every int, bounds grid.Rect) *Recorder {
-	if every < 1 {
-		every = 1
+func (s pointSet) Has(p grid.Point) bool { return s[p] }
+
+func (s pointSet) Bounds() grid.Rect {
+	r := grid.EmptyRect
+	for p := range s {
+		r = r.Include(p)
 	}
-	return &Recorder{Every: every, Bounds: bounds}
+	return r
 }
 
-// Snapshot records the engine's current state unconditionally.
-func (r *Recorder) Snapshot(e *fsync.Engine) {
-	runners := e.Runners()
-	w := e.World()
-	r.Frames = append(r.Frames, Frame{
-		Round:   e.Round(),
-		Robots:  w.Len(),
-		Merges:  e.Merges(),
+// FrameOf renders one frame from plain robot/runner position lists — the
+// shape of the public session event payload (gridgather.Event), which
+// borrows engine scratch; callers converting events should hand the
+// positions straight in, within the callback. bounds fixes the viewport
+// (grid.EmptyRect = auto).
+func FrameOf(round int, robots, runners []grid.Point, merges int, bounds grid.Rect) Frame {
+	occ := make(pointSet, len(robots))
+	for _, p := range robots {
+		occ[p] = true
+	}
+	return Frame{
+		Round:   round,
+		Robots:  len(robots),
+		Merges:  merges,
 		Runners: len(runners),
-		Art:     Render(w, runners, r.Bounds),
-	})
-}
-
-// Hook returns an OnRound callback recording every Every-th round.
-func (r *Recorder) Hook() func(*fsync.Engine) {
-	return func(e *fsync.Engine) {
-		if e.Round()%r.Every == 0 || e.Gathered() {
-			r.Snapshot(e)
-		}
+		Art:     Render(occ, runners, bounds),
 	}
-}
-
-// Play writes all frames to w, separated by headers.
-func (r *Recorder) Play(w io.Writer) error {
-	for _, f := range r.Frames {
-		if _, err := fmt.Fprintf(w, "--- round %d | robots %d | merges %d | runners %d ---\n%s\n",
-			f.Round, f.Robots, f.Merges, f.Runners, f.Art); err != nil {
-			return err
-		}
-	}
-	return nil
 }

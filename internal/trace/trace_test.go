@@ -4,8 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"gridgather/internal/core"
-	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
 	"gridgather/internal/grid"
 	"gridgather/internal/swarm"
@@ -38,36 +36,21 @@ func TestRenderEmpty(t *testing.T) {
 	}
 }
 
-func TestRecorderCapturesFrames(t *testing.T) {
-	s := gen.Hollow(8, 8)
-	rec := NewRecorder(2, s.Bounds())
-	eng := fsync.New(s, core.Default(), fsync.Config{
-		MaxRounds: 1000,
-		OnRound:   rec.Hook(),
-	})
-	res := eng.Run()
-	if !res.Gathered {
-		t.Fatalf("did not gather: %+v", res)
+// FrameOf builds a frame from plain position lists — the shape of the
+// public session event payload — equivalent to rendering the same state
+// through a swarm.
+func TestFrameOf(t *testing.T) {
+	s := gen.Hollow(6, 6)
+	cells := s.Cells()
+	runners := []grid.Point{cells[0], cells[3]}
+	f := FrameOf(7, cells, runners, 4, s.Bounds())
+	if f.Round != 7 || f.Robots != len(cells) || f.Runners != 2 || f.Merges != 4 {
+		t.Fatalf("frame header: %+v", f)
 	}
-	if len(rec.Frames) == 0 {
-		t.Fatal("no frames recorded")
+	if want := Render(s, runners, s.Bounds()); f.Art != want {
+		t.Errorf("FrameOf art diverged from swarm render:\n%s\nvs\n%s", f.Art, want)
 	}
-	last := rec.Frames[len(rec.Frames)-1]
-	if last.Robots > 4 {
-		t.Errorf("final frame has %d robots", last.Robots)
-	}
-	var sb strings.Builder
-	if err := rec.Play(&sb); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "--- round") {
-		t.Error("playback missing headers")
-	}
-}
-
-func TestRecorderEveryDefaultsTo1(t *testing.T) {
-	r := NewRecorder(0, grid.EmptyRect)
-	if r.Every != 1 {
-		t.Errorf("Every = %d", r.Every)
+	if strings.Count(f.Art, "R") != 2 {
+		t.Errorf("runner highlights missing:\n%s", f.Art)
 	}
 }

@@ -53,10 +53,12 @@ package world
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
 
+	"gridgather/internal/codec"
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
 	"gridgather/internal/swarm"
@@ -767,6 +769,144 @@ func sortNearSorted(a []cellSlot) {
 		}
 		a[j+1] = e
 	}
+}
+
+// --- snapshot codec ---
+
+// AppendState appends the world's complete resumable state: the slot-space
+// size, whether logical clocks are tracked, and every robot in canonical
+// cell order with its cell, slot, run state and clock. Chunk-table layout,
+// arrival lanes and scratch are not state — they are rebuilt on decode —
+// so the encoding is deterministic: equal worlds produce equal bytes.
+// Call it only between rounds (never mid-protocol).
+func (d *Dense) AppendState(b []byte) []byte {
+	d.ensureOcc()
+	b = codec.AppendUvarint(b, uint64(len(d.states)))
+	b = codec.AppendBool(b, d.clocks != nil)
+	b = codec.AppendUvarint(b, uint64(len(d.occ)))
+	for _, c := range d.occ {
+		b = codec.AppendInt(b, c.p.X)
+		b = codec.AppendInt(b, c.p.Y)
+		b = codec.AppendUvarint(b, uint64(c.slot))
+		st := &d.states[c.slot]
+		b = codec.AppendUvarint(b, uint64(st.n))
+		for _, r := range st.runs[:st.n] {
+			b = appendRun(b, r)
+		}
+		if d.clocks != nil {
+			b = codec.AppendUvarint(b, uint64(d.clocks[c.slot]))
+		}
+	}
+	return b
+}
+
+func appendRun(b []byte, r robot.Run) []byte {
+	b = codec.AppendUvarint(b, uint64(r.ID))
+	b = codec.AppendInt(b, r.Dir.X)
+	b = codec.AppendInt(b, r.Dir.Y)
+	b = codec.AppendInt(b, r.Inside.X)
+	b = codec.AppendInt(b, r.Inside.Y)
+	b = codec.AppendUvarint(b, uint64(r.Phase))
+	b = codec.AppendUvarint(b, uint64(r.StepsLeft))
+	b = codec.AppendUvarint(b, uint64(r.Age))
+	return b
+}
+
+func decodeRun(r *codec.Reader) robot.Run {
+	return robot.Run{
+		ID:        int(r.Uvarint()),
+		Dir:       grid.Pt(r.Int(), r.Int()),
+		Inside:    grid.Pt(r.Int(), r.Int()),
+		Phase:     robot.Phase(r.Uvarint()),
+		StepsLeft: int(r.Uvarint()),
+		Age:       int(r.Uvarint()),
+	}
+}
+
+// DecodeDense rebuilds a world from a snapshot written by AppendState and
+// returns it with the unread remainder of b. withClocks must match the
+// configuration the snapshot was taken under (the engine derives it from
+// its scheduler); a mismatch, a truncated stream or structurally invalid
+// data (cells out of canonical order, slots outside the encoded slot
+// space, too many runs) is an error. The decoded world is bit-equivalent
+// to the encoded one for every future round.
+func DecodeDense(b []byte, withClocks bool) (*Dense, []byte, error) {
+	r := codec.NewReader(b)
+	numSlots := r.Uvarint()
+	hasClocks := r.Bool()
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if hasClocks != withClocks {
+		return nil, nil, fmt.Errorf("world: snapshot clocks=%v, configuration wants %v", hasClocks, withClocks)
+	}
+	if count > numSlots {
+		return nil, nil, fmt.Errorf("world: snapshot has %d robots in %d slots", count, numSlots)
+	}
+	// Slot space can legitimately exceed the live population by any factor
+	// (slots of merged robots are dead but still counted), so it cannot be
+	// bounded by the stream length — only by the int32 slot type. Snapshots
+	// are trusted local artifacts; validation here catches accidents and
+	// version skew, not adversarial input.
+	if numSlots > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("world: snapshot slot space %d exceeds int32", numSlots)
+	}
+	if count > uint64(r.Len()) { // every live robot takes ≥ 1 byte
+		return nil, nil, fmt.Errorf("world: snapshot claims %d robots in %d bytes", count, r.Len())
+	}
+	d := &Dense{
+		states: make([]slotState, numSlots),
+		occ:    make([]cellSlot, 0, count),
+	}
+	if withClocks {
+		d.clocks = make([]int, numSlots)
+	}
+	bounds := grid.EmptyRect
+	var prev grid.Point
+	for i := uint64(0); i < count; i++ {
+		p := grid.Pt(r.Int(), r.Int())
+		slot := r.Uvarint()
+		nruns := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		if i > 0 && !prev.Less(p) {
+			return nil, nil, fmt.Errorf("world: snapshot cells out of canonical order at %v", p)
+		}
+		prev = p
+		if slot >= numSlots {
+			return nil, nil, fmt.Errorf("world: snapshot slot %d outside %d slots", slot, numSlots)
+		}
+		if nruns > robot.MaxRuns {
+			return nil, nil, fmt.Errorf("world: snapshot robot at %v holds %d runs (max %d)", p, nruns, robot.MaxRuns)
+		}
+		st := &d.states[slot]
+		st.n = int8(nruns)
+		for j := uint64(0); j < nruns; j++ {
+			st.runs[j] = decodeRun(r)
+		}
+		if withClocks {
+			d.clocks[slot] = int(r.Uvarint())
+		}
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		d.occ = append(d.occ, cellSlot{p, int32(slot)})
+		bounds = bounds.Include(p)
+	}
+	d.initTable(bounds)
+	for _, c := range d.occ {
+		t := d.ensureTile(c.p)
+		d.mark(d.cur, t)
+		ry, rx := c.p.Y&tileMask, c.p.X&tileMask
+		t.bits[d.cur][ry] |= 1 << uint(rx)
+		t.slots[d.cur][ry<<tileShift|rx] = c.slot
+	}
+	d.count = len(d.occ)
+	d.bounds = bounds
+	d.boundsOK = true
+	return d, r.Rest(), nil
 }
 
 // --- connectivity ---

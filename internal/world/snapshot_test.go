@@ -1,0 +1,170 @@
+package world
+
+import (
+	"errors"
+	"testing"
+
+	"gridgather/internal/codec"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/robot"
+)
+
+// buildWorld makes a dense world with a few planted run states and clocks.
+func buildWorld(t *testing.T, withClocks bool) *Dense {
+	t.Helper()
+	d := NewDense(gen.RandomBlob(80, 7), withClocks)
+	cells := d.Cells()
+	for i, p := range cells {
+		if i%5 == 0 {
+			d.SetState(p, robot.State{Runs: []robot.Run{
+				{ID: i + 1, Dir: grid.East, Inside: grid.North, Age: i},
+			}})
+		}
+	}
+	if withClocks {
+		// Raise some clocks through the round protocol (Sleep keeps cells).
+		d.BeginRound()
+		for i, p := range cells {
+			d.Sleep(p)
+			d.RaiseClock(p, i%7)
+		}
+		d.Commit()
+	}
+	return d
+}
+
+func equalWorlds(t *testing.T, a, b *Dense) {
+	t.Helper()
+	ac, bc := a.Cells(), b.Cells()
+	if len(ac) != len(bc) {
+		t.Fatalf("population %d vs %d", len(ac), len(bc))
+	}
+	as, bs := a.Slots(), b.Slots()
+	for i := range ac {
+		if ac[i] != bc[i] || as[i] != bs[i] {
+			t.Fatalf("cell/slot %d: %v/%d vs %v/%d", i, ac[i], as[i], bc[i], bs[i])
+		}
+		sa, sb := a.StateAt(ac[i]), b.StateAt(bc[i])
+		if len(sa.Runs) != len(sb.Runs) {
+			t.Fatalf("run count at %v: %d vs %d", ac[i], len(sa.Runs), len(sb.Runs))
+		}
+		for j := range sa.Runs {
+			if sa.Runs[j] != sb.Runs[j] {
+				t.Fatalf("run at %v: %+v vs %+v", ac[i], sa.Runs[j], sb.Runs[j])
+			}
+		}
+		if a.ClockAt(ac[i]) != b.ClockAt(bc[i]) {
+			t.Fatalf("clock at %v: %d vs %d", ac[i], a.ClockAt(ac[i]), b.ClockAt(bc[i]))
+		}
+	}
+	if a.Bounds() != b.Bounds() || a.Len() != b.Len() {
+		t.Fatalf("bounds/len diverged: %+v/%d vs %+v/%d", a.Bounds(), a.Len(), b.Bounds(), b.Len())
+	}
+}
+
+func TestDenseSnapshotRoundTrip(t *testing.T) {
+	for _, withClocks := range []bool{false, true} {
+		d := buildWorld(t, withClocks)
+		b := d.AppendState(nil)
+		got, rest, err := DecodeDense(b, withClocks)
+		if err != nil {
+			t.Fatalf("clocks=%v: %v", withClocks, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("clocks=%v: %d trailing bytes", withClocks, len(rest))
+		}
+		equalWorlds(t, d, got)
+		// Determinism: equal worlds produce equal bytes.
+		if string(got.AppendState(nil)) != string(b) {
+			t.Errorf("clocks=%v: re-encoded snapshot differs", withClocks)
+		}
+	}
+}
+
+// The decoded world must behave identically under the round protocol, not
+// just read identically: run one arrival round on both and compare.
+func TestDecodedWorldAdvances(t *testing.T) {
+	d := buildWorld(t, true)
+	b := d.AppendState(nil)
+	got, _, err := DecodeDense(b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(w *Dense) {
+		cells := append([]grid.Point(nil), w.Cells()...)
+		w.BeginRound()
+		for _, p := range cells {
+			w.Arrive(p, p.Add(grid.Pt(1, 0))) // shift east: some merges occur
+		}
+		w.Commit()
+	}
+	step(d)
+	step(got)
+	equalWorlds(t, d, got)
+}
+
+func TestDecodeDenseRejectsTruncation(t *testing.T) {
+	d := buildWorld(t, true)
+	full := d.AppendState(nil)
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		if _, _, err := DecodeDense(full[:cut], true); err == nil {
+			t.Errorf("cut at %d: expected error", cut)
+		} else if !errors.Is(err, codec.ErrTruncated) {
+			// Some prefixes decode into a structural error instead — both
+			// reject, but truncation should dominate for short cuts.
+			t.Logf("cut at %d: structural error %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeDenseRejectsMismatchedClocks(t *testing.T) {
+	d := buildWorld(t, false)
+	b := d.AppendState(nil)
+	if _, _, err := DecodeDense(b, true); err == nil {
+		t.Error("expected clock-configuration mismatch error")
+	}
+}
+
+func TestDecodeDenseRejectsCorruption(t *testing.T) {
+	// Out-of-order cells: encode two cells swapped by hand.
+	var b []byte
+	b = codec.AppendUvarint(b, 2)   // slots
+	b = codec.AppendBool(b, false)  // no clocks
+	b = codec.AppendUvarint(b, 2)   // robots
+	for i, x := range []int{5, 3} { // descending X on one row: not canonical
+		b = codec.AppendInt(b, x)
+		b = codec.AppendInt(b, 0)
+		b = codec.AppendUvarint(b, uint64(i))
+		b = codec.AppendUvarint(b, 0)
+	}
+	if _, _, err := DecodeDense(b, false); err == nil {
+		t.Error("expected canonical-order error")
+	}
+
+	// Slot outside the slot space.
+	b = nil
+	b = codec.AppendUvarint(b, 1)
+	b = codec.AppendBool(b, false)
+	b = codec.AppendUvarint(b, 1)
+	b = codec.AppendInt(b, 0)
+	b = codec.AppendInt(b, 0)
+	b = codec.AppendUvarint(b, 9) // slot 9 of 1
+	b = codec.AppendUvarint(b, 0)
+	if _, _, err := DecodeDense(b, false); err == nil {
+		t.Error("expected slot-range error")
+	}
+
+	// Too many runs.
+	b = nil
+	b = codec.AppendUvarint(b, 1)
+	b = codec.AppendBool(b, false)
+	b = codec.AppendUvarint(b, 1)
+	b = codec.AppendInt(b, 0)
+	b = codec.AppendInt(b, 0)
+	b = codec.AppendUvarint(b, 0)
+	b = codec.AppendUvarint(b, robot.MaxRuns+1)
+	if _, _, err := DecodeDense(b, false); err == nil {
+		t.Error("expected run-count error")
+	}
+}

@@ -1,0 +1,177 @@
+package gridgather
+
+import (
+	"errors"
+	"fmt"
+)
+
+// An Option configures a Simulation at construction. The zero
+// configuration (no options) is the paper's setting: radius 20, L = 22,
+// FSYNC, the paper's algorithm, the canonical simulation budget, and all
+// available CPUs.
+//
+// Options divide into two classes. Structural options (WithRadius, WithL,
+// WithScheduler, WithSchedulerSeed, WithAlgorithm) define what is being
+// simulated; they are baked into snapshots and rejected by Restore.
+// Execution options (WithMaxRounds, WithNoMergeLimit, WithWorkers,
+// WithConnectivityCheck, WithStrictLocality, WithObserver) only control
+// how the simulation is driven and may be changed freely on Restore.
+type Option func(*settings) error
+
+// settings is the resolved session configuration New and Restore build
+// from options (and, for Restore, from the snapshot header).
+type settings struct {
+	radius, l     int
+	maxRounds     int
+	noMergeLimit  int
+	scheduler     string
+	schedulerSeed int64
+	algorithm     string
+	checkConn     bool
+	checkConnSet  bool // WithConnectivityCheck was passed (Restore override)
+	strict        bool
+	strictSet     bool // WithStrictLocality was passed (Restore override)
+	workers       int
+	subs          []subscription
+
+	// structural lists the structural options that were applied, so
+	// Restore can reject attempts to reshape a checkpointed simulation.
+	structural []string
+}
+
+func (s *settings) apply(opts []Option) error {
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func structural(name string, f func(*settings)) Option {
+	return func(s *settings) error {
+		f(s)
+		s.structural = append(s.structural, name)
+		return nil
+	}
+}
+
+// WithRadius sets the viewing radius (L1). 0 selects the paper's value 20.
+// Structural: rejected by Restore.
+func WithRadius(r int) Option {
+	return structural("WithRadius", func(s *settings) { s.radius = r })
+}
+
+// WithL sets the run-start period of §3.2. 0 selects the paper's value 22.
+// Structural: rejected by Restore.
+func WithL(l int) Option {
+	return structural("WithL", func(s *settings) { s.l = l })
+}
+
+// WithScheduler selects the time model by spec: "" or "fsync" (the paper's
+// fully synchronous model, default), "ssync"/"ssync-rr:k" (round-robin
+// subsets), "ssync-rand:k" (random subsets), "ssync-lazy:k" (lazy
+// adversarial subsets), "async:w" (a sequential wavefront of width w). The
+// paper's algorithm is proved for FSYNC only — pair relaxed schedulers
+// with WithAlgorithm("greedy") for runs that are safe under every
+// scheduler. Structural: rejected by Restore.
+func WithScheduler(spec string) Option {
+	return structural("WithScheduler", func(s *settings) { s.scheduler = spec })
+}
+
+// WithSchedulerSeed seeds the randomized schedulers (ssync-rand,
+// ssync-lazy); 0 means 1. Deterministic schedulers ignore it. Structural:
+// rejected by Restore.
+func WithSchedulerSeed(seed int64) Option {
+	return structural("WithSchedulerSeed", func(s *settings) { s.schedulerSeed = seed })
+}
+
+// WithAlgorithm selects the robot program: "" or "paper" (the paper's
+// algorithm, default) or "greedy" (the scheduler-robust local strategy; it
+// ignores radius and L). Structural: rejected by Restore.
+func WithAlgorithm(name string) Option {
+	return structural("WithAlgorithm", func(s *settings) { s.algorithm = name })
+}
+
+// WithMaxRounds sets the hard round limit after which the simulation
+// aborts with ErrRoundLimit. 0 selects the canonical budget 80·n + 1000
+// scaled by the scheduler's fairness bound; negative values are rejected
+// with ErrNegativeMaxRounds.
+func WithMaxRounds(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return ErrNegativeMaxRounds
+		}
+		s.maxRounds = n
+		return nil
+	}
+}
+
+// WithNoMergeLimit sets the stuck watchdog: the simulation aborts when
+// this many consecutive rounds pass without a merge. 0 selects the
+// canonical window 40·n + 500 (scaled like WithMaxRounds); negative
+// disables the watchdog.
+func WithNoMergeLimit(n int) Option {
+	return func(s *settings) error {
+		s.noMergeLimit = n
+		return nil
+	}
+}
+
+// WithConnectivityCheck toggles validating swarm connectivity after every
+// round (the paper's central safety property; a violation aborts the
+// simulation).
+func WithConnectivityCheck(on bool) Option {
+	return func(s *settings) error {
+		s.checkConn = on
+		s.checkConnSet = true
+		return nil
+	}
+}
+
+// WithStrictLocality makes the simulation panic if the algorithm reads any
+// cell outside the viewing radius (a proof of locality; small overhead).
+func WithStrictLocality(on bool) Option {
+	return func(s *settings) error {
+		s.strict = on
+		s.strictSet = true
+		return nil
+	}
+}
+
+// WithWorkers sets the number of goroutines the engine shards each round
+// across — the Look+Compute phase and the move/merge/commit write phase
+// alike. 0 uses all available CPUs; 1 forces the serial path. Results are
+// bit-identical for every worker count.
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		s.workers = n
+		return nil
+	}
+}
+
+// WithObserver subscribes fn to the selected event kinds at construction —
+// equivalent to calling Simulation.Subscribe immediately after New or
+// Restore. See Subscribe for the delivery and borrow semantics.
+func WithObserver(mask EventMask, fn func(Event)) Option {
+	return func(s *settings) error {
+		if fn == nil {
+			return errors.New("gridgather: WithObserver with nil function")
+		}
+		if mask == 0 {
+			return errors.New("gridgather: WithObserver with empty event mask")
+		}
+		s.subs = append(s.subs, subscription{mask: mask, fn: fn})
+		return nil
+	}
+}
+
+// rejectStructural reports an error if any structural option was applied —
+// Restore resumes exactly the simulation that was checkpointed and refuses
+// to reshape it.
+func (s *settings) rejectStructural() error {
+	if len(s.structural) == 0 {
+		return nil
+	}
+	return fmt.Errorf("gridgather: option %s is structural and cannot be changed on Restore (the snapshot defines it)", s.structural[0])
+}

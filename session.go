@@ -1,0 +1,299 @@
+package gridgather
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/scenario"
+	"gridgather/internal/swarm"
+)
+
+// ErrDone is returned by Step and StepN when the simulation has already
+// finished successfully (the swarm is gathered) and there is nothing left
+// to execute. An aborted simulation returns its abort error instead.
+var ErrDone = errors.New("gridgather: simulation has finished")
+
+// Simulation is a running gathering simulation: a session object that can
+// be stepped incrementally, run to completion under a context, observed
+// through typed events, and checkpointed to bytes that resume
+// bit-identically. Create one with New or Restore.
+//
+// A Simulation is deterministic: the same input and structural options
+// produce the identical round sequence, for any worker count and across
+// any number of checkpoint/restore cycles. It is not safe for concurrent
+// use; drive it from one goroutine at a time.
+type Simulation struct {
+	eng *fsync.Engine
+
+	// Resolved simulation budget (fairness-scaled at construction from the
+	// initial population; carried verbatim through snapshots).
+	maxRounds    int
+	noMergeLimit int
+
+	initial int   // initial robot count
+	err     error // sticky abort error; nil while running or gathered
+
+	// Structural configuration, retained for Snapshot.
+	radius, l     int
+	scheduler     string
+	schedulerSeed int64
+	algorithm     string
+	checkConn     bool
+	strict        bool
+	workers       int
+
+	// Event plumbing.
+	subs       []subscription
+	subIDs     []int
+	subSeq     int
+	emitting   bool // an emit is iterating subs: defer compaction
+	roundRuns  int  // run states started in the most recent round
+	robotsBuf  []Point
+	runnersBuf []Point
+}
+
+// New creates a simulation session over the given connected swarm. The
+// input slice is not retained or modified. With no options it simulates
+// the paper's setting; see Option for the available knobs. The returned
+// session has executed zero rounds: drive it with Step, StepN or Run.
+func New(cells []Point, opts ...Option) (*Simulation, error) {
+	s := buildSwarm(cells)
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if !s.Connected() {
+		return nil, ErrNotConnected
+	}
+	var cfg settings
+	if err := cfg.apply(opts); err != nil {
+		return nil, err
+	}
+	return newSession(s, cfg)
+}
+
+// newSession resolves the scenario and builds the session over a validated
+// swarm. Shared by New and the Options-struct shim.
+func newSession(sw *swarm.Swarm, cfg settings) (*Simulation, error) {
+	params := core.WithConstants(cfg.radius, cfg.l)
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("gridgather: %w", err)
+	}
+	sc, err := scenario.Resolve(cfg.algorithm, cfg.scheduler, cfg.schedulerSeed, params, sw.Len())
+	if err != nil {
+		return nil, fmt.Errorf("gridgather: %w", err)
+	}
+	budget := sc.Budget.WithOverrides(cfg.maxRounds, cfg.noMergeLimit)
+	sim := &Simulation{
+		maxRounds:     budget.MaxRounds,
+		noMergeLimit:  budget.NoMergeLimit,
+		initial:       sw.Len(),
+		radius:        cfg.radius,
+		l:             cfg.l,
+		scheduler:     cfg.scheduler,
+		schedulerSeed: cfg.schedulerSeed,
+		algorithm:     cfg.algorithm,
+		checkConn:     cfg.checkConn,
+		strict:        cfg.strict,
+		workers:       cfg.workers,
+		subs:          cfg.subs,
+	}
+	sim.seedSubIDs()
+	sim.eng = fsync.New(sw, sc.Algorithm, sim.engineConfig(sc))
+	return sim, nil
+}
+
+// seedSubIDs assigns IDs to subscriptions installed via options (the same
+// unique-increasing scheme Subscribe uses), so their cancel semantics
+// match run-time subscriptions.
+func (s *Simulation) seedSubIDs() {
+	s.subIDs = make([]int, len(s.subs))
+	for i := range s.subIDs {
+		s.subSeq++
+		s.subIDs[i] = s.subSeq
+	}
+}
+
+// engineConfig assembles the engine configuration from the session's
+// resolved settings. The round limit stays with the session (the engine's
+// Step has no budget); the stuck watchdog and safety checks run inside the
+// engine.
+func (s *Simulation) engineConfig(sc scenario.Scenario) fsync.Config {
+	return fsync.Config{
+		NoMergeLimit:      s.noMergeLimit,
+		CheckConnectivity: s.checkConn,
+		StrictViews:       s.strict,
+		Workers:           s.workers,
+		Scheduler:         sc.Scheduler,
+	}
+}
+
+// Step executes one round. It returns nil when a round was executed
+// (including the round that gathers the swarm), ErrDone when the
+// simulation had already gathered, and the abort error when the round
+// limit is exceeded or an invariant breaks (disconnection, stuck
+// watchdog). Abort errors are sticky: every later Step returns the same
+// error. A context-cancelled Run does NOT mark the session aborted — a
+// cancelled session steps onward normally.
+func (s *Simulation) Step() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.eng.Gathered() {
+		return ErrDone
+	}
+	if s.maxRounds > 0 && s.eng.Round() >= s.maxRounds {
+		return s.abort(fsync.ErrRoundLimit{Rounds: s.eng.Round()})
+	}
+	runsBefore := s.eng.RunsStarted()
+	err := s.eng.Step()
+	s.roundRuns = s.eng.RunsStarted() - runsBefore
+	if err != nil {
+		return s.abort(err)
+	}
+	// Refresh the borrowed payload scratch only when an event that fires
+	// this round actually has a listener — a session subscribed only to
+	// gathered/abort events pays nothing per ordinary round.
+	round := s.wants(EventRound)
+	merge := s.eng.RoundMerges() > 0 && s.wants(EventMerge)
+	runs := s.roundRuns > 0 && s.wants(EventRunStart)
+	gathered := s.eng.Gathered() && s.wants(EventGathered)
+	if round || merge || runs || gathered {
+		s.fillEventBuffers()
+		if round {
+			s.emit(EventRound, nil)
+		}
+		if merge {
+			s.emit(EventMerge, nil)
+		}
+		if runs {
+			s.emit(EventRunStart, nil)
+		}
+		if gathered {
+			s.emit(EventGathered, nil)
+		}
+	}
+	return nil
+}
+
+// abort records the sticky abort error and notifies abort subscribers.
+func (s *Simulation) abort(err error) error {
+	s.err = err
+	if s.wants(EventAbort) {
+		s.fillEventBuffers()
+		s.emit(EventAbort, err)
+	}
+	return err
+}
+
+// StepN executes up to k rounds and returns how many were executed. It
+// stops early — with a nil error — when the swarm gathers, and with the
+// abort error when the simulation aborts. Calling it on an already
+// finished session returns (0, ErrDone) or (0, the abort error); k ≤ 0
+// executes nothing and returns (0, nil).
+func (s *Simulation) StepN(k int) (int, error) {
+	if k <= 0 {
+		return 0, nil
+	}
+	for n := 0; n < k; n++ {
+		if err := s.Step(); err != nil {
+			return n, err
+		}
+		if s.eng.Gathered() {
+			// The round just executed gathered the swarm: a successful
+			// stop, not an error.
+			return n + 1, nil
+		}
+	}
+	return k, nil
+}
+
+// Run executes rounds until the swarm gathers, the simulation aborts, or
+// ctx is cancelled, and returns the result so far. Cancellation is checked
+// between rounds: the returned Result carries the context's error, but the
+// session itself stays healthy — it can Step onward or Run again with a
+// fresh context, and a later uninterrupted continuation produces exactly
+// the rounds an uncancelled run would have.
+func (s *Simulation) Run(ctx context.Context) Result {
+	for s.err == nil && !s.eng.Gathered() {
+		if err := ctx.Err(); err != nil {
+			res := s.Result()
+			res.Err = err
+			return res
+		}
+		if err := s.Step(); err != nil {
+			break
+		}
+	}
+	return s.Result()
+}
+
+// Status is a point-in-time view of a session's progress.
+type Status struct {
+	// Round is the number of completed rounds.
+	Round int
+	// Robots is the current population.
+	Robots int
+	// Gathered reports whether the swarm currently fits in a 2×2 square.
+	Gathered bool
+	// Done reports whether the simulation has finished: gathered or
+	// aborted. A done session never executes further rounds.
+	Done bool
+	// Err is the abort error (nil unless the simulation aborted).
+	Err error
+}
+
+// Status returns the session's current progress.
+func (s *Simulation) Status() Status {
+	return Status{
+		Round:    s.eng.Round(),
+		Robots:   s.eng.World().Len(),
+		Gathered: s.eng.Gathered(),
+		Done:     s.err != nil || s.eng.Gathered(),
+		Err:      s.err,
+	}
+}
+
+// Metrics are the live simulation counters.
+type Metrics struct {
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// InitialRobots and Robots give the population at construction and now.
+	InitialRobots, Robots int
+	// Merges is the number of robots removed by merge operations.
+	Merges int
+	// RunsStarted counts the run states created (§3.2 reshapement).
+	RunsStarted int
+	// Moves counts individual robot hops.
+	Moves int
+}
+
+// Metrics returns the session's current counters.
+func (s *Simulation) Metrics() Metrics {
+	return Metrics{
+		Rounds:        s.eng.Round(),
+		InitialRobots: s.initial,
+		Robots:        s.eng.World().Len(),
+		Merges:        s.eng.Merges(),
+		RunsStarted:   s.eng.RunsStarted(),
+		Moves:         s.eng.Moves(),
+	}
+}
+
+// Result assembles the session's state into the summary Gather returns.
+// It can be called at any time; on a still-running session it describes
+// the rounds executed so far.
+func (s *Simulation) Result() Result {
+	return Result{
+		Gathered:      s.eng.Gathered(),
+		Rounds:        s.eng.Round(),
+		Merges:        s.eng.Merges(),
+		RunsStarted:   s.eng.RunsStarted(),
+		Moves:         s.eng.Moves(),
+		InitialRobots: s.initial,
+		FinalRobots:   s.eng.World().Len(),
+		Err:           s.err,
+	}
+}

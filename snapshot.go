@@ -1,0 +1,212 @@
+package gridgather
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"gridgather/internal/codec"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/scenario"
+)
+
+// Snapshot format: a four-byte magic, a version, the structural
+// configuration (radius, L, scheduler spec + seed, algorithm), the
+// resolved simulation budget and safety flags, the initial population, and
+// the engine state (counters, dense world, scheduler cursor) as encoded by
+// internal/fsync. The encoding is versioned and deterministic: equal
+// session states produce equal bytes.
+var snapshotMagic = []byte("GGSS")
+
+// snapshotVersion is bumped whenever the layout changes; Restore rejects
+// other versions with ErrSnapshotVersion.
+const snapshotVersion = 1
+
+// Typed Restore failures, matched with errors.Is.
+var (
+	// ErrSnapshotInvalid reports input that is not a gridgather snapshot
+	// or is structurally corrupt.
+	ErrSnapshotInvalid = errors.New("gridgather: invalid snapshot")
+	// ErrSnapshotVersion reports a snapshot from an incompatible format
+	// version.
+	ErrSnapshotVersion = errors.New("gridgather: unsupported snapshot version")
+	// ErrSnapshotTruncated reports a snapshot cut short.
+	ErrSnapshotTruncated = errors.New("gridgather: truncated snapshot")
+)
+
+// Snapshot serializes the session's complete resumable state: cells, run
+// states and their IDs, logical clocks, the scheduler cursor, all
+// counters, and the structural configuration. Restore resumes it
+// bit-identically: the continued run executes exactly the rounds the
+// uninterrupted session would have. Snapshots may be taken at any round
+// boundary — including from inside an event callback — and do not perturb
+// the session. The encoding is deterministic: equal states yield equal
+// bytes. An invariant-violation abort (disconnection, stuck watchdog) is
+// carried across the snapshot and stays sticky after Restore; a
+// round-limit abort is re-derived from the restored budget instead, so
+// WithMaxRounds at Restore can grant an exhausted run more rounds.
+func (s *Simulation) Snapshot() ([]byte, error) {
+	b := append([]byte(nil), snapshotMagic...)
+	b = codec.AppendUvarint(b, snapshotVersion)
+	b = codec.AppendInt(b, s.radius)
+	b = codec.AppendInt(b, s.l)
+	b = codec.AppendString(b, s.scheduler)
+	b = codec.AppendVarint(b, s.schedulerSeed)
+	b = codec.AppendString(b, s.algorithm)
+	b = codec.AppendInt(b, s.maxRounds)
+	b = codec.AppendInt(b, s.noMergeLimit)
+	b = codec.AppendBool(b, s.checkConn)
+	b = codec.AppendBool(b, s.strict)
+	b = codec.AppendUvarint(b, uint64(s.initial))
+	b = appendAbortState(b, s.err)
+	return s.eng.AppendState(b), nil
+}
+
+// Abort-state tags. A round-limit abort is deliberately NOT carried across
+// a snapshot: it is a pure budget condition that the restored session
+// re-derives on its first Step against the (possibly overridden) budget —
+// which is what lets Restore(..., WithMaxRounds(more)) grant an exhausted
+// run more rounds. Invariant violations (disconnection, stuck watchdog,
+// algorithm errors), by contrast, describe the world state itself and stay
+// sticky: a restored session must not re-execute rounds the original
+// refused to run.
+const (
+	abortNone         = 0 // healthy, gathered, or round-limit (re-derived)
+	abortDisconnected = 1
+	abortStuck        = 2
+	abortOther        = 3
+)
+
+// restoredAbortError carries an untyped abort reason across a checkpoint:
+// the message survives verbatim, so checkpoint chains do not accrete
+// wrapping prefixes and re-snapshotting is a fixed point.
+type restoredAbortError struct{ msg string }
+
+func (e restoredAbortError) Error() string { return e.msg }
+
+func appendAbortState(b []byte, err error) []byte {
+	switch e := err.(type) {
+	case nil, fsync.ErrRoundLimit:
+		return codec.AppendUvarint(b, abortNone)
+	case fsync.ErrDisconnected:
+		b = codec.AppendUvarint(b, abortDisconnected)
+		return codec.AppendInt(b, e.Round)
+	case fsync.ErrStuck:
+		b = codec.AppendUvarint(b, abortStuck)
+		b = codec.AppendInt(b, e.Round)
+		return codec.AppendInt(b, e.SinceMerge)
+	default:
+		b = codec.AppendUvarint(b, abortOther)
+		return codec.AppendString(b, err.Error())
+	}
+}
+
+func decodeAbortState(r *codec.Reader) (error, bool) {
+	switch tag := r.Uvarint(); tag {
+	case abortNone:
+		return nil, true
+	case abortDisconnected:
+		return fsync.ErrDisconnected{Round: r.Int()}, true
+	case abortStuck:
+		return fsync.ErrStuck{Round: r.Int(), SinceMerge: r.Int()}, true
+	case abortOther:
+		return restoredAbortError{msg: r.Text()}, true
+	default:
+		return nil, false
+	}
+}
+
+// Restore rebuilds a session from a Snapshot. The structural configuration
+// (radius, L, scheduler, seed, algorithm) comes from the snapshot and
+// cannot be overridden — passing a structural Option is an error. Execution
+// options are free: WithWorkers, observers, WithConnectivityCheck,
+// WithStrictLocality, and budget overrides (WithMaxRounds /
+// WithNoMergeLimit replace the checkpointed limits, e.g. to grant an
+// exhausted run more budget) may all differ from the original session
+// without affecting the simulated rounds.
+//
+// Truncated input fails with ErrSnapshotTruncated, an unknown format
+// version with ErrSnapshotVersion, and corrupt or trailing data with
+// ErrSnapshotInvalid (all wrapped; match with errors.Is).
+func Restore(snapshot []byte, opts ...Option) (*Simulation, error) {
+	if len(snapshot) < len(snapshotMagic) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSnapshotTruncated, len(snapshot))
+	}
+	if !bytes.Equal(snapshot[:len(snapshotMagic)], snapshotMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotInvalid)
+	}
+	r := codec.NewReader(snapshot[len(snapshotMagic):])
+	if v := r.Uvarint(); r.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads %d)", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	sim := &Simulation{
+		radius:        r.Int(),
+		l:             r.Int(),
+		scheduler:     r.Text(),
+		schedulerSeed: r.Varint(),
+		algorithm:     r.Text(),
+		maxRounds:     r.Int(),
+		noMergeLimit:  r.Int(),
+		checkConn:     r.Bool(),
+		strict:        r.Bool(),
+		initial:       int(r.Uvarint()),
+	}
+	stickyErr, okTag := decodeAbortState(r)
+	if err := r.Err(); err != nil {
+		return nil, snapshotErr(err)
+	}
+	if !okTag {
+		return nil, fmt.Errorf("%w: unknown abort tag", ErrSnapshotInvalid)
+	}
+	sim.err = stickyErr
+
+	var cfg settings
+	if err := cfg.apply(opts); err != nil {
+		return nil, err
+	}
+	if err := cfg.rejectStructural(); err != nil {
+		return nil, err
+	}
+	budget := fsync.Budget{MaxRounds: sim.maxRounds, NoMergeLimit: sim.noMergeLimit}.
+		WithOverrides(cfg.maxRounds, cfg.noMergeLimit)
+	sim.maxRounds, sim.noMergeLimit = budget.MaxRounds, budget.NoMergeLimit
+	if cfg.checkConnSet {
+		sim.checkConn = cfg.checkConn
+	}
+	if cfg.strictSet {
+		sim.strict = cfg.strict
+	}
+	sim.workers = cfg.workers
+	sim.subs = cfg.subs
+	sim.seedSubIDs()
+
+	params := core.WithConstants(sim.radius, sim.l)
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotInvalid, err)
+	}
+	// The budget was resolved at the original construction (fairness-scaled
+	// by the initial population); Resolve here only rebuilds the algorithm
+	// and a fresh scheduler instance for the cursor to restore into.
+	sc, err := scenario.Resolve(sim.algorithm, sim.scheduler, sim.schedulerSeed, params, sim.initial)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotInvalid, err)
+	}
+	eng, rest, err := fsync.NewRestored(sc.Algorithm, sim.engineConfig(sc), r.Rest())
+	if err != nil {
+		return nil, snapshotErr(err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotInvalid, len(rest))
+	}
+	sim.eng = eng
+	return sim, nil
+}
+
+// snapshotErr wraps a decode failure in the matching public sentinel.
+func snapshotErr(err error) error {
+	if errors.Is(err, codec.ErrTruncated) {
+		return fmt.Errorf("%w: %v", ErrSnapshotTruncated, err)
+	}
+	return fmt.Errorf("%w: %v", ErrSnapshotInvalid, err)
+}
