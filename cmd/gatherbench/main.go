@@ -22,12 +22,17 @@
 // experiment suite, use cmd/gathersweep.
 //
 // -bench-json runs the internal/perf harness over the acceptance
-// workloads (hollow, solid, line, blob) for every -bench-workers count,
-// prints the table, and writes the JSON to the given path. The committed
+// workloads (hollow, solid, line, blob) for every -bench-workers count and
+// every -bench-ns size, prints the table, and writes the JSON to the given
+// path. -bench-conn adds the connectivity-check microbench (incremental
+// layer vs full scratch BFS on sparse-movement rounds); -bench-repeats
+// keeps the fastest of several repeats per cell, which is what lets the
+// tight regression guard hold on noisy machines. The committed
 // BENCH_engine.json at the repo root is the performance baseline —
-// regenerate it with the default flags on a quiet machine. -bench-guard
-// exits non-zero if the parallel pipeline measured slower than the serial
-// path on any workload (beyond perf.GuardTolerance).
+// regenerate it with `-bench-ns 16384,131072 -bench-conn -bench-repeats 3
+// -bench-workers 1,4 -bench-gather=false` on a quiet machine.
+// -bench-guard exits non-zero if the parallel pipeline measured slower
+// than the serial path on any (workload, n) beyond perf.GuardTolerance.
 package main
 
 import (
@@ -41,8 +46,8 @@ import (
 	"gridgather/internal/perf"
 )
 
-// parseWorkers parses the -bench-workers comma-separated list.
-func parseWorkers(spec string) ([]int, error) {
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(flagName, spec string) ([]int, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
 	}
@@ -50,7 +55,7 @@ func parseWorkers(spec string) ([]int, error) {
 	for _, f := range strings.Split(spec, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad -bench-workers entry %q (want positive integers)", f)
+			return nil, fmt.Errorf("bad %s entry %q (want positive integers)", flagName, f)
 		}
 		out = append(out, v)
 	}
@@ -62,25 +67,46 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent simulations for batched experiments (0 = all CPUs)")
 	benchJSON := flag.String("bench-json", "", "measure Engine.Step per workload/backend and write bench JSON to this path (skips the experiments)")
 	benchN := flag.Int("bench-n", 2048, "approximate robot count for -bench-json workloads")
+	benchNs := flag.String("bench-ns", "", "comma-separated robot-count grid for -bench-json (overrides -bench-n)")
 	benchRounds := flag.Int("bench-rounds", 150, "measured rounds per -bench-json cell")
+	benchWarmup := flag.Int("bench-warmup", 30, "warmup rounds per -bench-json cell before measurement")
+	benchRepeats := flag.Int("bench-repeats", 1, "repeat each -bench-json cell this many times and keep the fastest (noise filter)")
 	benchGather := flag.Bool("bench-gather", true, "also record full-simulation gather rounds per workload in -bench-json")
 	benchWorkers := flag.String("bench-workers", "1", "comma-separated worker counts to measure per -bench-json workload")
+	benchWorkloads := flag.String("bench-workloads", "", "comma-separated workload names for -bench-json (default hollow,solid,line,blob; large-n runs should pick compact shapes — hollow/line tile memory grows with the perimeter)")
+	benchConn := flag.Bool("bench-conn", false, "also measure the connectivity check (incremental vs full BFS) per workload/n")
 	benchGuard := flag.Bool("bench-guard", false, "exit non-zero if the parallel pipeline is slower than the serial path")
 	flag.Parse()
 	exp.Concurrency = *jobs
 
 	w := os.Stdout
 	if *benchJSON != "" {
-		workers, err := parseWorkers(*benchWorkers)
+		workers, err := parseIntList("-bench-workers", *benchWorkers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		ns, err := parseIntList("-bench-ns", *benchNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var workloads []string
+		if strings.TrimSpace(*benchWorkloads) != "" {
+			for _, f := range strings.Split(*benchWorkloads, ",") {
+				workloads = append(workloads, strings.TrimSpace(f))
+			}
+		}
 		rep, err := perf.Run(perf.Config{
 			N:             *benchN,
+			Ns:            ns,
+			Workloads:     workloads,
 			MeasureRounds: *benchRounds,
+			WarmupRounds:  *benchWarmup,
+			Repeats:       *benchRepeats,
 			Workers:       workers,
 			Gather:        *benchGather,
+			ConnCheck:     *benchConn,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,270 @@
+// Differential oracle suite for the incremental connectivity layer: an
+// engine running the incremental Connected path must be indistinguishable —
+// same per-round boolean, same abort error, same abort round — from an
+// engine pinned to the full scratch-BFS path (Config.FullBFSConnectivity),
+// across the seeded workload corpus, every scheduler family and several
+// worker counts. Each round additionally cross-checks the incremental
+// world's own two paths (Connected vs ConnectedBFS), so a wrong incremental
+// answer is caught even on rounds where both engines would abort alike.
+//
+// The planted-disconnection tests drive the complementary direction: a
+// scripted algorithm severs a known bridge robot at a known round, and both
+// connectivity modes must report ErrDisconnected at exactly the same round.
+package fsync_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gridgather/internal/baseline/asyncseq"
+	"gridgather/internal/core"
+	"gridgather/internal/fsync"
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/sched"
+	"gridgather/internal/swarm"
+	"gridgather/internal/view"
+)
+
+// connEngines builds two engines over the same swarm, spec and worker
+// count: one on the incremental connectivity path, one pinned to the
+// full-BFS oracle.
+func connEngines(t *testing.T, s *swarm.Swarm, spec string, workers int) (incr, oracle *fsync.Engine, maxRounds int) {
+	t.Helper()
+	build := func(fullBFS bool) *fsync.Engine {
+		var alg fsync.Algorithm = core.Default()
+		var sch sched.Scheduler
+		if spec != "fsync" {
+			alg = asyncseq.Algorithm{}
+			var err error
+			if sch, err = sched.Parse(spec, 42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		budget := fsync.DefaultBudget(s.Len())
+		if sch != nil {
+			budget = budget.Scale(sch.Fairness(s.Len()))
+		}
+		maxRounds = budget.MaxRounds
+		return fsync.New(s, alg, fsync.Config{
+			MaxRounds:           budget.MaxRounds,
+			NoMergeLimit:        budget.NoMergeLimit,
+			CheckConnectivity:   true,
+			Workers:             workers,
+			Scheduler:           sch,
+			FullBFSConnectivity: fullBFS,
+		})
+	}
+	return build(false), build(true), maxRounds
+}
+
+// stepBoth advances both engines one round and fails on any observable
+// divergence between the connectivity modes; it returns true when the run
+// is over (both gathered or both aborted identically).
+func stepBoth(t *testing.T, incr, oracle *fsync.Engine) bool {
+	t.Helper()
+	errI, errO := incr.Step(), oracle.Step()
+	if (errI == nil) != (errO == nil) {
+		t.Fatalf("round %d: abort diverged: incremental %v, full-BFS %v",
+			incr.Round(), errI, errO)
+	}
+	if errI != nil {
+		dI, okI := errI.(fsync.ErrDisconnected)
+		dO, okO := errO.(fsync.ErrDisconnected)
+		if okI != okO || (okI && dI.Round != dO.Round) || (!okI && errI.Error() != errO.Error()) {
+			t.Fatalf("abort error diverged: incremental %v, full-BFS %v", errI, errO)
+		}
+		return true
+	}
+	// The engines agree; now make the incremental world testify against
+	// itself — its incremental answer must match its own scratch BFS.
+	w := incr.World()
+	if got, want := w.Connected(), w.ConnectedBFS(); got != want {
+		t.Fatalf("round %d: incremental Connected = %v, scratch BFS = %v",
+			incr.Round(), got, want)
+	}
+	return incr.Gathered() && oracle.Gathered()
+}
+
+// TestConnectivityDifferential is the headline oracle suite: seeded
+// catalog × scheduler families × worker counts, incremental vs full-BFS
+// engines in lockstep until both gather.
+func TestConnectivityDifferential(t *testing.T) {
+	const n = 56
+	specs := []string{"fsync", "ssync-rr:3", "ssync-rand:3", "ssync-lazy:5", "async:8"}
+	for _, w := range gen.SeededCatalog() {
+		for _, spec := range specs {
+			for _, workers := range []int{1, 4, 16} {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", w.Name, spec, workers), func(t *testing.T) {
+					s := w.Build(n, 42)
+					incr, oracle, maxRounds := connEngines(t, s, spec, workers)
+					for r := 0; r < maxRounds; r++ {
+						if stepBoth(t, incr, oracle) {
+							break
+						}
+					}
+					if !incr.Gathered() || !oracle.Gathered() {
+						t.Fatalf("round budget exhausted: incremental gathered=%v, full-BFS gathered=%v",
+							incr.Gathered(), oracle.Gathered())
+					}
+					st := incr.World().ConnStats()
+					if st.Queries == 0 || st.Fallbacks != 1 {
+						t.Fatalf("incremental layer never took over: %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// bridgeCutAlg holds every robot still except the unique bridge robot of
+// the planted two-block dumbbell, which steps north the first time it is
+// activated at view round ≥ cutRound — severing the swarm.
+type bridgeCutAlg struct{ cutRound int }
+
+func (bridgeCutAlg) Radius() int { return 2 }
+
+func (a bridgeCutAlg) Compute(v *view.View) fsync.Action {
+	if v.Round() < a.cutRound {
+		return fsync.Stay
+	}
+	// The bridge's signature: within L1 radius 2, exactly (±1, 0) and
+	// (±2, 0) occupied. Block cells see denser neighborhoods; the two
+	// bridge ends see the blocks' corner cells off-axis.
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2 + abs(dy); dx <= 2-abs(dy); dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			want := dy == 0 && dx != 0
+			if v.Occ(grid.Pt(dx, dy)) != want {
+				return fsync.Stay
+			}
+		}
+	}
+	return fsync.MoveTo(grid.Pt(0, 1))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// dumbbell is the planted shape: two 3×3 blocks joined by a three-robot
+// bridge whose middle robot, at (4, 1), is the unique articulation point
+// bridgeCutAlg cuts.
+func dumbbell() *swarm.Swarm {
+	s := swarm.New()
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			s.Add(grid.Pt(x, y))
+			s.Add(grid.Pt(x+6, y))
+		}
+	}
+	s.Add(grid.Pt(3, 1))
+	s.Add(grid.Pt(4, 1))
+	s.Add(grid.Pt(5, 1))
+	return s
+}
+
+// TestPlantedDisconnection severs the dumbbell's bridge at a known round
+// and checks both connectivity modes abort with ErrDisconnected at exactly
+// the same round — and, under FSYNC (where activation timing is total),
+// exactly the planted round.
+func TestPlantedDisconnection(t *testing.T) {
+	const cut = 7
+	for _, spec := range []string{"fsync", "ssync-rr:3", "async:8"} {
+		t.Run(spec, func(t *testing.T) {
+			run := func(fullBFS bool) fsync.ErrDisconnected {
+				t.Helper()
+				var sch sched.Scheduler
+				if spec != "fsync" {
+					var err error
+					if sch, err = sched.Parse(spec, 42); err != nil {
+						t.Fatal(err)
+					}
+				}
+				eng := fsync.New(dumbbell(), bridgeCutAlg{cutRound: cut}, fsync.Config{
+					MaxRounds:           1000,
+					CheckConnectivity:   true,
+					StrictViews:         true,
+					Workers:             4,
+					Scheduler:           sch,
+					FullBFSConnectivity: fullBFS,
+				})
+				for r := 0; r < 1000; r++ {
+					if err := eng.Step(); err != nil {
+						dis, ok := err.(fsync.ErrDisconnected)
+						if !ok {
+							t.Fatalf("step %d: %v (want ErrDisconnected)", r, err)
+						}
+						return dis
+					}
+				}
+				t.Fatal("the planted cut never disconnected the swarm")
+				panic("unreachable")
+			}
+			gotIncr, gotBFS := run(false), run(true)
+			if gotIncr != gotBFS {
+				t.Fatalf("abort rounds diverged: incremental %v, full-BFS %v", gotIncr, gotBFS)
+			}
+			if spec == "fsync" && gotIncr.Round != cut+1 {
+				// Views carry the pre-increment round counter, so a move
+				// computed at view round `cut` lands in engine round cut+1.
+				t.Fatalf("FSYNC abort round = %d, want %d", gotIncr.Round, cut+1)
+			}
+		})
+	}
+}
+
+// TestConnectivitySnapshotRestore cuts a run mid-flight, snapshots the
+// incremental engine, and restores it twice — once per connectivity mode.
+// Both restored engines and the original must stay in lockstep to the end,
+// proving Restore rebuilds the incremental state (via its cold-start
+// fallback) without observable difference.
+func TestConnectivitySnapshotRestore(t *testing.T) {
+	s := gen.SeededCatalog()[0].Build(56, 42)
+	incr, _, maxRounds := connEngines(t, s, "fsync", 4)
+	for r := 0; r < 40 && !incr.Gathered(); r++ {
+		if err := incr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := incr.AppendState(nil)
+
+	restore := func(fullBFS bool) *fsync.Engine {
+		t.Helper()
+		eng, rest, err := fsync.NewRestored(core.Default(), fsync.Config{
+			MaxRounds:           maxRounds,
+			CheckConnectivity:   true,
+			Workers:             4,
+			FullBFSConnectivity: fullBFS,
+		}, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d bytes left after restore", len(rest))
+		}
+		return eng
+	}
+	rIncr, rBFS := restore(false), restore(true)
+	for r := 0; r < maxRounds && !incr.Gathered(); r++ {
+		if stepBoth(t, incr, rBFS) {
+			break
+		}
+		if err := rIncr.Step(); err != nil {
+			t.Fatalf("restored incremental engine aborted: %v", err)
+		}
+		a, b := incr.World(), rIncr.World()
+		if got, want := b.Connected(), a.Connected(); got != want {
+			t.Fatalf("round %d: restored Connected = %v, original %v", incr.Round(), got, want)
+		}
+	}
+	if !incr.Gathered() || !rIncr.Gathered() || !rBFS.Gathered() {
+		t.Fatalf("gather diverged: original=%v restored-incr=%v restored-bfs=%v",
+			incr.Gathered(), rIncr.Gathered(), rBFS.Gathered())
+	}
+}

@@ -57,7 +57,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
@@ -110,6 +109,13 @@ type Config struct {
 	// Compute must be safe for concurrent calls when Workers != 1
 	// (core.Gatherer is: it only reads the view and bumps atomic counters).
 	Workers int
+	// FullBFSConnectivity pins the connectivity check to the full
+	// scratch-BFS path instead of the default incremental layer (per-chunk
+	// component labels + a seam union-find, recomputed only for chunks the
+	// round dirtied — see internal/world/connincr.go). The two paths are
+	// proven to agree answer-for-answer by the differential suite; this
+	// knob is the escape hatch and the oracle side of that suite.
+	FullBFSConnectivity bool
 	// Scheduler yields each round's activation set, generalizing the time
 	// model to SSYNC/ASYNC (see internal/sched). nil means FSYNC — every
 	// robot every round — via a fast path that skips the activation and
@@ -146,6 +152,7 @@ type Engine struct {
 	cfg Config
 	alg Algorithm
 	w   *world.Dense
+	wp  *pool // persistent worker pool (lazily created on the first parallel round)
 
 	round      int
 	merges     int
@@ -154,6 +161,16 @@ type Engine struct {
 	nextRunID  int
 	lastMerge  int
 	roundMerge int // merges in the most recent round
+
+	// resolveSerial counts rounds left running the Resolve stage serially
+	// after a parallel probe found the fan-out unprofitable (a single-P
+	// process, seam-heavy or single-chunk-concentrated rounds; see
+	// resolveParallel). On GOMAXPROCS=1 the verdict extends to the Compute
+	// stage (see stageCompute). The next probe re-measures — the swarm
+	// only moves L∞ 1 per round, so the verdict goes stale slowly. Worker
+	// counts never change outcomes (proven by the differential suite), so
+	// this is purely a performance decision.
+	resolveSerial int
 
 	// Scratch structures reused across rounds. Each Step fills them from
 	// scratch; nothing outside Step may retain references to them.
@@ -267,10 +284,12 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 	if cfg.MaxRounds < 0 {
 		cfg.MaxRounds = 0 // reserved: negative means the same as "no limit"
 	}
+	w := world.NewDense(s, cfg.Scheduler != nil)
+	w.ForceFullBFS(cfg.FullBFSConnectivity)
 	return &Engine{
 		cfg:       cfg,
 		alg:       alg,
-		w:         world.NewDense(s, cfg.Scheduler != nil),
+		w:         w,
 		nextRunID: 1,
 	}
 }
@@ -484,6 +503,14 @@ func (e *Engine) stageActivate(scheduled bool) {
 // stage, so no cloning is required — the stage shards freely across
 // workers, each writing its robots' actions to fixed indices of e.acts.
 func (e *Engine) stageCompute(workers int) error {
+	// A serial-resolve verdict on a single-P process extends to Compute:
+	// the load-skew verdicts keep Compute parallel (its work is per-robot,
+	// independent of chunk ownership), but with GOMAXPROCS=1 there is
+	// nowhere to run concurrently and the fan-out only costs goroutine
+	// switches. Probe rounds still run the full parallel pipeline.
+	if workers > 1 && e.resolveSerial > 0 && runtime.GOMAXPROCS(0) == 1 {
+		workers = 1
+	}
 	vc := e.viewConfig()
 	n := len(e.order)
 	if cap(e.acts) < n {
@@ -498,17 +525,10 @@ func (e *Engine) stageCompute(workers int) error {
 	}
 	errs := e.computeErrs[:workers]
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	e.getPool().run(workers, func(w int) {
 		lo := w * chunk
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			errs[w] = e.computeRange(vc, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		errs[w] = e.computeRange(vc, lo, min(lo+chunk, n))
+	})
 	for w := range errs {
 		// The lowest shard's error wins, matching what the serial loop
 		// would have reported first.
@@ -530,6 +550,10 @@ func (e *Engine) stageCompute(workers int) error {
 // shared serial tail: run adoption and transfer delivery.
 func (e *Engine) stageResolve(scheduled bool, workers int) int {
 	var moved int
+	if workers > 1 && e.resolveSerial > 0 {
+		e.resolveSerial--
+		workers = 1
+	}
 	if workers == 1 {
 		e.w.BeginRound()
 		if len(e.outs) == 0 {
@@ -630,18 +654,37 @@ func (e *Engine) resolveParallel(scheduled bool, workers int) int {
 		}
 		e.sleepBuckets[ln] = append(e.sleepBuckets[ln], int32(i))
 	}
+	// Adaptive probe: some rounds cannot profit from the fan-out — when
+	// the process has a single P (GOMAXPROCS=1 leaves nothing for the
+	// workers to run on), when the seam lane (serial by construction)
+	// holds most of the work, or when chunk ownership concentrates nearly
+	// all non-seam work in one lane (the swarm fits in a handful of
+	// chunks). Classification itself just measured the load split, so
+	// decide here: such rounds schedule the next 63 Resolve stages
+	// serially, then the 64th probes again (the swarm moves at most L∞ 1
+	// per round, so the verdict goes stale slowly). Outcomes are
+	// worker-count-independent (the differential suite proves it), so
+	// this is purely performance. Small rounds are exempt — their
+	// overhead is microseconds, and the differential tests that prove
+	// lane equivalence run at small n.
+	if total := len(e.acts) + len(e.sleep); total >= 1024 {
+		seamLoad := len(e.actBuckets[seam]) + len(e.sleepBuckets[seam])
+		maxLane := 0
+		for k := 0; k < workers; k++ {
+			if l := len(e.actBuckets[k]) + len(e.sleepBuckets[k]); l > maxLane {
+				maxLane = l
+			}
+		}
+		if runtime.GOMAXPROCS(0) == 1 || seamLoad*2 > total || maxLane*5 > (total-seamLoad)*4 {
+			e.resolveSerial = 63
+		}
+	}
 	for len(e.outs) < lanes {
 		e.outs = append(e.outs, resolveOut{})
 	}
-	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			e.resolveLane(k, false, e.actBuckets[k], e.sleepBuckets[k], scheduled, &e.outs[k])
-		}(k)
-	}
-	wg.Wait()
+	e.getPool().run(workers, func(k int) {
+		e.resolveLane(k, false, e.actBuckets[k], e.sleepBuckets[k], scheduled, &e.outs[k])
+	})
 	// The seam pass: short, serial, deterministic — the only arrivals whose
 	// neighborhoods span chunks another worker owns.
 	e.resolveLane(seam, false, e.actBuckets[seam], e.sleepBuckets[seam], scheduled, &e.outs[seam])

@@ -73,6 +73,7 @@ func NewRestored(alg Algorithm, cfg Config, b []byte) (*Engine, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	w.ForceFullBFS(cfg.FullBFSConnectivity)
 	e.w = w
 	if cfg.Scheduler != nil {
 		cc, ok := cfg.Scheduler.(sched.CursorCodec)

@@ -23,13 +23,20 @@ import (
 	"gridgather/internal/fsync"
 	"gridgather/internal/gen"
 	"gridgather/internal/swarm"
+	"gridgather/internal/world"
 )
 
-// Entry is one measured (workload, workers) cell.
+// Entry is one measured (workload, n, workers) cell.
 type Entry struct {
 	Workload string `json:"workload"`
 	N        int    `json:"n"`
 	Workers  int    `json:"workers"`
+	// Conn marks connectivity-check microbench entries ("incr" or "bfs"):
+	// NsPerRound is then the cost of one sparse-movement round — a single
+	// ad-hoc robot hop plus one Connected query — under that connectivity
+	// mode, with no engine attached. Empty for engine Step entries. The
+	// regression guard ignores conn entries.
+	Conn string `json:"conn,omitempty"`
 	// NsPerRound is the mean wall-clock cost of one Engine.Step.
 	NsPerRound float64 `json:"ns_per_round"`
 	// BytesPerRound and AllocsPerRound are heap-allocation deltas per
@@ -55,6 +62,10 @@ type Report struct {
 type Config struct {
 	// N is the approximate robot count per workload (default 2048).
 	N int
+	// Ns, when non-empty, measures every workload at each of these robot
+	// counts instead of the single N — the scaling grid (e.g. 2^14, 2^17,
+	// 2^20).
+	Ns []int
 	// Workloads are seeded-catalog family names (default hollow, solid,
 	// line, blob — the acceptance workloads).
 	Workloads []string
@@ -63,14 +74,32 @@ type Config struct {
 	// WarmupRounds and MeasureRounds bound the per-cell cost (defaults
 	// 30 and 150).
 	WarmupRounds, MeasureRounds int
+	// Repeats measures every cell this many times and keeps the fastest
+	// (default 1). The minimum is the standard noise filter for wall-clock
+	// benches: interference only ever slows a run down, so the fastest
+	// repeat is the closest estimate of the true cost — and what lets the
+	// regression guard hold a tight tolerance on shared machines.
+	Repeats int
 	// Gather also runs one full simulation per workload to record
 	// GatherRounds (skipped in quick CI runs).
 	Gather bool
+	// ConnCheck adds the connectivity microbench entries per (workload,
+	// n): the cost of a sparse-movement round — one robot hop plus one
+	// Connected query — under the incremental layer ("incr") and the full
+	// scratch BFS ("bfs"). The ratio is the headline of the incremental
+	// connectivity layer.
+	ConnCheck bool
 }
 
 func (c Config) withDefaults() Config {
 	if c.N <= 0 {
 		c.N = 2048
+	}
+	if len(c.Ns) == 0 {
+		c.Ns = []int{c.N}
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 1
 	}
 	if len(c.Workloads) == 0 {
 		c.Workloads = []string{"hollow", "solid", "line", "blob"}
@@ -95,6 +124,69 @@ func build(name string, n int) (*swarm.Swarm, error) {
 		}
 	}
 	return nil, fmt.Errorf("perf: unknown workload %q", name)
+}
+
+// measureBest returns the fastest of repeats calls to one (keeping that
+// repeat's allocation figures too).
+func measureBest(repeats int, one func() (Entry, error)) (Entry, error) {
+	best, err := one()
+	if err != nil {
+		return Entry{}, err
+	}
+	for i := 1; i < repeats; i++ {
+		e, err := one()
+		if err != nil {
+			return Entry{}, err
+		}
+		if e.NsPerRound < best.NsPerRound {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// measureConn times sparse-movement connectivity rounds over the swarm's
+// world without an engine: each round removes or re-adds one robot (the
+// canonical-order corner — an O(1) mutation that dirties exactly one
+// chunk) and runs one Connected query under the chosen mode. This isolates
+// what the incremental layer replaces: the per-round connectivity check
+// cost on rounds where almost nothing moved.
+func measureConn(s *swarm.Swarm, fullBFS bool, warmup, rounds int) (Entry, error) {
+	d := world.NewDense(s, false)
+	d.ForceFullBFS(fullBFS)
+	p := d.Cells()[0]
+	i := 0
+	round := func() {
+		if i++; i%2 == 1 {
+			d.Remove(p)
+		} else {
+			d.Add(p)
+		}
+		d.Connected()
+	}
+	for j := 0; j < warmup; j++ {
+		round()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for j := 0; j < rounds; j++ {
+		round()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	mode := "incr"
+	if fullBFS {
+		mode = "bfs"
+	}
+	return Entry{
+		N:              s.Len(),
+		Workers:        1,
+		Conn:           mode,
+		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
+		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
+	}, nil
 }
 
 // measure times MeasureRounds engine steps after warmup, restarting the
@@ -132,36 +224,53 @@ func measure(s *swarm.Swarm, workers, warmup, rounds int) (Entry, error) {
 	}, nil
 }
 
-// Run measures every (workload, workers) cell of the config.
+// Run measures every (workload, n, workers) cell of the config, plus the
+// connectivity microbench pair per (workload, n) when ConnCheck is set.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	rep := Report{Note: fmt.Sprintf(
-		"engine Step cost: n≈%d, %d measured rounds after %d warmup, GOMAXPROCS=%d",
-		cfg.N, cfg.MeasureRounds, cfg.WarmupRounds, runtime.GOMAXPROCS(0))}
-	for _, name := range cfg.Workloads {
-		s, err := build(name, cfg.N)
-		if err != nil {
-			return Report{}, err
-		}
-		gatherRounds := 0
-		if cfg.Gather {
-			eng := fsync.New(s, core.Default(), fsync.Config{
-				MaxRounds: fsync.DefaultBudget(s.Len()).MaxRounds,
-			})
-			res := eng.Run()
-			if res.Err != nil || !res.Gathered {
-				return Report{}, fmt.Errorf("perf: %s gather run failed: %+v", name, res)
-			}
-			gatherRounds = res.Rounds
-		}
-		for _, workers := range cfg.Workers {
-			e, err := measure(s, workers, cfg.WarmupRounds, cfg.MeasureRounds)
+		"engine Step cost: n≈%v, %d measured rounds after %d warmup, best of %d, GOMAXPROCS=%d",
+		cfg.Ns, cfg.MeasureRounds, cfg.WarmupRounds, cfg.Repeats, runtime.GOMAXPROCS(0))}
+	for _, n := range cfg.Ns {
+		for _, name := range cfg.Workloads {
+			s, err := build(name, n)
 			if err != nil {
-				return Report{}, fmt.Errorf("perf: %s/workers=%d: %w", name, workers, err)
+				return Report{}, err
 			}
-			e.Workload = name
-			e.GatherRounds = gatherRounds
-			rep.Entries = append(rep.Entries, e)
+			gatherRounds := 0
+			if cfg.Gather {
+				eng := fsync.New(s, core.Default(), fsync.Config{
+					MaxRounds: fsync.DefaultBudget(s.Len()).MaxRounds,
+				})
+				res := eng.Run()
+				if res.Err != nil || !res.Gathered {
+					return Report{}, fmt.Errorf("perf: %s gather run failed: %+v", name, res)
+				}
+				gatherRounds = res.Rounds
+			}
+			for _, workers := range cfg.Workers {
+				e, err := measureBest(cfg.Repeats, func() (Entry, error) {
+					return measure(s, workers, cfg.WarmupRounds, cfg.MeasureRounds)
+				})
+				if err != nil {
+					return Report{}, fmt.Errorf("perf: %s/n=%d/workers=%d: %w", name, n, workers, err)
+				}
+				e.Workload = name
+				e.GatherRounds = gatherRounds
+				rep.Entries = append(rep.Entries, e)
+			}
+			if cfg.ConnCheck {
+				for _, fullBFS := range []bool{false, true} {
+					e, err := measureBest(cfg.Repeats, func() (Entry, error) {
+						return measureConn(s, fullBFS, cfg.WarmupRounds, cfg.MeasureRounds)
+					})
+					if err != nil {
+						return Report{}, fmt.Errorf("perf: %s/n=%d/conn: %w", name, n, err)
+					}
+					e.Workload = name
+					rep.Entries = append(rep.Entries, e)
+				}
+			}
 		}
 	}
 	return rep, nil
@@ -179,14 +288,14 @@ func WriteJSON(rep Report, path string) error {
 // WriteTable renders the report for terminals.
 func WriteTable(w io.Writer, rep Report) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tn\tworkers\tms/round\tKB/round\tallocs/round\tgather rounds")
+	fmt.Fprintln(tw, "workload\tn\tworkers\tconn\tms/round\tKB/round\tallocs/round\tgather rounds")
 	for _, e := range rep.Entries {
 		gather := ""
 		if e.GatherRounds > 0 {
 			gather = fmt.Sprintf("%d", e.GatherRounds)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%s\n",
-			e.Workload, e.N, e.Workers,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.4f\t%.1f\t%.1f\t%s\n",
+			e.Workload, e.N, e.Workers, e.Conn,
 			e.NsPerRound/1e6, e.BytesPerRound/1024, e.AllocsPerRound, gather)
 	}
 	return tw.Flush()
@@ -194,33 +303,40 @@ func WriteTable(w io.Writer, rep Report) error {
 
 // GuardTolerance is the noise margin of Guard: a parallel run fails the
 // bar only when it measures slower than the serial path by more than this
-// factor. On a multicore machine the parallel pipeline should be *faster*,
-// so the margin absorbs GC pauses, noisy CI neighbors and the bounded
-// goroutine overhead of low-core machines, not genuine regressions (a
-// broken pipeline that re-serializes work shows up well past this bar).
-const GuardTolerance = 1.35
+// factor. The persistent worker pool plus the adaptive serial-resolve
+// probe cap the genuine overhead of workers>1 on a single-CPU box at a few
+// percent, and best-of-Repeats measurement (see Config.Repeats) filters
+// the scheduling noise, so the bar can sit tight: anything past 5% is a
+// real regression (a pipeline that re-spawns goroutines or fans out
+// unprofitable rounds shows up well past it).
+const GuardTolerance = 1.05
 
-// Guard enforces the CI regression bar: for every workload measured at
-// several worker counts, the parallel pipeline must not be slower than the
-// serial path (beyond GuardTolerance).
+// Guard enforces the CI regression bar: for every (workload, n) measured
+// at several worker counts, the parallel pipeline must not be slower than
+// the serial path beyond GuardTolerance. Connectivity microbench entries
+// are not guarded — they compare modes, not worker counts.
 func Guard(rep Report) error {
-	serialNs := map[string]float64{}
+	type cell struct {
+		workload string
+		n        int
+	}
+	serialNs := map[cell]float64{}
 	for _, e := range rep.Entries {
-		if e.Workers == 1 {
-			serialNs[e.Workload] = e.NsPerRound
+		if e.Workers == 1 && e.Conn == "" {
+			serialNs[cell{e.Workload, e.N}] = e.NsPerRound
 		}
 	}
 	for _, e := range rep.Entries {
-		if e.Workers == 1 {
+		if e.Workers == 1 || e.Conn != "" {
 			continue
 		}
-		ref, ok := serialNs[e.Workload]
+		ref, ok := serialNs[cell{e.Workload, e.N}]
 		if !ok {
 			continue
 		}
 		if e.NsPerRound > ref*GuardTolerance {
-			return fmt.Errorf("perf: parallel pipeline slower than serial on %s (workers=%d): %.0fns vs %.0fns per round",
-				e.Workload, e.Workers, e.NsPerRound, ref)
+			return fmt.Errorf("perf: parallel pipeline slower than serial on %s (n=%d, workers=%d): %.0fns vs %.0fns per round",
+				e.Workload, e.N, e.Workers, e.NsPerRound, ref)
 		}
 	}
 	return nil

@@ -1,0 +1,444 @@
+package world
+
+// This file is the incremental connectivity layer: the O(k)-per-round
+// replacement for the full bitset BFS behind Dense.Connected.
+//
+// The structure exploited here is the paper's own: robots move L∞ ≤ 1 per
+// round, so a move can change component structure only inside the 3×3
+// neighborhood of its source and target cells — which, at chunk
+// granularity, means a round that dirtied k chunks can only have changed
+// (a) the internal connectivity of those k chunks and (b) the seam links
+// between a dirtied chunk and its four chunk neighbors. Everything else is
+// provably unchanged and is reused from the previous round.
+//
+// The layer keeps, per occupied 64×64 chunk:
+//
+//   - a local component label per occupied cell (labels are dense ids
+//     0..ncomps-1, recomputed by a word-parallel row-run pass whenever the
+//     chunk's occupancy words changed — Commit detects that with one
+//     512-byte compare per live chunk);
+//   - cached seam links for the two borders the chunk owns (east and
+//     north; every chunk pair is covered exactly once, and 4-connectivity
+//     has no diagonal cross-chunk adjacency): the pairs of local component
+//     labels that touch across the border. A border cache is invalidated
+//     whenever either endpoint chunk is dirtied.
+//
+// A Connected query then relabels the dirty chunks, refreshes the
+// invalidated border caches, and runs a small union-find over the chunk
+// components (one node per local component, one union per cached seam
+// link): the swarm is connected iff exactly one root remains. The
+// union-find is rebuilt per query — union-find supports merges but not the
+// splits a departing robot can cause, and rebuilding over the *chunk
+// component graph* (thousands of nodes at n = 2^20, not millions) is what
+// makes splits free while keeping the query cost proportional to the
+// chunk-level structure instead of the robot count.
+//
+// The full bitset BFS survives in two roles: ConnectedBFS is the
+// always-available oracle/escape hatch (ForceFullBFS pins Connected to
+// it), and it is the conservative fallback whenever the incremental
+// structure is invalid — the first query of a world, after a snapshot
+// restore, or after the structure was explicitly reset. An invalid-
+// structure query answers with the BFS (never wrong, no staleness to
+// reason about) and rebuilds the incremental state for the queries that
+// follow; the differential suite in this package and internal/fsync proves
+// the two paths agree bit-for-bit, round by round.
+
+import "math/bits"
+
+// connLink is one seam adjacency: local component a of the owning chunk
+// touches local component b of the neighbor across the border.
+type connLink struct {
+	a, b uint16
+}
+
+// chunkConn is the per-chunk connectivity state: local component labels
+// under the chunk's occupied cells, and the cached seam links of the two
+// borders the chunk owns (east: towards chunk (cx+1, cy); north: towards
+// chunk (cx, cy+1)).
+type chunkConn struct {
+	t      *tile
+	cx, cy int
+	ncomps int
+	labels [tileSize * tileSize]uint16
+
+	east, north     []connLink
+	eastNbr         *chunkConn
+	northNbr        *chunkConn
+	eastOK, northOK bool
+
+	base int32 // per-query scratch: first global union-find node of this chunk
+}
+
+// rowRun is one horizontal run of consecutive occupied cells during a
+// chunk relabel: its bit mask within the row and the provisional run id.
+type rowRun struct {
+	mask uint64
+	hi   int8 // index one past the highest set bit (for interval walks)
+	id   int32
+}
+
+// ConnStats is the observable state of the incremental layer, for tests
+// and benchmarks.
+type ConnStats struct {
+	// Queries counts Connected calls answered by the incremental layer;
+	// Fallbacks counts the subset that fell back to the full BFS because
+	// the structure was invalid (cold start, snapshot restore, reset).
+	Queries, Fallbacks int
+	// Rebuilds counts full from-scratch structure rebuilds; Relabels
+	// counts dirty-chunk component recomputations.
+	Rebuilds, Relabels int
+	// Chunks and Comps are the current chunk-graph size: occupied chunks
+	// and total local components (union-find nodes) at the last query.
+	Chunks, Comps int
+}
+
+// connIncr is the world-level incremental connectivity state.
+type connIncr struct {
+	chunks map[*tile]*chunkConn
+	valid  bool
+	dirty  []*tile
+
+	stats ConnStats
+
+	// scratch, reused across queries
+	parent  []int32
+	runUF   []int32
+	runRows []int8 // run id → row (for the label fill pass)
+	runs    []rowRun
+	free    []*chunkConn // chunkConn free list (evicted chunks)
+}
+
+// markDirty queues t for relabeling at the next query. Idempotent per
+// tile until the query drains the list.
+func (c *connIncr) markDirty(t *tile) {
+	if !t.connDirty {
+		t.connDirty = true
+		c.dirty = append(c.dirty, t)
+	}
+}
+
+// noteCommit inspects the two occupancy layers just before Commit clears
+// the outgoing one, and queues every chunk whose occupancy words changed.
+// One 512-byte array compare per live chunk — the cost tracks the live
+// chunk count, and only chunks that actually changed get relabeled.
+func (c *connIncr) noteCommit(d *Dense, old, nxt int) {
+	for _, t := range d.live[nxt] {
+		if !t.marked[old] || t.bits[old] != t.bits[nxt] {
+			c.markDirty(t)
+		}
+	}
+	for _, t := range d.live[old] {
+		if !t.marked[nxt] {
+			// The chunk emptied this round: no arrivals landed in it.
+			c.markDirty(t)
+		}
+	}
+}
+
+// invalidate resets the incremental structure; the next query falls back
+// to the full BFS and rebuilds.
+func (c *connIncr) invalidate() {
+	c.valid = false
+	for _, t := range c.dirty {
+		t.connDirty = false
+	}
+	c.dirty = c.dirty[:0]
+}
+
+// connectedIncr answers Connected through the incremental layer.
+func (d *Dense) connectedIncr() bool {
+	if d.count <= 1 {
+		return true
+	}
+	c := d.conn
+	if c == nil {
+		c = &connIncr{chunks: make(map[*tile]*chunkConn)}
+		d.conn = c
+	}
+	c.stats.Queries++
+	if !c.valid {
+		// Conservative fallback: the structure is cold (first query,
+		// snapshot restore, explicit reset) — answer with the scratch
+		// BFS, which is never wrong, and rebuild for the next query.
+		c.stats.Fallbacks++
+		ok := d.ConnectedBFS()
+		c.rebuild(d)
+		return ok
+	}
+	for _, t := range c.dirty {
+		t.connDirty = false
+		c.refresh(d, t)
+	}
+	c.dirty = c.dirty[:0]
+	return c.query(d)
+}
+
+// rebuild recomputes the whole structure from the current occupancy
+// layer.
+func (c *connIncr) rebuild(d *Dense) {
+	c.stats.Rebuilds++
+	for t, cc := range c.chunks {
+		c.free = append(c.free, cc)
+		delete(c.chunks, t)
+	}
+	for _, t := range c.dirty {
+		t.connDirty = false
+	}
+	c.dirty = c.dirty[:0]
+	for _, t := range d.live[d.cur] {
+		c.refresh(d, t)
+	}
+	c.valid = true
+}
+
+// refresh brings one chunk's state in line with the current occupancy
+// layer: relabel its components (or evict it if it emptied) and
+// invalidate every border cache involving it.
+func (c *connIncr) refresh(d *Dense, t *tile) {
+	pop := false
+	for _, w := range t.bits[d.cur] {
+		if w != 0 {
+			pop = true
+			break
+		}
+	}
+	cc := c.chunks[t]
+	if !pop {
+		if cc != nil {
+			// Chunk eviction: the last robot left. Its components (and
+			// owned border caches) die with it.
+			delete(c.chunks, t)
+			c.free = append(c.free, cc)
+			c.invalidateNeighbors(d, cc.cx, cc.cy)
+		}
+		return
+	}
+	if cc == nil {
+		if n := len(c.free); n > 0 {
+			cc = c.free[n-1]
+			c.free = c.free[:n-1]
+			cc.east, cc.north = cc.east[:0], cc.north[:0]
+		} else {
+			cc = &chunkConn{}
+		}
+		cc.t, cc.cx, cc.cy = t, t.cx, t.cy
+		c.chunks[t] = cc
+	}
+	c.relabel(cc, t, d.cur)
+	cc.eastOK, cc.northOK = false, false
+	c.invalidateNeighbors(d, cc.cx, cc.cy)
+}
+
+// invalidateNeighbors drops the border caches facing chunk (cx, cy): the
+// west neighbor's east border and the south neighbor's north border. The
+// chunk's own east/north caches are handled by its refresh (or eviction).
+func (c *connIncr) invalidateNeighbors(d *Dense, cx, cy int) {
+	if t := d.tileAtChunk(cx-1, cy); t != nil {
+		if cc := c.chunks[t]; cc != nil {
+			cc.eastOK = false
+		}
+	}
+	if t := d.tileAtChunk(cx, cy-1); t != nil {
+		if cc := c.chunks[t]; cc != nil {
+			cc.northOK = false
+		}
+	}
+}
+
+// relabel recomputes the chunk's local component labels with a row-run
+// pass: each maximal run of consecutive occupied cells in a row is a
+// provisional component, runs of vertically adjacent rows whose masks
+// intersect are unioned, and the run roots are flattened to dense ids.
+// Cost is O(rows + runs·α), word-parallel in the occupancy bits.
+func (c *connIncr) relabel(cc *chunkConn, t *tile, layer int) {
+	c.stats.Relabels++
+	runs := c.runs[:0]
+	uf := c.runUF[:0]
+	rows := c.runRows[:0]
+	prevLo := 0 // index into runs of the previous non-empty row's runs
+	prevRow := -2
+	for y := 0; y < tileSize; y++ {
+		w := t.bits[layer][y]
+		if w == 0 {
+			continue
+		}
+		curLo := len(runs)
+		for rem := w; rem != 0; {
+			lo := bits.TrailingZeros64(rem)
+			span := bits.TrailingZeros64(^(rem >> uint(lo)))
+			var mask uint64
+			if span >= 64 {
+				mask = ^uint64(0)
+			} else {
+				mask = ((uint64(1) << uint(span)) - 1) << uint(lo)
+			}
+			rem &^= mask
+			id := int32(len(runs))
+			runs = append(runs, rowRun{mask: mask, hi: int8(min(lo+span, 64) - 1), id: id})
+			uf = append(uf, id)
+			rows = append(rows, int8(y))
+		}
+		if prevRow == y-1 {
+			// Union runs with the overlapping runs of the row above:
+			// both interval lists are ascending, so one merged walk.
+			i, j := prevLo, curLo
+			for i < curLo && j < len(runs) {
+				if runs[i].mask&runs[j].mask != 0 {
+					unionRuns(uf, runs[i].id, runs[j].id)
+				}
+				if runs[i].hi < runs[j].hi {
+					i++
+				} else {
+					j++
+				}
+			}
+		}
+		prevLo, prevRow = curLo, y
+	}
+	// Flatten: assign dense component ids in run order, then write the
+	// labels of every cell of every run.
+	ncomps := 0
+	for i := range runs {
+		if r := findRun(uf, int32(i)); r == int32(i) {
+			runs[i].id = int32(ncomps)
+			ncomps++
+		}
+	}
+	for i := range runs {
+		comp := uint16(runs[findRun(uf, int32(i))].id)
+		row := int(rows[i]) << tileShift
+		for m := runs[i].mask; m != 0; m &= m - 1 {
+			cc.labels[row|bits.TrailingZeros64(m)] = comp
+		}
+	}
+	cc.ncomps = ncomps
+	c.runs, c.runUF, c.runRows = runs, uf, rows
+}
+
+func findRun(uf []int32, i int32) int32 {
+	for uf[i] != i {
+		uf[i] = uf[uf[i]]
+		i = uf[i]
+	}
+	return i
+}
+
+func unionRuns(uf []int32, a, b int32) {
+	ra, rb := findRun(uf, a), findRun(uf, b)
+	if ra != rb {
+		uf[ra] = rb
+	}
+}
+
+// query runs the chunk-graph union-find: one node per local component,
+// one union per cached seam link. Border caches invalidated by this
+// round's dirty chunks are recomputed here, after every relabel is done,
+// so links always pair fresh labels on both sides.
+func (c *connIncr) query(d *Dense) bool {
+	n := int32(0)
+	for _, cc := range c.chunks {
+		cc.base = n
+		n += int32(cc.ncomps)
+	}
+	c.stats.Chunks, c.stats.Comps = len(c.chunks), int(n)
+	if n == 1 {
+		return true
+	}
+	if cap(c.parent) < int(n) {
+		c.parent = make([]int32, n)
+	}
+	c.parent = c.parent[:n]
+	for i := range c.parent {
+		c.parent[i] = int32(i)
+	}
+	roots := n
+	for t, cc := range c.chunks {
+		if !cc.eastOK {
+			cc.eastNbr = c.neighborConn(d, cc.cx+1, cc.cy)
+			cc.east = appendEastLinks(cc.east[:0], t, cc, d.cur)
+			cc.eastOK = true
+		}
+		if !cc.northOK {
+			cc.northNbr = c.neighborConn(d, cc.cx, cc.cy+1)
+			cc.north = appendNorthLinks(cc.north[:0], t, cc, d.cur)
+			cc.northOK = true
+		}
+		for _, l := range cc.east {
+			roots -= c.union(cc.base+int32(l.a), cc.eastNbr.base+int32(l.b))
+		}
+		for _, l := range cc.north {
+			roots -= c.union(cc.base+int32(l.a), cc.northNbr.base+int32(l.b))
+		}
+	}
+	return roots == 1
+}
+
+// neighborConn resolves the chunkConn at chunk coordinates (cx, cy), nil
+// if that chunk is unoccupied.
+func (c *connIncr) neighborConn(d *Dense, cx, cy int) *chunkConn {
+	t := d.tileAtChunk(cx, cy)
+	if t == nil {
+		return nil
+	}
+	return c.chunks[t]
+}
+
+// appendEastLinks collects the seam links across the chunk's east border:
+// cells in its column 63 that are 4-adjacent to occupied cells in the east
+// neighbor's column 0. Consecutive duplicate pairs are skipped (vertical
+// runs touch along many rows); remaining duplicates are harmless — union
+// is idempotent.
+func appendEastLinks(links []connLink, t *tile, cc *chunkConn, layer int) []connLink {
+	nbr := cc.eastNbr
+	if nbr == nil {
+		return links
+	}
+	nt := nbr.t
+	for y := 0; y < tileSize; y++ {
+		if t.bits[layer][y]>>tileMask&1 != 0 && nt.bits[layer][y]&1 != 0 {
+			l := connLink{cc.labels[y<<tileShift|tileMask], nbr.labels[y<<tileShift]}
+			if n := len(links); n == 0 || links[n-1] != l {
+				links = append(links, l)
+			}
+		}
+	}
+	return links
+}
+
+// appendNorthLinks collects the seam links across the chunk's north
+// border: cells in its row 63 adjacent to occupied cells in the north
+// neighbor's row 0.
+func appendNorthLinks(links []connLink, t *tile, cc *chunkConn, layer int) []connLink {
+	nbr := cc.northNbr
+	if nbr == nil {
+		return links
+	}
+	nt := nbr.t
+	w := t.bits[layer][tileMask] & nt.bits[layer][0]
+	for ; w != 0; w &= w - 1 {
+		x := bits.TrailingZeros64(w)
+		l := connLink{cc.labels[tileMask<<tileShift|x], nbr.labels[x]}
+		if n := len(links); n == 0 || links[n-1] != l {
+			links = append(links, l)
+		}
+	}
+	return links
+}
+
+func (c *connIncr) union(a, b int32) int32 {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return 0
+	}
+	c.parent[ra] = rb
+	return 1
+}
+
+func (c *connIncr) find(i int32) int32 {
+	p := c.parent
+	for p[i] != i {
+		p[i] = p[p[i]]
+		i = p[i]
+	}
+	return i
+}

@@ -1,0 +1,355 @@
+package world
+
+// Tests for the incremental connectivity layer (connincr.go). The contract
+// under test is differential: Connected through the incremental path must
+// equal ConnectedBFS (the scratch-BFS oracle) and the swarm oracle after
+// every mutation — cold start, warm queries, ad-hoc Add/Remove, full round
+// commits, chunk eviction and snapshot restore alike. The table cases pin
+// the seam union-find edge cases directly: merges across east and north
+// borders, diagonal-only contact (NOT connected under 4-connectivity),
+// four-corner meetings, and splits that must be re-detected after the
+// per-query union-find rebuild.
+
+import (
+	"testing"
+
+	"gridgather/internal/gen"
+	"gridgather/internal/grid"
+	"gridgather/internal/swarm"
+)
+
+// connWorld builds a dense world over the given cells.
+func connWorld(cells ...grid.Point) *Dense {
+	return NewDense(swarm.New(cells...), false)
+}
+
+// checkConnAllPaths asserts the incremental answer, the BFS oracle and the
+// swarm-free expectation agree, querying the incremental path repeatedly so
+// both the cold (fallback+rebuild) and warm paths run.
+func checkConnAllPaths(t *testing.T, d *Dense, want bool) {
+	t.Helper()
+	if got := d.ConnectedBFS(); got != want {
+		t.Fatalf("ConnectedBFS = %v, want %v", got, want)
+	}
+	for i := 0; i < 3; i++ {
+		if got := d.Connected(); got != want {
+			t.Fatalf("Connected (query %d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestConnIncrSeamTable pins the chunk-seam union-find: every case is a
+// hand-placed pattern around chunk borders (chunks are 64×64, so x or y in
+// {63, 64} sits on a seam; negative coordinates exercise the floor-divided
+// chunk grid).
+func TestConnIncrSeamTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells []grid.Point
+		want  bool
+	}{
+		{"east-seam pair", []grid.Point{grid.Pt(63, 5), grid.Pt(64, 5)}, true},
+		{"east-seam diagonal only", []grid.Point{grid.Pt(63, 5), grid.Pt(64, 6)}, false},
+		{"north-seam pair", []grid.Point{grid.Pt(5, 63), grid.Pt(5, 64)}, true},
+		{"north-seam diagonal only", []grid.Point{grid.Pt(5, 63), grid.Pt(6, 64)}, false},
+		{"four-corner diagonal only", []grid.Point{grid.Pt(63, 63), grid.Pt(64, 64)}, false},
+		{"four-corner anti-diagonal only", []grid.Point{grid.Pt(64, 63), grid.Pt(63, 64)}, false},
+		{"four-corner full square", []grid.Point{
+			grid.Pt(63, 63), grid.Pt(64, 63), grid.Pt(63, 64), grid.Pt(64, 64)}, true},
+		{"negative seam pair", []grid.Point{grid.Pt(-1, 0), grid.Pt(0, 0)}, true},
+		{"column through three chunks", func() []grid.Point {
+			var cs []grid.Point
+			for y := 60; y <= 130; y++ {
+				cs = append(cs, grid.Pt(10, y))
+			}
+			return cs
+		}(), true},
+		{"row through three chunks", func() []grid.Point {
+			var cs []grid.Point
+			for x := -70; x <= 70; x++ {
+				cs = append(cs, grid.Pt(x, 3))
+			}
+			return cs
+		}(), true},
+		{"snake around a chunk corner", []grid.Point{
+			grid.Pt(62, 63), grid.Pt(63, 63), grid.Pt(63, 64), grid.Pt(64, 64), grid.Pt(64, 65)}, true},
+		{"two blocks two chunks apart", []grid.Point{
+			grid.Pt(5, 5), grid.Pt(6, 5), grid.Pt(200, 5), grid.Pt(201, 5)}, false},
+		{"same chunk two components", []grid.Point{
+			grid.Pt(10, 10), grid.Pt(11, 10), grid.Pt(30, 30), grid.Pt(31, 30)}, false},
+		{"U across a seam", []grid.Point{
+			// Down column 63, across the bottom, up column 64 — within each
+			// chunk the two columns are separate local components joined
+			// only through the neighbor chunk below the seam.
+			grid.Pt(63, 64), grid.Pt(63, 63), grid.Pt(63, 62),
+			grid.Pt(64, 62), grid.Pt(64, 63), grid.Pt(64, 64)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkConnAllPaths(t, connWorld(tc.cells...), tc.want)
+		})
+	}
+}
+
+// TestConnIncrSplitRejoin removes and re-adds a bridge cell through the
+// ad-hoc mutation path and checks the incremental layer tracks the split
+// and the rejoin without falling back to the BFS after warm-up.
+func TestConnIncrSplitRejoin(t *testing.T) {
+	// Two cells per side of the east seam, bridged across it.
+	bridgeL, bridgeR := grid.Pt(63, 10), grid.Pt(64, 10)
+	d := connWorld(grid.Pt(62, 10), bridgeL, bridgeR, grid.Pt(65, 10))
+	checkConnAllPaths(t, d, true)
+	base := d.ConnStats()
+	if base.Fallbacks != 1 {
+		t.Fatalf("warm-up fallbacks = %d, want exactly 1 (cold start)", base.Fallbacks)
+	}
+
+	d.Remove(bridgeR)
+	if d.Connected() {
+		t.Fatal("Connected after removing the seam bridge = true")
+	}
+	d.Add(bridgeR)
+	if !d.Connected() {
+		t.Fatal("Connected after re-adding the seam bridge = false")
+	}
+	st := d.ConnStats()
+	if st.Fallbacks != base.Fallbacks {
+		t.Fatalf("split/rejoin fell back to BFS: fallbacks %d → %d", base.Fallbacks, st.Fallbacks)
+	}
+	if st.Relabels <= base.Relabels {
+		t.Fatalf("split/rejoin did not relabel any chunk: relabels %d → %d", base.Relabels, st.Relabels)
+	}
+}
+
+// TestConnIncrEviction empties a whole chunk and checks the layer drops it
+// from the chunk graph (and keeps answering correctly when it repopulates).
+func TestConnIncrEviction(t *testing.T) {
+	left := []grid.Point{grid.Pt(10, 10), grid.Pt(11, 10)}
+	right := []grid.Point{grid.Pt(200, 10), grid.Pt(201, 10)}
+	d := connWorld(append(append([]grid.Point{}, left...), right...)...)
+	checkConnAllPaths(t, d, false)
+	if st := d.ConnStats(); st.Chunks != 2 {
+		t.Fatalf("chunk graph size = %d, want 2", st.Chunks)
+	}
+
+	for _, p := range right {
+		d.Remove(p)
+	}
+	if !d.Connected() {
+		t.Fatal("Connected after evicting the far chunk = false")
+	}
+	if st := d.ConnStats(); st.Chunks != 1 || st.Comps != 1 {
+		t.Fatalf("after eviction: chunks=%d comps=%d, want 1/1", st.Chunks, st.Comps)
+	}
+
+	d.Add(right[0])
+	if d.Connected() {
+		t.Fatal("Connected after repopulating the far chunk = true")
+	}
+	if st := d.ConnStats(); st.Chunks != 2 || st.Comps != 2 {
+		t.Fatalf("after repopulation: chunks=%d comps=%d, want 2/2", st.Chunks, st.Comps)
+	}
+}
+
+// TestConnIncrColdStartAndForceBFS pins the fallback protocol: exactly one
+// BFS fallback on the first query, none after; ForceFullBFS drops the
+// structure entirely and re-enabling pays exactly one more fallback.
+func TestConnIncrColdStartAndForceBFS(t *testing.T) {
+	d := connWorld(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	for i := 0; i < 4; i++ {
+		if !d.Connected() {
+			t.Fatalf("Connected (query %d) = false", i)
+		}
+	}
+	if st := d.ConnStats(); st.Queries != 4 || st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 4 queries / 1 fallback", st)
+	}
+
+	d.ForceFullBFS(true)
+	if !d.Connected() {
+		t.Fatal("Connected under ForceFullBFS = false")
+	}
+	if st := d.ConnStats(); st != (ConnStats{}) {
+		t.Fatalf("ForceFullBFS kept incremental state: %+v", st)
+	}
+
+	d.ForceFullBFS(false)
+	if !d.Connected() || !d.Connected() {
+		t.Fatal("Connected after re-enabling incremental = false")
+	}
+	if st := d.ConnStats(); st.Queries != 2 || st.Fallbacks != 1 {
+		t.Fatalf("stats after re-enable = %+v, want 2 queries / 1 fallback", st)
+	}
+}
+
+// TestConnIncrRoundCommit drives the real round protocol — BeginRound,
+// Arrive, Commit — across a seam and checks the commit-time dirty detection
+// keeps the incremental answers exact, including a disconnect caused by a
+// single departing robot.
+func TestConnIncrRoundCommit(t *testing.T) {
+	// A 4-cell line crossing the east seam: 62..65 at y=7.
+	cells := []grid.Point{grid.Pt(62, 7), grid.Pt(63, 7), grid.Pt(64, 7), grid.Pt(65, 7)}
+	d := connWorld(cells...)
+	checkConnAllPaths(t, d, true)
+	base := d.ConnStats()
+
+	step := func(move map[grid.Point]grid.Point) {
+		t.Helper()
+		d.BeginRound()
+		for _, p := range d.Cells() {
+			dst, ok := move[p]
+			if !ok {
+				dst = p
+			}
+			d.Arrive(p, dst)
+		}
+		d.Commit()
+	}
+
+	// Round 1: the east end steps away north — diagonal contact only, so
+	// the swarm splits.
+	step(map[grid.Point]grid.Point{grid.Pt(65, 7): grid.Pt(65, 8)})
+	if d.Connected() {
+		t.Fatal("Connected after the east end stepped away = true")
+	}
+	// Round 2: it steps back.
+	step(map[grid.Point]grid.Point{grid.Pt(65, 8): grid.Pt(65, 7)})
+	if !d.Connected() {
+		t.Fatal("Connected after the east end returned = false")
+	}
+	// Round 3: nobody moves — no chunk is dirtied, no relabel should run.
+	pre := d.ConnStats()
+	step(nil)
+	if !d.Connected() {
+		t.Fatal("Connected after a no-move round = false")
+	}
+	st := d.ConnStats()
+	if st.Fallbacks != base.Fallbacks {
+		t.Fatalf("round commits fell back to BFS: %d → %d", base.Fallbacks, st.Fallbacks)
+	}
+	if st.Relabels != pre.Relabels {
+		t.Fatalf("a no-move round relabeled chunks: %d → %d", pre.Relabels, st.Relabels)
+	}
+}
+
+// TestSnapshotRebuildsConnIncr checks a snapshot/restore round-trip
+// rebuilds the incremental structure identically: same answers, and the
+// same chunk graph (chunk coordinates, per-chunk component counts, total
+// components) once warm.
+func TestSnapshotRebuildsConnIncr(t *testing.T) {
+	d := NewDense(gen.RandomBlob(300, 11), false)
+	// Warm the structure and dirty a few chunks through ad-hoc mutations.
+	d.Connected()
+	far := grid.Pt(500, 500)
+	d.Add(far)
+	d.Connected()
+	d.Remove(far)
+	d.Connected()
+
+	r, rest, err := DecodeDense(d.AppendState(nil), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after decode", len(rest))
+	}
+	if got, want := r.Connected(), d.Connected(); got != want {
+		t.Fatalf("restored Connected = %v, original %v", got, want)
+	}
+	if st := r.ConnStats(); st.Fallbacks != 1 {
+		t.Fatalf("restored world answered without the cold-start fallback: %+v", st)
+	}
+	// Warm both sides: Chunks/Comps are recorded by the incremental query,
+	// which the restored world's cold-start fallback bypassed.
+	d.Connected()
+	r.Connected()
+
+	type chunkSummary struct {
+		cx, cy, ncomps int
+	}
+	summarize := func(d *Dense) map[chunkSummary]bool {
+		m := map[chunkSummary]bool{}
+		for _, cc := range d.conn.chunks {
+			m[chunkSummary{cc.cx, cc.cy, cc.ncomps}] = true
+		}
+		return m
+	}
+	a, b := summarize(d), summarize(r)
+	if len(a) != len(b) {
+		t.Fatalf("chunk graphs differ in size: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("restored chunk graph is missing %+v", k)
+		}
+	}
+	if as, bs := d.ConnStats(), r.ConnStats(); as.Chunks != bs.Chunks || as.Comps != bs.Comps {
+		t.Fatalf("chunk/component counts differ: %d/%d vs %d/%d",
+			as.Chunks, as.Comps, bs.Chunks, bs.Comps)
+	}
+}
+
+// FuzzIncrementalConnectivity drives random L∞-1 move sequences (plus the
+// occasional ad-hoc add/remove) over a block planted on a four-chunk corner
+// and checks the incremental path against the scratch-BFS and swarm oracles
+// after every operation. The seed corpus aims at the seams: border
+// oscillation, corner bridges, and a planted disconnect-and-return.
+func FuzzIncrementalConnectivity(f *testing.F) {
+	// Each op is two bytes: robot selector, then direction/op code.
+	// Codes 0..8 move robot (selector % len) by the L∞ unit vector
+	// (code%3-1, code/3-1); code 9 removes that robot; 10.. adds a cell at
+	// a seam-heavy spot derived from the selector.
+	f.Add([]byte{0, 5, 0, 5, 0, 3, 0, 3, 0, 5, 0, 5})        // east-west oscillation
+	f.Add([]byte{1, 7, 1, 1, 1, 7, 1, 1, 2, 7, 2, 1})        // north-south oscillation
+	f.Add([]byte{3, 9, 3, 10, 5, 9, 9, 9, 11, 12, 250, 200}) // removes + seam adds
+	f.Add([]byte{0, 0, 1, 2, 2, 6, 3, 8, 4, 4, 5, 0, 6, 2})  // diagonal drifts
+	f.Add([]byte{35, 5, 35, 5, 35, 5, 35, 5, 35, 3, 35, 3})  // walk a corner robot away and back
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := swarm.New()
+		// 6×6 block spanning the four-chunk corner at (64, 64).
+		for y := 61; y <= 66; y++ {
+			for x := 61; x <= 66; x++ {
+				s.Add(grid.Pt(x, y))
+			}
+		}
+		d := NewDense(s, false)
+		check := func() {
+			t.Helper()
+			incr, bfs, oracle := d.Connected(), d.ConnectedBFS(), s.Connected()
+			if incr != bfs || incr != oracle {
+				t.Fatalf("Connected diverged: incr=%v bfs=%v oracle=%v (n=%d)",
+					incr, bfs, oracle, d.Len())
+			}
+		}
+		check()
+		for i := 0; i+1 < len(data) && i < 2*300; i += 2 {
+			cells := s.Cells()
+			if len(cells) == 0 {
+				break
+			}
+			p := cells[int(data[i])%len(cells)]
+			switch code := int(data[i+1]) % 12; {
+			case code < 9:
+				q := p.Add(grid.Pt(code%3-1, code/3-1))
+				if q != p && !s.Has(q) {
+					d.Remove(p)
+					s.Remove(p)
+					d.Add(q)
+					s.Add(q)
+				}
+			case code == 9:
+				d.Remove(p)
+				s.Remove(p)
+			default:
+				// Seam-heavy insert near the corner, derived from the
+				// selector byte.
+				q := grid.Pt(62+int(data[i])%5, 62+int(data[i])/32)
+				d.Add(q)
+				s.Add(q)
+			}
+			check()
+		}
+		// A final full-oracle sweep (components, degrees, bounds).
+		checkAgainstOracle(t, d, s, s.Cells())
+	})
+}

@@ -77,11 +77,13 @@ const (
 // planes are only meaningful under set occupancy bits, so they are never
 // cleared — stale entries are unreachable.
 type tile struct {
-	bits   [2][tileSize]uint64
-	multi  [tileSize]uint64
-	vis    [tileSize]uint64
-	marked [2]bool // on Dense.live[layer]: this tile may hold bits in that layer
-	slots  [2][tileSize * tileSize]int32
+	bits      [2][tileSize]uint64
+	multi     [tileSize]uint64
+	vis       [tileSize]uint64
+	marked    [2]bool // on Dense.live[layer]: this tile may hold bits in that layer
+	connDirty bool    // queued on connIncr.dirty (occupancy changed since the last relabel)
+	cx, cy    int     // absolute chunk coordinates (set once at allocation)
+	slots     [2][tileSize * tileSize]int32
 }
 
 // slotState is a robot's run state in flat storage: MaxRuns is tiny, so
@@ -175,7 +177,29 @@ type Dense struct {
 	boundsOK bool
 
 	stack []grid.Point // BFS scratch
+
+	conn    *connIncr // incremental connectivity (lazily built on first query)
+	fullBFS bool      // pin Connected to the full-BFS path (escape hatch/oracle)
+	runner  Runner    // optional persistent-pool fan-out for Commit's parallel phases
+
+	// Classify's chunk-locality cache: targets arrive in canonical (Y, X)
+	// order, so runs of up to 64 consecutive calls hit the same chunk and
+	// can skip the hash and the table walk. Valid within one round only.
+	clsCX, clsCY int
+	clsOwner     int
+	clsOK        bool
 }
+
+// Runner executes f(0), …, f(k-1), returning once all calls completed —
+// possibly concurrently (the engine installs its persistent worker pool
+// here via SetRunner, so Commit's parallel phases stop spawning
+// goroutines). A nil runner falls back to ad-hoc goroutines.
+type Runner func(k int, f func(int))
+
+// SetRunner installs the fan-out used by Commit's parallel lane repair and
+// layer clears. The runner must execute every f(i) exactly once and return
+// only after all complete.
+func (d *Dense) SetRunner(r Runner) { d.runner = r }
 
 // NewDense builds the dense world over the swarm's cells (the swarm is
 // not retained). withClocks enables per-robot logical clock tracking
@@ -239,10 +263,20 @@ func (d *Dense) ensureTile(p grid.Point) *tile {
 	}
 	t := d.tiles[iy*d.cols+ix]
 	if t == nil {
-		t = &tile{}
+		t = &tile{cx: cx, cy: cy}
 		d.tiles[iy*d.cols+ix] = t
 	}
 	return t
+}
+
+// tileAtChunk returns the chunk at absolute chunk coordinates (cx, cy), or
+// nil if none was ever occupied there.
+func (d *Dense) tileAtChunk(cx, cy int) *tile {
+	ix, iy := cx-d.minCX, cy-d.minCY
+	if uint(ix) >= uint(d.cols) || uint(iy) >= uint(d.rows) {
+		return nil
+	}
+	return d.tiles[iy*d.cols+ix]
 }
 
 // mark puts t on the layer's live list the first time the layer writes
@@ -419,6 +453,9 @@ func (d *Dense) Add(p grid.Point) {
 	if d.boundsOK {
 		d.bounds = d.bounds.Include(p)
 	}
+	if d.conn != nil && d.conn.valid {
+		d.conn.markDirty(t)
+	}
 	d.occDirty = true
 	d.cellsValid = false
 }
@@ -434,6 +471,9 @@ func (d *Dense) Remove(p grid.Point) {
 	if d.boundsOK && (p.X == d.bounds.MinX || p.X == d.bounds.MaxX ||
 		p.Y == d.bounds.MinY || p.Y == d.bounds.MaxY) {
 		d.boundsOK = false
+	}
+	if d.conn != nil && d.conn.valid {
+		d.conn.markDirty(t)
 	}
 	d.occDirty = true
 	d.cellsValid = false
@@ -486,6 +526,7 @@ func (d *Dense) BeginRoundShards(n int) {
 	for i := 0; i < n; i++ {
 		d.lanes[i].reset()
 	}
+	d.clsOK = false
 }
 
 // Classify returns the arrival lane owning dst's 64×64 chunk among
@@ -499,11 +540,18 @@ func (d *Dense) BeginRoundShards(n int) {
 // Ownership hashes the absolute chunk coordinates, so it is stable across
 // chunk-table growth and independent of the swarm's position.
 func (d *Dense) Classify(dst grid.Point, workers int) (owner int, seam bool) {
-	t := d.ensureTile(dst)
-	d.mark(d.cur^1, t)
 	rx, ry := dst.X&tileMask, dst.Y&tileMask
 	seam = rx == 0 || rx == tileMask || ry == 0 || ry == tileMask
-	owner = int(chunkHash(dst.X>>tileShift, dst.Y>>tileShift) % uint64(workers))
+	cx, cy := dst.X>>tileShift, dst.Y>>tileShift
+	if d.clsOK && cx == d.clsCX && cy == d.clsCY {
+		// Same chunk as the previous target: already marked this round,
+		// owner already hashed.
+		return d.clsOwner, seam
+	}
+	t := d.ensureTile(dst)
+	d.mark(d.cur^1, t)
+	owner = int(chunkHash(cx, cy) % uint64(workers))
+	d.clsCX, d.clsCY, d.clsOwner, d.clsOK = cx, cy, owner, true
 	return owner, seam
 }
 
@@ -641,6 +689,12 @@ func (d *Dense) Commit() {
 	}
 	old := d.cur
 	nxt := old ^ 1
+	if d.conn != nil && d.conn.valid {
+		// Queue the chunks whose occupancy changed this round for the
+		// incremental connectivity layer, before the outgoing layer is
+		// cleared (the comparison needs both layers intact).
+		d.conn.noteCommit(d, old, nxt)
+	}
 	d.clearLayers(old, nxt, d.nlanes > 1)
 	d.cur = nxt
 	d.count = len(d.occ)
@@ -662,20 +716,28 @@ func (d *Dense) commitSingle(l *lane) {
 	d.occ, l.occ = l.occ, d.occ[:0]
 }
 
-// commitSharded repairs every lane concurrently, then k-way merges the
-// sorted lanes into occ. The merge is a linear min-scan over the lane
-// heads — lane counts are small (workers + the seam lane) and cells are
-// unique, so the result is the canonical sorted order.
+// commitSharded repairs every lane concurrently — through the installed
+// persistent-pool runner when the engine provided one, via ad-hoc
+// goroutines otherwise — then k-way merges the sorted lanes into occ.
+// Lane ownership is chunk-granular and cells sort by (Y, X), so each lane
+// contributes long runs of consecutive cells (up to a chunk row at a
+// time); the merge gallops — after the min-scan picks a lane it copies
+// that lane's whole run below the runner-up head — so its cost is near
+// one compare per cell rather than one min-scan per cell.
 func (d *Dense) commitSharded(lanes []lane) {
-	var wg sync.WaitGroup
-	for i := range lanes {
-		wg.Add(1)
-		go func(l *lane) {
-			defer wg.Done()
-			l.repair()
-		}(&lanes[i])
+	if d.runner != nil {
+		d.runner(len(lanes), func(i int) { lanes[i].repair() })
+	} else {
+		var wg sync.WaitGroup
+		for i := range lanes {
+			wg.Add(1)
+			go func(l *lane) {
+				defer wg.Done()
+				l.repair()
+			}(&lanes[i])
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	out := d.occ[:0]
 	heads := d.mergeHeads[:0]
 	for range lanes {
@@ -683,20 +745,40 @@ func (d *Dense) commitSharded(lanes []lane) {
 	}
 	d.mergeHeads = heads
 	for {
-		best := -1
+		best, second := -1, -1
 		for i := range lanes {
 			if heads[i] >= len(lanes[i].occ) {
 				continue
 			}
-			if best < 0 || lanes[i].occ[heads[i]].p.Less(lanes[best].occ[heads[best]].p) {
+			switch {
+			case best < 0:
 				best = i
+			case lanes[i].occ[heads[i]].p.Less(lanes[best].occ[heads[best]].p):
+				best, second = i, best
+			case second < 0 || lanes[i].occ[heads[i]].p.Less(lanes[second].occ[heads[second]].p):
+				second = i
 			}
 		}
 		if best < 0 {
 			break
 		}
-		out = append(out, lanes[best].occ[heads[best]])
-		heads[best]++
+		l := lanes[best].occ
+		h := heads[best]
+		if second < 0 {
+			// Only one lane left: drain it wholesale.
+			out = append(out, l[h:]...)
+			heads[best] = len(l)
+			continue
+		}
+		// Everything in the best lane below the runner-up's head precedes
+		// every other lane's remaining cells — copy the whole run.
+		stop := lanes[second].occ[heads[second]].p
+		j := h + 1
+		for j < len(l) && l[j].p.Less(stop) {
+			j++
+		}
+		out = append(out, l[h:j]...)
+		heads[best] = j
 	}
 	d.occ = out
 }
@@ -717,10 +799,19 @@ func (d *Dense) clearLayers(old, nxt int, parallel bool) {
 			t.multi = [tileSize]uint64{}
 		}
 	}
-	if !parallel || len(d.live[old])+len(d.live[nxt]) < 4 {
+	switch {
+	case !parallel || len(d.live[old])+len(d.live[nxt]) < 4:
 		clearOld(d.live[old])
 		clearMulti(d.live[nxt])
-	} else {
+	case d.runner != nil:
+		d.runner(2, func(i int) {
+			if i == 0 {
+				clearOld(d.live[old])
+			} else {
+				clearMulti(d.live[nxt])
+			}
+		})
+	default:
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() { defer wg.Done(); clearOld(d.live[old]) }()
@@ -927,9 +1018,46 @@ func (d *Dense) visClear() {
 	}
 }
 
-// Connected reports 4-connectivity, reusing internal scratch so the
-// per-round connectivity check allocates nothing in steady state.
+// Connected reports 4-connectivity. By default it answers through the
+// incremental connectivity layer (see connincr.go): per-chunk component
+// labels maintained only for chunks whose occupancy changed, plus a small
+// union-find over the chunk-boundary seam links — so a round where little
+// moved costs far less than a full scan. ForceFullBFS pins it to the
+// scratch-BFS path instead; the two are proven to agree answer-for-answer
+// by the differential suites here and in internal/fsync.
 func (d *Dense) Connected() bool {
+	if d.fullBFS {
+		return d.ConnectedBFS()
+	}
+	return d.connectedIncr()
+}
+
+// ForceFullBFS pins Connected to the full scratch-BFS path (the escape
+// hatch and differential oracle), dropping any incremental state. Turning
+// it back off rebuilds the incremental structure on the next query.
+func (d *Dense) ForceFullBFS(on bool) {
+	d.fullBFS = on
+	if d.conn != nil {
+		d.conn.invalidate()
+	}
+	if on {
+		d.conn = nil
+	}
+}
+
+// ConnStats returns the incremental connectivity layer's counters (zero
+// if the layer was never queried).
+func (d *Dense) ConnStats() ConnStats {
+	if d.conn == nil {
+		return ConnStats{}
+	}
+	return d.conn.stats
+}
+
+// ConnectedBFS reports 4-connectivity with the full bitset BFS, reusing
+// internal scratch so the check allocates nothing in steady state. It is
+// the incremental layer's fallback and its differential oracle.
+func (d *Dense) ConnectedBFS() bool {
 	d.ensureOcc()
 	n := len(d.occ)
 	if n <= 1 {

@@ -32,6 +32,7 @@ type settings struct {
 	strict        bool
 	strictSet     bool // WithStrictLocality was passed (Restore override)
 	workers       int
+	fullBFS       bool
 	subs          []subscription
 
 	// structural lists the structural options that were applied, so
@@ -146,6 +147,21 @@ func WithStrictLocality(on bool) Option {
 func WithWorkers(n int) Option {
 	return func(s *settings) error {
 		s.workers = n
+		return nil
+	}
+}
+
+// WithFullBFSConnectivity pins the per-round connectivity check to the
+// full breadth-first scan instead of the default incremental layer (which
+// relabels only the 64×64 chunks a round actually changed). The two paths
+// return identical answers on every round — the differential suites prove
+// it — so this is an escape hatch and a verification oracle, not a
+// correctness knob: use it to cross-check the incremental layer or to
+// trade the incremental bookkeeping for a simpler cost profile on tiny
+// swarms. Like WithWorkers, it never changes simulation outcomes.
+func WithFullBFSConnectivity(on bool) Option {
+	return func(s *settings) error {
+		s.fullBFS = on
 		return nil
 	}
 }

@@ -44,6 +44,7 @@ type Simulation struct {
 	checkConn     bool
 	strict        bool
 	workers       int
+	fullBFS       bool
 
 	// Event plumbing.
 	subs       []subscription
@@ -98,6 +99,7 @@ func newSession(sw *swarm.Swarm, cfg settings) (*Simulation, error) {
 		checkConn:     cfg.checkConn,
 		strict:        cfg.strict,
 		workers:       cfg.workers,
+		fullBFS:       cfg.fullBFS,
 		subs:          cfg.subs,
 	}
 	sim.seedSubIDs()
@@ -122,11 +124,12 @@ func (s *Simulation) seedSubIDs() {
 // engine.
 func (s *Simulation) engineConfig(sc scenario.Scenario) fsync.Config {
 	return fsync.Config{
-		NoMergeLimit:      s.noMergeLimit,
-		CheckConnectivity: s.checkConn,
-		StrictViews:       s.strict,
-		Workers:           s.workers,
-		Scheduler:         sc.Scheduler,
+		NoMergeLimit:        s.noMergeLimit,
+		CheckConnectivity:   s.checkConn,
+		StrictViews:         s.strict,
+		Workers:             s.workers,
+		Scheduler:           sc.Scheduler,
+		FullBFSConnectivity: s.fullBFS,
 	}
 }
 

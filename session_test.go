@@ -302,3 +302,35 @@ func TestObserverPathAllocationFree(t *testing.T) {
 		t.Fatal("observer never saw a payload")
 	}
 }
+
+// TestWithFullBFSConnectivity pins the escape hatch's contract: a session
+// checking connectivity through the full BFS produces exactly the same
+// result as the default incremental layer — directly and across a
+// mid-flight snapshot/restore that flips the mode.
+func TestWithFullBFSConnectivity(t *testing.T) {
+	cells := mustWorkload(t, "hollow", 60)
+	ref := Gather(cells, Options{CheckConnectivity: true})
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	sim := mustNew(t, cells, WithConnectivityCheck(true), WithFullBFSConnectivity(true))
+	if res := sim.Run(context.Background()); res != ref {
+		t.Errorf("full-BFS result %+v != incremental result %+v", res, ref)
+	}
+
+	donor := mustNew(t, cells, WithConnectivityCheck(true))
+	if _, err := donor.StepN(ref.Rounds / 2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap, WithFullBFSConnectivity(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := restored.Run(context.Background()); res != ref {
+		t.Errorf("restored full-BFS result %+v != incremental result %+v", res, ref)
+	}
+}

@@ -178,6 +178,7 @@ func Restore(snapshot []byte, opts ...Option) (*Simulation, error) {
 		sim.strict = cfg.strict
 	}
 	sim.workers = cfg.workers
+	sim.fullBFS = cfg.fullBFS
 	sim.subs = cfg.subs
 	sim.seedSubIDs()
 
