@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles gatherlint once per test binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gatherlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building gatherlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runVet(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s in %s: %v\n%s", bin, dir, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestSmokeCleanFixture runs the full vet pipeline (standalone mode
+// re-execs `go vet -vettool=<self>`) over a fixture that opts into every
+// contract and violates none: zero diagnostics, zero exit.
+func TestSmokeCleanFixture(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runVet(t, bin, "testdata/cleanmod", "./...")
+	if code != 0 {
+		t.Fatalf("clean fixture failed (exit %d):\n%s", code, out)
+	}
+	if strings.Contains(out, ".go:") {
+		t.Fatalf("clean fixture produced diagnostics:\n%s", out)
+	}
+}
+
+// TestSmokeDirtyFixture proves the pipeline bites: a seeded map-range in a
+// deterministic package must surface through go vet and fail the run.
+func TestSmokeDirtyFixture(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runVet(t, bin, "testdata/dirtymod", "./...")
+	if code == 0 {
+		t.Fatalf("dirty fixture passed; want detlint failure:\n%s", out)
+	}
+	if !strings.Contains(out, "map iteration order is nondeterministic") {
+		t.Fatalf("dirty fixture failed without the expected diagnostic:\n%s", out)
+	}
+}
+
+// TestProbeProtocol covers the two cmd/go probes the vettool contract
+// requires: -flags must print a JSON flag array, -V=full a version line
+// with a build ID for vet's action cache.
+func TestProbeProtocol(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runVet(t, bin, ".", "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags: exit %d, output %q; want 0, []", code, out)
+	}
+	out, code = runVet(t, bin, ".", "-V=full")
+	if code != 0 || !strings.HasPrefix(out, "gatherlint version ") || !strings.Contains(out, "buildID=") {
+		t.Fatalf("-V=full: exit %d, output %q", code, out)
+	}
+}

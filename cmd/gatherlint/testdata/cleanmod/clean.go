@@ -1,0 +1,34 @@
+// Package cleanfixture opts into every gatherlint contract and violates
+// none of them: the smoke test's known-clean baseline.
+//
+//gather:deterministic
+package cleanfixture
+
+import "sort"
+
+// Grid is a tiny lane-protocol shape.
+type Grid struct {
+	serial int
+	//gather:lane-owned
+	Clocks []int
+}
+
+// TickShard writes only lane-owned state.
+func (g *Grid) TickShard(ln int) {
+	g.Clocks[ln]++
+}
+
+// Reset is serial-phase code; no Shard suffix, no constraints.
+func (g *Grid) Reset() {
+	g.serial = 0
+	sort.Ints(g.Clocks)
+}
+
+//gather:hotpath
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,14 @@
+// Package dirtyfixture seeds one detlint violation so the smoke test can
+// prove the vet pipeline surfaces diagnostics and fails the build.
+//
+//gather:deterministic
+package dirtyfixture
+
+// SumMap iterates a map in a deterministic package.
+func SumMap(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module dirtyfixture
+
+go 1.24

@@ -152,9 +152,19 @@ func (s *Simulation) wants(k EventKind) bool {
 	return false
 }
 
+// endEmit closes a delivery window and sweeps subscriptions cancelled from
+// inside callbacks. Named (rather than a deferred closure in emit) to keep
+// the delivery path closure-free.
+func (s *Simulation) endEmit() {
+	s.emitting = false
+	s.compactSubs()
+}
+
 // emit delivers an event of the given kind to all matching subscribers,
 // filling the shared payload fields from the current engine state. The
 // Robots/Runners scratch must already be current (fillEventBuffers).
+//
+//gather:hotpath
 func (s *Simulation) emit(k EventKind, err error) {
 	ev := Event{
 		Kind:             k,
@@ -168,10 +178,7 @@ func (s *Simulation) emit(k EventKind, err error) {
 		Err:              err,
 	}
 	s.emitting = true
-	defer func() {
-		s.emitting = false
-		s.compactSubs()
-	}()
+	defer s.endEmit()
 	for i := range s.subs {
 		// Index (not range-copy) so a cancellation from inside a callback
 		// is respected for the remainder of this event's delivery.
@@ -185,6 +192,8 @@ func (s *Simulation) emit(k EventKind, err error) {
 // engine-owned state, allocation-free in steady state: the world's cell
 // slice and the engine's runner scratch are copied element-wise into
 // session-owned buffers that are reused across rounds.
+//
+//gather:hotpath
 func (s *Simulation) fillEventBuffers() {
 	s.robotsBuf = s.robotsBuf[:0]
 	for _, p := range s.eng.World().Cells() {

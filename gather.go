@@ -25,6 +25,8 @@
 // The algorithm itself and its substrates (grid geometry, swarm state,
 // the FSYNC engine, local views, baselines) live in the internal
 // packages.
+//
+//gather:deterministic
 package gridgather
 
 import (

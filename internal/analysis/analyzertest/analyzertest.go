@@ -1,0 +1,232 @@
+// Package analyzertest is the test driver for the gatherlint analyzers:
+// the stdlib-only counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory under the calling test's testdata/src, laid out
+// as one package per directory; imports between fixture packages resolve
+// by path relative to testdata/src (so a fixture named codec satisfies
+// `import "codec"`), and standard-library imports are type-checked from
+// GOROOT source. Expected diagnostics are declared in the fixture itself
+// with want comments:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match a diagnostic reported on that line; diagnostics with no
+// matching want, and wants with no matching diagnostic, fail the test. A
+// want comment standing alone on its line applies to the line above it —
+// the form used to assert on diagnostics whose position is itself a
+// comment line (directive validation, snapshot-format markers).
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"gridgather/internal/analysis"
+)
+
+// Run loads the fixture package at srcRoot/pkgpath, runs the analyzers
+// over it, and asserts the diagnostics against the fixture's want
+// comments. It returns the diagnostics for any further assertions.
+func Run(t *testing.T, srcRoot, pkgpath string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	imp := &fixtureImporter{
+		fset:    token.NewFileSet(),
+		srcRoot: srcRoot,
+		pkgs:    make(map[string]*types.Package),
+		infos:   make(map[string]*pkgFiles),
+	}
+	if _, err := imp.Import(pkgpath); err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	target := imp.infos[pkgpath]
+
+	diags, err := analysis.Run(imp.fset, target.files, target.pkg, target.info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
+	}
+	checkWants(t, imp.fset, target.files, diags)
+	return diags
+}
+
+type pkgFiles struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureImporter resolves fixture-local import paths from testdata/src
+// and everything else from the standard library's source.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	pkgs    map[string]*types.Package
+	infos   map[string]*pkgFiles
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir := filepath.Join(imp.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		if imp.std == nil {
+			imp.std = importer.ForCompiler(imp.fset, "source", nil)
+		}
+		return imp.std.Import(path)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []string
+	tc := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err.Error()) },
+	}
+	pkg, err := tc.Check(path, imp.fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("typechecking fixture %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	if err != nil {
+		return nil, err
+	}
+	imp.pkgs[path] = pkg
+	imp.infos[path] = &pkgFiles{pkg: pkg, files: files, info: info}
+	return pkg, nil
+}
+
+// want holds one expectation: a regexp bound to a file line.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRx extracts the quoted patterns of a want comment: backquoted or
+// double-quoted strings after the word "want".
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, found := strings.CutPrefix(text, "want ")
+				if !found {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if standalone(fset, f, c) {
+					line-- // standalone want: asserts on the line above
+				}
+				for _, q := range wantRx.FindAllString(rest, -1) {
+					pat := q[1 : len(q)-1]
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// standalone reports whether comment c is the only thing on its line (no
+// code and no earlier comment before it).
+func standalone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	// An earlier comment in the same file ending on this line means c is a
+	// trailing annotation of that comment's line.
+	for _, cg := range f.Comments {
+		for _, other := range cg.List {
+			if other != c && other.Pos() < c.Pos() && fset.Position(other.End()).Line == line {
+				return false
+			}
+		}
+	}
+	shares := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || shares {
+			return false
+		}
+		switch n.(type) {
+		case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt:
+		default:
+			if n.End() <= c.Pos() && fset.Position(n.End()).Line == line {
+				shares = true
+			}
+		}
+		return n.Pos() < c.Pos()
+	})
+	return !shares
+}

@@ -1,0 +1,20 @@
+// Package codec is a miniature stand-in for gridgather/internal/codec:
+// just enough surface (NewReader, the sticky Err, one Append primitive)
+// for the codecpair fixtures to type-check. Its import path ends in
+// "codec", which is both what activates codecpair in importing fixtures
+// and what makes the analyzer skip this package itself.
+package codec
+
+// Reader is a sticky-error decoder over a byte slice.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+func (r *Reader) Uvarint() uint64 { return 0 }
+
+func (r *Reader) Err() error { return r.err }
+
+func AppendUvarint(b []byte, v uint64) []byte { return append(b, byte(v)) }

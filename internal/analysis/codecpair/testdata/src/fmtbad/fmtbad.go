@@ -1,0 +1,16 @@
+// Package fmtbad carries malformed snapshot-format markers.
+
+//gather:snapshot-format version=missingConst hash=0123456789abcdef
+// want `snapshot-format version constant missingConst is not declared`
+
+package fmtbad
+
+import "codec"
+
+func AppendCell(b []byte, v uint64) []byte {
+	return codec.AppendUvarint(b, v)
+}
+
+func DecodeCell(r *codec.Reader) uint64 {
+	return r.Uvarint()
+}

@@ -1,0 +1,20 @@
+// Package fmtstale carries a snapshot-format marker whose recorded hash no
+// longer matches the declarations — the diagnostic every codec edit
+// triggers until the author restates the marker.
+
+//gather:snapshot-format version=fmtVersion hash=ffffffffffffffff
+// want `snapshot format changed`
+
+package fmtstale
+
+import "codec"
+
+const fmtVersion = 3
+
+func AppendRow(b []byte, v uint64) []byte {
+	return codec.AppendUvarint(b, v)
+}
+
+func DecodeRow(r *codec.Reader) uint64 {
+	return r.Uvarint()
+}

@@ -1,0 +1,24 @@
+// Package fmtver carries a snapshot-format marker whose hash matches its
+// format-bearing declarations, and pairs its method encoder through a
+// Decode<Type> constructor. No diagnostics expected.
+//
+//gather:snapshot-format version=fmtVersion hash=875c7d2bc5547c38
+package fmtver
+
+import "codec"
+
+const fmtVersion = 1
+
+type grid struct{ n uint64 }
+
+func (g *grid) AppendState(b []byte) []byte {
+	b = codec.AppendUvarint(b, fmtVersion)
+	return codec.AppendUvarint(b, g.n)
+}
+
+func DecodeGrid(b []byte) (*grid, error) {
+	r := codec.NewReader(b)
+	_ = r.Uvarint()
+	g := &grid{n: r.Uvarint()}
+	return g, r.Err()
+}

@@ -1,0 +1,61 @@
+// Package pairs seeds the encoder-symmetry and sticky-error violations.
+package pairs
+
+import "codec"
+
+type state struct{ n uint64 }
+
+// AppendState pairs with NewRestored below.
+func (s *state) AppendState(b []byte) []byte {
+	return codec.AppendUvarint(b, s.n)
+}
+
+func NewRestored(b []byte) (*state, error) {
+	r := codec.NewReader(b)
+	s := &state{n: r.Uvarint()}
+	return s, r.Err()
+}
+
+// appendCursor pairs with restoreCursor: lower-case and Restore-prefix forms.
+func appendCursor(b []byte, pos uint64) []byte {
+	return codec.AppendUvarint(b, pos)
+}
+
+func restoreCursor(r *codec.Reader) uint64 {
+	return r.Uvarint()
+}
+
+func AppendOrphan(b []byte, v uint64) []byte { // want `encoder AppendOrphan has no decoding counterpart`
+	return codec.AppendUvarint(b, v)
+}
+
+//gather:oneway debug dump, never read back
+func AppendTraceDump(b []byte, v uint64) []byte {
+	return codec.AppendUvarint(b, v)
+}
+
+// appendLinks is an ordinary slice helper, not a codec encoder: it does
+// not return []byte, so the pairing rule must ignore it.
+func appendLinks(links []int, l int) []int {
+	return append(links, l)
+}
+
+func dropsErr(b []byte) uint64 {
+	r := codec.NewReader(b) // want `sticky Err\(\) is never checked`
+	return r.Uvarint()
+}
+
+func checksErr(b []byte) (uint64, error) {
+	r := codec.NewReader(b)
+	v := r.Uvarint()
+	return v, r.Err()
+}
+
+func handsOff(b []byte) *codec.Reader {
+	return codec.NewReader(b) // returning the reader delegates the check
+}
+
+func escapedDrop(b []byte) uint64 {
+	r := codec.NewReader(b) //gather:codec-ok fixture-sanctioned drop
+	return r.Uvarint()
+}

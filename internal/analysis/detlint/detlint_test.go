@@ -1,0 +1,26 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"gridgather/internal/analysis/analyzertest"
+	"gridgather/internal/analysis/detlint"
+)
+
+// TestDeterministicPackage covers every forbidden construct plus the
+// reason-carrying escapes in an opted-in package.
+func TestDeterministicPackage(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "det", detlint.Analyzer)
+}
+
+// TestDirectiveVocabulary proves directive validation runs even in
+// packages that are not //gather:deterministic.
+func TestDirectiveVocabulary(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "baddir", detlint.Analyzer)
+}
+
+// TestReasonlessEscapeDoesNotSuppress proves an escape without a reason is
+// both diagnosed and ignored.
+func TestReasonlessEscapeDoesNotSuppress(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "noreason", detlint.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Package baddir seeds directive-vocabulary violations, which detlint
+// reports even though the package is not //gather:deterministic.
+package baddir
+
+func mistyped() int {
+	x := 0
+	//gather:nodet-ok typo for nondet-ok
+	// want `unknown directive //gather:nodet-ok`
+	x++
+	return x
+}
+
+func reasonless(m map[int]int) int {
+	s := 0
+	//gather:nondet-ok
+	// want `//gather:nondet-ok requires a reason`
+	for k := range m { // no finding: package is not deterministic
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,14 @@
+// Package noreason proves a reason-less escape does not suppress the
+// underlying finding in a deterministic package.
+//
+//gather:deterministic
+package noreason
+
+func unsuppressed(m map[int]int) int {
+	s := 0
+	for k := range m { //gather:nondet-ok
+		// want `//gather:nondet-ok requires a reason` `map iteration order is nondeterministic`
+		s += k
+	}
+	return s
+}

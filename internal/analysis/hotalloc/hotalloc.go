@@ -1,0 +1,277 @@
+// Package hotalloc guards the steady-state zero-allocation property of the
+// round pipeline. Functions annotated //gather:hotpath in their doc comment
+// are checked for allocation-introducing constructs:
+//
+//   - function literals (closures capture their environment on the heap
+//     when passed to another function; hoist them to persistent fields or
+//     package-level funcs)
+//   - calls into package fmt (every verb boxes its operand)
+//   - map composite literals and make(map[...]...)
+//   - interface boxing: passing or converting a non-pointer-shaped concrete
+//     value where an interface is expected (pointer, chan, map, func and
+//     unsafe.Pointer values fit in the interface word and do not allocate)
+//   - un-hinted append growth: append whose destination is not visibly
+//     length-reset ([:0] reslice, 3-arg make) in this function and is not a
+//     parameter (caller-owned capacity contract)
+//
+// A finding is suppressed by //gather:alloc-ok <reason> on the same line or
+// the line above — used for sanctioned cold paths (capacity growth on first
+// touch, error construction on the failure path).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gridgather/internal/analysis"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-introducing constructs in //gather:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := analysis.CollectDirectives(pass)
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, hot := analysis.FuncDirective(fn, "hotpath"); hot {
+				checkFunc(pass, dirs, fn)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	dirs *analysis.Directives
+	// hinted holds destination expressions (by printed form) whose backing
+	// capacity was visibly established in this function: assigned from a
+	// [:0]-style reslice, a 3-arg make, or an append to an already-hinted
+	// destination. Appends to these reuse capacity in the steady state.
+	hinted map[string]bool
+	params map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.FuncDecl) {
+	c := &checker{
+		pass:   pass,
+		dirs:   dirs,
+		hinted: make(map[string]bool),
+		params: make(map[types.Object]bool),
+	}
+	// Parameters (including the receiver) carry a caller-owned capacity
+	// contract: append(dst, ...) where dst is a parameter is the caller's
+	// allocation to manage, not this function's.
+	for _, field := range fieldLists(fn) {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				c.params[obj] = true
+			}
+		}
+	}
+	// ast.Inspect visits in source order, so hint-establishing assignments
+	// are seen before the appends they cover.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n.Pos(), "closure allocates on the hot path; hoist it to a persistent field or package-level func")
+			return false // the literal's body is not this function's hot path
+		case *ast.AssignStmt:
+			c.recordHints(n)
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					c.report(n.Pos(), "map literal allocates on the hot path")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+func fieldLists(fn *ast.FuncDecl) []*ast.Field {
+	var fields []*ast.Field
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv.List...)
+	}
+	if fn.Type.Params != nil {
+		fields = append(fields, fn.Type.Params.List...)
+	}
+	return fields
+}
+
+// recordHints marks assignment destinations whose right-hand side visibly
+// establishes reusable capacity, and un-marks destinations reassigned from
+// anything else.
+func (c *checker) recordHints(assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		key := types.ExprString(lhs)
+		if c.establishesCapacity(assign.Rhs[i]) {
+			c.hinted[key] = true
+		} else {
+			delete(c.hinted, key)
+		}
+	}
+}
+
+func (c *checker) establishesCapacity(rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		return true // x[:0] and friends: capacity retained
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+			switch {
+			case id.Name == "make" && len(rhs.Args) == 3:
+				return true // explicit capacity
+			case id.Name == "append" && len(rhs.Args) > 0:
+				return c.appendHinted(rhs.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) appendHinted(dst ast.Expr) bool {
+	dst = ast.Unparen(dst)
+	if _, ok := dst.(*ast.SliceExpr); ok {
+		return true // append(x[:0], ...) inline reslice
+	}
+	if id, ok := dst.(*ast.Ident); ok && c.params[c.pass.TypesInfo.Uses[id]] {
+		return true // caller-owned destination
+	}
+	return c.hinted[types.ExprString(dst)]
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins and conversions first.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "append":
+			if len(call.Args) > 0 && !c.appendHinted(call.Args[0]) {
+				c.report(call.Pos(), "append without a visible capacity hint may grow on the hot path; reslice the destination with [:0] first")
+			}
+			return
+		case "make":
+			if tv, ok := c.pass.TypesInfo.Types[call]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					c.report(call.Pos(), "make(map) allocates on the hot path")
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: T(x) boxes when T is an interface.
+		if isInterface(tv.Type) && len(call.Args) == 1 {
+			c.checkBoxing(call.Args[0])
+		}
+		return
+	}
+	if fromFmt(c.pass, call.Fun) {
+		c.report(call.Pos(), "fmt call allocates on the hot path (boxes every operand)")
+		return
+	}
+	c.checkArgs(call)
+}
+
+// checkArgs flags arguments boxed into interface parameters.
+func (c *checker) checkArgs(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramType(sig, i, call.Ellipsis != token.NoPos)
+		if param == nil || !isInterface(param) {
+			continue
+		}
+		c.checkBoxing(arg)
+	}
+}
+
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if ellipsis {
+			return last // f(xs...) passes the slice itself
+		}
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func (c *checker) checkBoxing(arg ast.Expr) {
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if isInterface(tv.Type) || tv.IsNil() || pointerShaped(tv.Type) {
+		return
+	}
+	c.report(arg.Pos(), "interface boxing allocates on the hot path (non-pointer value %s)", tv.Type)
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit in the interface data word
+// without allocating: pointers, channels, maps, funcs, unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func fromFmt(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "fmt"
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.IsTestFile(pos) || c.dirs.Escaped(pos, "alloc-ok") {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"gridgather/internal/analysis/analyzertest"
+	"gridgather/internal/analysis/hotalloc"
+)
+
+// TestHotPath covers closures, fmt, map allocation, interface boxing, the
+// append capacity-hint dataflow, and both escape forms.
+func TestHotPath(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "hot", hotalloc.Analyzer)
+}

@@ -1,0 +1,74 @@
+// Package hot seeds every hotalloc violation class, the capacity-hint
+// forms that must pass, and the alloc-ok escape.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+type engine struct {
+	buf   []int
+	outs  []int
+	order sort.IntSlice
+}
+
+//gather:hotpath
+func (e *engine) closure() {
+	f := func() {} // want `closure allocates on the hot path`
+	f()
+}
+
+//gather:hotpath
+func (e *engine) format(x int) {
+	fmt.Println(x) // want `fmt call allocates on the hot path`
+}
+
+//gather:hotpath
+func (e *engine) maps() {
+	_ = map[int]int{1: 1}  // want `map literal allocates on the hot path`
+	_ = make(map[int]int)  // want `make\(map\) allocates on the hot path`
+	_ = make([]int, 0, 16) // slice make: fine
+}
+
+func box(v any) {}
+
+//gather:hotpath
+func (e *engine) boxing(x int, s sort.Interface) {
+	box(x)      // want `interface boxing allocates on the hot path`
+	box(s)      // interface to interface: fine
+	box(&e.buf) // pointer-shaped: fine
+	sort.Sort(&e.order)
+	_ = any(x) // want `interface boxing allocates on the hot path`
+	_ = any(&e.buf)
+}
+
+//gather:hotpath
+func (e *engine) appends(dst []int, x int) []int {
+	e.buf = append(e.buf, x) // want `append without a visible capacity hint`
+	e.outs = e.outs[:0]
+	e.outs = append(e.outs, x)    // hinted: reslice above
+	e.outs = append(e.outs, x, x) // still hinted: append chain
+	dst = append(dst, x)          // parameter: caller-owned
+	tmp := make([]int, 0, 8)      // hinted: explicit capacity
+	tmp = append(tmp, x)
+	e.buf = append(e.buf[:0], tmp...) // hinted: inline reslice
+	e.buf = append(e.buf, x)          // hinted: re-established above
+	tmp = nil
+	tmp = append(tmp, x) // want `append without a visible capacity hint`
+	return dst
+}
+
+//gather:hotpath
+func (e *engine) escaped() {
+	//gather:alloc-ok capacity growth on first touch only
+	e.buf = append(e.buf, 1)
+	e.buf = append(e.buf, 2) //gather:alloc-ok same-line escape form
+}
+
+// cold is unannotated: nothing below is checked.
+func cold() map[int]int {
+	m := map[int]int{}
+	fmt.Println(len(m))
+	return m
+}

@@ -1,0 +1,233 @@
+// Package lanesafe enforces the shard lane protocol: methods named *Shard
+// (or annotated //gather:lane-confined) run concurrently, one goroutine per
+// lane, and may only write receiver state the lane owns. The allowlist is
+// declared at the data: struct fields marked //gather:lane-owned are
+// indexed-by-lane and safe to write from shard methods; everything else on
+// the receiver is serial-phase state. Shard methods also must not write
+// package-level variables, and must not call receiver methods marked
+// //gather:shared-state (serial-phase mutators like ensureTile).
+//
+// This is the class of seam bug the race detector only finds under lucky
+// schedules: a shard method touching shared state races with its siblings
+// on a different lane count or interleaving. The check is syntactic and
+// per-receiver — writes through a lane pointer obtained from a lane-owned
+// field are fine by construction.
+//
+// A *Shard-named method that is actually serial (called only from the
+// serial phase) is disclaimed with //gather:serial <reason>. A sanctioned
+// cold-path exception (e.g. single-lane fallback) is escaped per line with
+// //gather:lane-ok <reason>.
+package lanesafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gridgather/internal/analysis"
+)
+
+// Analyzer is the lanesafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lanesafe",
+	Doc:  "restrict *Shard lane-protocol methods to lane-owned receiver state",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := analysis.CollectDirectives(pass)
+	owned := collectLaneOwned(pass)
+	shared := collectSharedState(pass)
+
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !laneConfined(fn) {
+				continue
+			}
+			checkShardMethod(pass, dirs, fn, owned, shared)
+		}
+	}
+	return nil, nil
+}
+
+// laneConfined reports whether fn participates in the lane protocol: a
+// method whose name ends in Shard (exactly — BeginRoundShards, the serial
+// fan-out entry point, does not match), or one annotated
+// //gather:lane-confined; //gather:serial disclaims either.
+func laneConfined(fn *ast.FuncDecl) bool {
+	if _, serial := analysis.FuncDirective(fn, "serial"); serial {
+		return false
+	}
+	if _, confined := analysis.FuncDirective(fn, "lane-confined"); confined {
+		return true
+	}
+	return fn.Recv != nil && strings.HasSuffix(fn.Name.Name, "Shard")
+}
+
+// collectLaneOwned maps receiver type name → set of fields marked
+// //gather:lane-owned.
+func collectLaneOwned(pass *analysis.Pass) map[string]map[string]bool {
+	owned := make(map[string]map[string]bool)
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if _, ok := analysis.FieldDirective(field, "lane-owned"); !ok {
+						continue
+					}
+					set := owned[ts.Name.Name]
+					if set == nil {
+						set = make(map[string]bool)
+						owned[ts.Name.Name] = set
+					}
+					for _, name := range field.Names {
+						set[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// collectSharedState maps receiver type name → set of methods marked
+// //gather:shared-state (serial-phase mutators shard methods must not call).
+func collectSharedState(pass *analysis.Pass) map[string]map[string]bool {
+	shared := make(map[string]map[string]bool)
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil {
+				continue
+			}
+			if _, ok := analysis.FuncDirective(fn, "shared-state"); !ok {
+				continue
+			}
+			recv := receiverTypeName(fn)
+			set := shared[recv]
+			if set == nil {
+				set = make(map[string]bool)
+				shared[recv] = set
+			}
+			set[fn.Name.Name] = true
+		}
+	}
+	return shared
+}
+
+func checkShardMethod(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.FuncDecl, owned, shared map[string]map[string]bool) {
+	recvType := receiverTypeName(fn)
+	recvObj := receiverObject(pass, fn)
+	ownedFields := owned[recvType]
+	sharedMethods := shared[recvType]
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if pass.IsTestFile(pos) || dirs.Escaped(pos, "lane-ok") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	checkWrite := func(lhs ast.Expr) {
+		root, firstField := rootAndFirstField(lhs)
+		if root == nil {
+			return
+		}
+		obj := pass.TypesInfo.Uses[root]
+		switch {
+		case obj != nil && obj == recvObj:
+			if firstField == "" || ownedFields[firstField] {
+				return
+			}
+			report(lhs.Pos(), "%s writes receiver field %q, which is not //gather:lane-owned; shard methods may only touch lane-owned state", fn.Name.Name, firstField)
+		case isPackageLevelVar(pass, obj):
+			report(lhs.Pos(), "%s writes package-level variable %q from a shard method", fn.Name.Name, root.Name)
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != recvObj {
+				return true
+			}
+			if sharedMethods[sel.Sel.Name] {
+				report(n.Pos(), "%s calls //gather:shared-state method %s from a shard method; shared mutators are serial-phase only", fn.Name.Name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// rootAndFirstField unwraps selector/index/star chains on an assignment
+// target: for d.lanes[ln].occ it returns (d, "lanes"); for a plain local it
+// returns (local, ""). A nil root means the target is not rooted at an
+// identifier (e.g. a map index on a call result) and is skipped.
+func rootAndFirstField(e ast.Expr) (*ast.Ident, string) {
+	firstField := ""
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, firstField
+		case *ast.SelectorExpr:
+			firstField = x.Sel.Name
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func receiverObject(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+}
+
+func isPackageLevelVar(pass *analysis.Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}

@@ -1,0 +1,14 @@
+package lanesafe_test
+
+import (
+	"testing"
+
+	"gridgather/internal/analysis/analyzertest"
+	"gridgather/internal/analysis/lanesafe"
+)
+
+// TestLaneProtocol covers lane-owned writes, the three violation classes,
+// the Shards/serial opt-outs, lane-confined opt-in, and the lane-ok escape.
+func TestLaneProtocol(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", "lane", lanesafe.Analyzer)
+}

@@ -1,0 +1,47 @@
+// Package lane seeds the shard-protocol violations: non-owned receiver
+// writes, package-level writes, shared-state calls, plus every opt-out.
+package lane
+
+var sequence int
+
+type laneState struct{ occ []int }
+
+type grid struct {
+	serialCtr int
+	capacity  int
+	//gather:lane-owned
+	lanes  []laneState
+	clocks []int //gather:lane-owned
+}
+
+func (g *grid) ArriveShard(ln, x int) {
+	g.lanes[ln].occ = append(g.lanes[ln].occ, x) // lane-owned: fine
+	g.clocks[ln]++                               // lane-owned: fine
+	g.serialCtr++                                // want `writes receiver field "serialCtr"`
+	g.capacity = x                               // want `writes receiver field "capacity"`
+	sequence = x                                 // want `writes package-level variable "sequence"`
+	g.grow()                                     // want `calls //gather:shared-state method grow`
+	g.grow()                                     //gather:lane-ok single-lane cold path, fixture-sanctioned
+	local := x                                   // locals are fine
+	local++
+	_ = local
+}
+
+//gather:shared-state
+func (g *grid) grow() { g.capacity *= 2 }
+
+// BeginRoundShards ends in "Shards", not "Shard": the serial fan-out entry
+// point is not lane-confined.
+func (g *grid) BeginRoundShards() { g.serialCtr = 0 }
+
+//gather:serial runs before the shards start
+func (g *grid) PrepShard() { g.serialCtr++ }
+
+//gather:lane-confined
+func (g *grid) resolveLane(ln int) {
+	g.clocks[ln]++
+	g.serialCtr++ // want `writes receiver field "serialCtr"`
+}
+
+// free functions named *Shard are not methods and are not lane-confined.
+func countShard(xs []int) int { sequence++; return len(xs) }

@@ -1,0 +1,174 @@
+// Package unit implements the `go vet -vettool` driver protocol for the
+// gatherlint analyzers: the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/unitchecker.
+//
+// cmd/go invokes the vet tool once per package in the build graph with a
+// single argument, the path to a JSON config file (*.cfg) describing the
+// compilation unit: source files, import map, and the export-data files of
+// every dependency already produced by the build cache. Before that it
+// probes the tool twice — `-flags` must print a JSON array of the tool's
+// flags (ours: none, `[]`), and `-V=full` must print a version line whose
+// format cmd/go parses for build caching. Dependency packages arrive with
+// VetxOnly set: the tool must write the (empty, for us — no cross-package
+// facts) .vetx output file and exit without analyzing. For the target
+// packages the driver parses the unit's Go files, type-checks them against
+// the gc export data via the stdlib importer, runs the analyzers, and
+// prints findings to stderr as file:line:col: prefixed lines; exit status 2
+// reports findings, 1 driver errors, 0 a clean unit.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gridgather/internal/analysis"
+)
+
+// Config mirrors the JSON vet config written by cmd/go (the fields this
+// driver consumes; unknown fields are ignored by encoding/json).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one .cfg file: the single-package entry point cmd/go
+// drives. It returns the number of diagnostics printed to stderr; the
+// caller maps that to the exit status.
+func Run(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// Always satisfy the facts protocol first: cmd/go caches the .vetx
+	// file per package and feeds it to dependents. Our analyzers exchange
+	// no cross-package facts, so the file is a constant placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("gatherlint.vetx\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return len(diags), nil
+}
+
+// typecheck builds the unit's types.Package against the gc export data of
+// its dependencies, resolving import paths through the unit's ImportMap
+// (vendoring/canonical names) to PackageFile entries from the build cache.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler(cfg), lookup)
+
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImporter.Import(path)
+		}),
+		// cmd/go writes "go1.24" for module packages but the full
+		// "go1.24.0" toolchain version for std; go/types wants a lang
+		// version.
+		GoVersion: version.Lang(cfg.GoVersion),
+		Sizes:     types.SizesFor(compiler(cfg), "amd64"),
+		Error:     func(error) {}, // collect via the returned error only
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+func compiler(cfg *Config) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// PrintFlags answers cmd/go's `-flags` probe: a JSON array describing the
+// tool's flags. gatherlint takes none.
+func PrintFlags(w io.Writer) { fmt.Fprintln(w, "[]") }
+
+// PrintVersion answers cmd/go's `-V=full` probe. cmd/go parses this line —
+// `<name> version <ver>` optionally followed by `buildID=<id>` — and folds
+// the build ID into its action cache key, so the ID must change when the
+// tool's behavior does. The caller passes a content hash of the executable.
+func PrintVersion(w io.Writer, progname, buildID string) {
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%s\n", progname, buildID)
+}

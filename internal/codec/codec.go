@@ -10,6 +10,8 @@
 // is no reflection, no field tags and no self-description — snapshot
 // layouts are versioned by the outermost header, and each layer reads
 // exactly what it wrote.
+//
+//gather:deterministic
 package codec
 
 import (

@@ -51,6 +51,8 @@
 // Under the default FSYNC model the logical clocks coincide with the global
 // round counter, and a nil Scheduler takes a fast path that is bit-identical
 // to the explicit FSYNC scheduler (proved by the determinism tests).
+//
+//gather:deterministic
 package fsync
 
 import (
@@ -188,6 +190,36 @@ type Engine struct {
 	runScratch   [robot.MaxRuns + 2]robot.Run
 	computeErrs  []error
 	runnersBuf   []grid.Point
+
+	// Persistent closures handed to the pool and the merge every round,
+	// built once in ensureStageFns: dispatching fresh captures per round
+	// would allocate on the hot path (hotalloc enforces this). The fields
+	// below carry the per-round values the closures read.
+	computeFn      func(int)
+	resolveFn      func(int)
+	keepsAt        func(int) []idxKeep
+	transfersAt    func(int) []idxTransfer
+	computeVC      view.Config
+	computeChunk   int
+	scheduledRound bool
+}
+
+// ensureStageFns builds the persistent pipeline closures. Idempotent and
+// cheap after the first call; Step invokes it so restored engines are
+// covered without every construction path having to remember to.
+func (e *Engine) ensureStageFns() {
+	if e.computeFn != nil {
+		return
+	}
+	e.computeFn = func(w int) {
+		lo := w * e.computeChunk
+		e.computeErrs[w] = e.computeRange(e.computeVC, lo, min(lo+e.computeChunk, len(e.acts)))
+	}
+	e.resolveFn = func(k int) {
+		e.resolveLane(k, false, e.actBuckets[k], e.sleepBuckets[k], e.scheduledRound, &e.outs[k])
+	}
+	e.keepsAt = func(i int) []idxKeep { return e.outs[i].keeps }
+	e.transfersAt = func(i int) []idxTransfer { return e.outs[i].transfers }
 }
 
 // actionAt pairs a robot's pre-round position with its computed action.
@@ -352,6 +384,8 @@ func (e *Engine) localRound(p grid.Point) int {
 // states, in deterministic order. The returned slice is engine-owned
 // scratch — read-only, valid until the next Runners or Step call — so the
 // per-round stats/trace paths allocate nothing.
+//
+//gather:hotpath
 func (e *Engine) Runners() []grid.Point {
 	e.runnersBuf = e.runnersBuf[:0]
 	for _, p := range e.w.Cells() {
@@ -399,6 +433,8 @@ func (e *Engine) viewConfig() view.Config {
 // each action to e.acts at the robot's index. One reusable view per call
 // keeps the phase allocation-free; disjoint index ranges keep concurrent
 // calls race-free and the combined result independent of the sharding.
+//
+//gather:hotpath
 func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 	v := view.New(vc, grid.Zero, e.round)
 	for i := lo; i < hi; i++ {
@@ -406,7 +442,7 @@ func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 		v.Reposition(p, e.localRound(p))
 		a := e.alg.Compute(v)
 		if a.Move.Linf() > 1 {
-			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move)
+			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move) //gather:alloc-ok abort path, the round is already lost
 		}
 		e.acts[i] = actionAt{from: p, act: a}
 	}
@@ -415,7 +451,10 @@ func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 
 // Step executes one round through the staged pipeline: Activate → Compute
 // → Resolve → Commit. It returns an error if an invariant broke.
+//
+//gather:hotpath
 func (e *Engine) Step() error {
+	e.ensureStageFns()
 	scheduled := e.cfg.Scheduler != nil
 	e.stageActivate(scheduled)
 	prevPop := len(e.order) + len(e.sleep)
@@ -456,6 +495,8 @@ func (e *Engine) Step() error {
 // contiguous window of the cell order (sched.RangeActivator — FSYNC,
 // ASYNC wavefronts) deliver it as a slot range sliced straight out of the
 // sorted order, skipping the per-robot mask pass entirely.
+//
+//gather:hotpath
 func (e *Engine) stageActivate(scheduled bool) {
 	cells := e.w.Cells()
 	e.order = e.order[:0]
@@ -502,6 +543,8 @@ func (e *Engine) stageActivate(scheduled bool) {
 // from the same snapshot. The pre-round state is immutable during this
 // stage, so no cloning is required — the stage shards freely across
 // workers, each writing its robots' actions to fixed indices of e.acts.
+//
+//gather:hotpath
 func (e *Engine) stageCompute(workers int) error {
 	// A serial-resolve verdict on a single-P process extends to Compute:
 	// the load-skew verdicts keep Compute parallel (its work is per-robot,
@@ -524,11 +567,9 @@ func (e *Engine) stageCompute(workers int) error {
 		e.computeErrs = make([]error, workers)
 	}
 	errs := e.computeErrs[:workers]
-	chunk := (n + workers - 1) / workers
-	e.getPool().run(workers, func(w int) {
-		lo := w * chunk
-		errs[w] = e.computeRange(vc, lo, min(lo+chunk, n))
-	})
+	e.computeVC = vc
+	e.computeChunk = (n + workers - 1) / workers
+	e.getPool().run(workers, e.computeFn)
 	for w := range errs {
 		// The lowest shard's error wins, matching what the serial loop
 		// would have reported first.
@@ -548,7 +589,10 @@ func (e *Engine) stageCompute(workers int) error {
 // their cell. With several workers the arrivals are resolved by
 // target-chunk ownership (see resolveParallel); the stage ends with the
 // shared serial tail: run adoption and transfer delivery.
+//
+//gather:hotpath
 func (e *Engine) stageResolve(scheduled bool, workers int) int {
+	e.scheduledRound = scheduled
 	var moved int
 	if workers > 1 && e.resolveSerial > 0 {
 		e.resolveSerial--
@@ -560,7 +604,7 @@ func (e *Engine) stageResolve(scheduled bool, workers int) int {
 			e.outs = make([]resolveOut, 1)
 		}
 		e.resolveLane(0, true, nil, nil, scheduled, &e.outs[0])
-		moved = e.mergeOuts(e.outs[:1])
+		moved = e.mergeOuts(1)
 	} else {
 		moved = e.resolveParallel(scheduled, workers)
 	}
@@ -627,13 +671,15 @@ func (e *Engine) stageResolve(scheduled bool, workers int) int {
 // seam lane runs serially after the join, where cross-chunk conflicts are
 // possible. The single classification sweep also pre-marks every target
 // chunk, so the workers never touch shared world structures.
+//
+//gather:hotpath
 func (e *Engine) resolveParallel(scheduled bool, workers int) int {
 	lanes := workers + 1
 	seam := workers
 	e.w.BeginRoundShards(lanes)
 	for len(e.actBuckets) < lanes {
-		e.actBuckets = append(e.actBuckets, nil)
-		e.sleepBuckets = append(e.sleepBuckets, nil)
+		e.actBuckets = append(e.actBuckets, nil)     //gather:alloc-ok lane-count growth, settles after the first parallel round
+		e.sleepBuckets = append(e.sleepBuckets, nil) //gather:alloc-ok lane-count growth, settles after the first parallel round
 	}
 	for i := 0; i < lanes; i++ {
 		e.actBuckets[i] = e.actBuckets[i][:0]
@@ -645,14 +691,16 @@ func (e *Engine) resolveParallel(scheduled bool, workers int) int {
 		if onSeam {
 			ln = seam
 		}
-		e.actBuckets[ln] = append(e.actBuckets[ln], int32(i))
+		// Reset via [:0] in the lane loop above; the hint analysis cannot
+		// see it across the differing index expressions.
+		e.actBuckets[ln] = append(e.actBuckets[ln], int32(i)) //gather:alloc-ok bucket reset above, steady-state reuse
 	}
 	for i, p := range e.sleep {
 		ln, onSeam := e.w.Classify(p, workers)
 		if onSeam {
 			ln = seam
 		}
-		e.sleepBuckets[ln] = append(e.sleepBuckets[ln], int32(i))
+		e.sleepBuckets[ln] = append(e.sleepBuckets[ln], int32(i)) //gather:alloc-ok bucket reset above, steady-state reuse
 	}
 	// Adaptive probe: some rounds cannot profit from the fan-out — when
 	// the process has a single P (GOMAXPROCS=1 leaves nothing for the
@@ -680,15 +728,13 @@ func (e *Engine) resolveParallel(scheduled bool, workers int) int {
 		}
 	}
 	for len(e.outs) < lanes {
-		e.outs = append(e.outs, resolveOut{})
+		e.outs = append(e.outs, resolveOut{}) //gather:alloc-ok lane-count growth, settles after the first parallel round
 	}
-	e.getPool().run(workers, func(k int) {
-		e.resolveLane(k, false, e.actBuckets[k], e.sleepBuckets[k], scheduled, &e.outs[k])
-	})
+	e.getPool().run(workers, e.resolveFn)
 	// The seam pass: short, serial, deterministic — the only arrivals whose
 	// neighborhoods span chunks another worker owns.
 	e.resolveLane(seam, false, e.actBuckets[seam], e.sleepBuckets[seam], scheduled, &e.outs[seam])
-	return e.mergeOuts(e.outs[:lanes])
+	return e.mergeOuts(lanes)
 }
 
 // resolveLane replays the arrival protocol for one lane's bucket of action
@@ -697,6 +743,8 @@ func (e *Engine) resolveParallel(scheduled bool, workers int) int {
 // relative order a serial pass uses — and any two arrivals at the same
 // cell are always in the same lane, so per-cell merge resolution is
 // order-identical to serial.
+//
+//gather:hotpath
 func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, scheduled bool, out *resolveOut) {
 	out.reset()
 	nA := len(actIdx)
@@ -728,7 +776,7 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 					// Brand-new kept run: adoption (ID, RunsStarted) waits
 					// until the keeper's merge fate is known, like the
 					// transfer hand-offs below.
-					out.keeps = append(out.keeps, idxKeep{idx: i, dst: dst})
+					out.keeps = append(out.keeps, idxKeep{idx: i, dst: dst}) //gather:alloc-ok length-reset in out.reset, steady-state reuse
 					break
 				}
 			}
@@ -740,6 +788,7 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 			// Collected, not yet delivered: whether the hand-off succeeds
 			// depends on the sender not merging this round, which is known
 			// only after all arrivals are counted.
+			//gather:alloc-ok length-reset in out.reset, steady-state reuse
 			out.transfers = append(out.transfers, idxTransfer{
 				idx:       i,
 				senderDst: dst,
@@ -774,8 +823,12 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 // order: the kept-run and transfer lists are k-way merged by action index
 // (each lane's list is already ascending — buckets are drained in index
 // order), so adoption later hands out run IDs exactly as a serial pass
-// would. Returns the summed hop count.
-func (e *Engine) mergeOuts(outs []resolveOut) int {
+// would. Returns the summed hop count. Operates on e.outs[:lanes] (the
+// persistent keepsAt/transfersAt accessors read e.outs directly).
+//
+//gather:hotpath
+func (e *Engine) mergeOuts(lanes int) int {
+	outs := e.outs[:lanes]
 	moved := 0
 	for i := range outs {
 		moved += outs[i].moved
@@ -790,20 +843,24 @@ func (e *Engine) mergeOuts(outs []resolveOut) int {
 		cur = append(cur, 0)
 	}
 	e.mergeCur = cur
-	e.freshKeeps = mergeByIdx(e.freshKeeps[:0], len(outs), cur,
-		func(i int) []idxKeep { return outs[i].keeps },
-		func(k idxKeep) int32 { return k.idx })
-	e.transferList = mergeByIdx(e.transferList[:0], len(outs), cur,
-		func(i int) []idxTransfer { return outs[i].transfers },
-		func(t idxTransfer) int32 { return t.idx })
+	e.freshKeeps = mergeByIdx(e.freshKeeps[:0], lanes, cur, e.keepsAt, keepIdx)
+	e.transferList = mergeByIdx(e.transferList[:0], lanes, cur, e.transfersAt, transferIdx)
 	return moved
 }
+
+// keepIdx and transferIdx are mergeByIdx key extractors; package-level
+// (not literals at the call sites) so the merge passes static funcs.
+func keepIdx(k idxKeep) int32 { return k.idx }
+
+func transferIdx(t idxTransfer) int32 { return t.idx }
 
 // mergeByIdx k-way merges n lists — each already ascending by idx — into
 // dst with a linear min-scan over the list heads (lane counts are small).
 // Ascending input plus "first list wins ties" keeps the merge stable;
 // across resolve lanes ties cannot occur at all, since an action index
 // lives in exactly one lane.
+//
+//gather:hotpath
 func mergeByIdx[T any](dst []T, n int, cur []int, list func(int) []T, idx func(T) int32) []T {
 	for i := 0; i < n; i++ {
 		cur[i] = 0
@@ -829,6 +886,8 @@ func mergeByIdx[T any](dst []T, n int, cur []int, list func(int) []T, idx func(T
 
 // adoptRun assigns an engine-unique ID to newly created runs and counts
 // them.
+//
+//gather:hotpath
 func (e *Engine) adoptRun(r robot.Run) robot.Run {
 	if r.ID == 0 {
 		r.ID = e.nextRunID

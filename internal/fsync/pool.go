@@ -53,6 +53,10 @@ func (p *pool) ensure(n int) {
 	for len(p.work) < n {
 		ch := make(chan poolTask, 1)
 		p.work = append(p.work, ch)
+		// The one sanctioned spawn site: every parallel phase in the engine
+		// and the world fans out through these parked workers, and the
+		// merge/commit protocol makes lane results order-independent.
+		//gather:nondet-ok the pool is the sanctioned spawn site; results merge deterministically
 		go func() {
 			for {
 				select {

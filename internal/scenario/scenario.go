@@ -4,6 +4,8 @@
 // the fairness-scaled canonical budget. Keeping the resolution in one place
 // guarantees the two entry points cannot drift apart — the failure mode the
 // canonical budget helper was introduced to eliminate.
+//
+//gather:deterministic
 package scenario
 
 import (

@@ -40,6 +40,8 @@
 // per-robot logical clocks any fairness window works, but windows coprime to
 // L spread activations most evenly across the start schedule; the default
 // windows (3 and 5) are chosen accordingly.
+//
+//gather:deterministic
 package sched
 
 import (

@@ -177,6 +177,9 @@ func (d *Dense) connectedIncr() bool {
 // layer.
 func (c *connIncr) rebuild(d *Dense) {
 	c.stats.Rebuilds++
+	// Map order decides only which recycled chunkConn object a tile gets;
+	// refresh fully resets every field on reuse, so no outcome depends on it.
+	//gather:nondet-ok free-list recycling order never reaches engine outcomes
 	for t, cc := range c.chunks {
 		c.free = append(c.free, cc)
 		delete(c.chunks, t)
@@ -334,9 +337,19 @@ func unionRuns(uf []int32, a, b int32) {
 // one union per cached seam link. Border caches invalidated by this
 // round's dirty chunks are recomputed here, after every relabel is done,
 // so links always pair fresh labels on both sides.
+// Both loops below walk d.live[d.cur] — the deduplicated, insertion-ordered
+// list of tiles that may hold current-layer bits — rather than the chunks
+// map: every occupied tile is on the live list (mark runs on every arrival),
+// so skipping live tiles without a chunkConn visits exactly the map's
+// entries, in deterministic order. Label bases, and therefore the union-find
+// trace, come out identical on every run.
 func (c *connIncr) query(d *Dense) bool {
 	n := int32(0)
-	for _, cc := range c.chunks {
+	for _, t := range d.live[d.cur] {
+		cc := c.chunks[t]
+		if cc == nil {
+			continue
+		}
 		cc.base = n
 		n += int32(cc.ncomps)
 	}
@@ -352,7 +365,11 @@ func (c *connIncr) query(d *Dense) bool {
 		c.parent[i] = int32(i)
 	}
 	roots := n
-	for t, cc := range c.chunks {
+	for _, t := range d.live[d.cur] {
+		cc := c.chunks[t]
+		if cc == nil {
+			continue
+		}
 		if !cc.eastOK {
 			cc.eastNbr = c.neighborConn(d, cc.cx+1, cc.cy)
 			cc.east = appendEastLinks(cc.east[:0], t, cc, d.cur)

@@ -49,6 +49,8 @@
 // order independently (in parallel when there are several) and k-way-merges
 // the lanes into the canonical sorted order, which makes the result
 // bit-identical to the single-lane protocol for every lane count.
+//
+//gather:deterministic
 package world
 
 import (
@@ -56,7 +58,6 @@ import (
 	"math"
 	"math/bits"
 	"sort"
-	"sync"
 
 	"gridgather/internal/codec"
 	"gridgather/internal/grid"
@@ -159,15 +160,18 @@ type Dense struct {
 	live         [2][]*tile // tiles that may hold bits per layer — Commit and the BFS scratch clear only these, so the per-round cost tracks the live population, not the initial bounds
 	cur          int        // active occupancy/slot layer (0 or 1)
 
+	//gather:lane-owned
 	states []slotState // slot → run state
-	clocks []int       // slot → logical clock; nil when clocks are off
+	//gather:lane-owned
+	clocks []int // slot → logical clock; nil when clocks are off
 
-	count      int        // number of robots
-	occ        []cellSlot // sorted (Y, X) cell order with slots
-	occDirty   bool       // occ needs a rebuild from the bitset (Add/Remove)
-	lanes      []lane     // arrival lanes of the round being built
-	nlanes     int        // lanes in use this round
-	mergeHeads []int      // k-way merge cursors (Commit scratch)
+	count    int        // number of robots
+	occ      []cellSlot // sorted (Y, X) cell order with slots
+	occDirty bool       // occ needs a rebuild from the bitset (Add/Remove)
+	//gather:lane-owned
+	lanes      []lane // arrival lanes of the round being built
+	nlanes     int    // lanes in use this round
+	mergeHeads []int  // k-way merge cursors (Commit scratch)
 
 	cellsBuf   []grid.Point // Cells() view of occ
 	slotsBuf   []int32      // Slots() view of occ
@@ -182,6 +186,12 @@ type Dense struct {
 	fullBFS bool      // pin Connected to the full-BFS path (escape hatch/oracle)
 	runner  Runner    // optional persistent-pool fan-out for Commit's parallel phases
 
+	// Persistent closures handed to runner by the commit path, built once
+	// in ensureCommitFns: dispatching a fresh closure every round would
+	// allocate on the hot path (hotalloc would flag it).
+	repairFn func(int)
+	clearFn  func(int)
+
 	// Classify's chunk-locality cache: targets arrive in canonical (Y, X)
 	// order, so runs of up to 64 consecutive calls hit the same chunk and
 	// can skip the hash and the table walk. Valid within one round only.
@@ -193,13 +203,38 @@ type Dense struct {
 // Runner executes f(0), …, f(k-1), returning once all calls completed —
 // possibly concurrently (the engine installs its persistent worker pool
 // here via SetRunner, so Commit's parallel phases stop spawning
-// goroutines). A nil runner falls back to ad-hoc goroutines.
+// goroutines). With a nil runner the parallel phases run serially: the
+// world spawns no goroutines of its own, which keeps the deterministic
+// packages' no-spawn invariant checkable by detlint.
 type Runner func(k int, f func(int))
 
 // SetRunner installs the fan-out used by Commit's parallel lane repair and
 // layer clears. The runner must execute every f(i) exactly once and return
 // only after all complete.
-func (d *Dense) SetRunner(r Runner) { d.runner = r }
+func (d *Dense) SetRunner(r Runner) {
+	d.runner = r
+	d.ensureCommitFns()
+}
+
+// ensureCommitFns builds the persistent closures the commit path hands to
+// the runner. Built here, outside the per-round path, so each round's
+// dispatch passes a stored func value instead of allocating a capture.
+func (d *Dense) ensureCommitFns() {
+	if d.repairFn == nil {
+		d.repairFn = func(i int) { d.lanes[i].repair() }
+	}
+	if d.clearFn == nil {
+		d.clearFn = func(i int) {
+			// Commit invokes clearLayers before flipping d.cur, so the
+			// outgoing layer is still d.cur and the incoming one d.cur^1.
+			if i == 0 {
+				clearOldLayer(d.live[d.cur], d.cur)
+			} else {
+				clearMultiPlane(d.live[d.cur^1])
+			}
+		}
+	}
+}
 
 // NewDense builds the dense world over the swarm's cells (the swarm is
 // not retained). withClocks enables per-robot logical clock tracking
@@ -253,7 +288,10 @@ func (d *Dense) tileAt(p grid.Point) *tile {
 }
 
 // ensureTile returns the chunk containing p, allocating it (and growing
-// the chunk table) as needed.
+// the chunk table) as needed. Serial-phase only: it mutates the shared
+// chunk table.
+//
+//gather:shared-state
 func (d *Dense) ensureTile(p grid.Point) *tile {
 	cx, cy := p.X>>tileShift, p.Y>>tileShift
 	ix, iy := cx-d.minCX, cy-d.minCY
@@ -280,7 +318,9 @@ func (d *Dense) tileAtChunk(cx, cy int) *tile {
 }
 
 // mark puts t on the layer's live list the first time the layer writes
-// into it.
+// into it. Serial-phase only: the live list is shared across lanes.
+//
+//gather:shared-state
 func (d *Dense) mark(layer int, t *tile) {
 	if !t.marked[layer] {
 		t.marked[layer] = true
@@ -290,6 +330,8 @@ func (d *Dense) mark(layer int, t *tile) {
 
 // grow extends the chunk table to cover chunk (cx, cy) with one chunk of
 // fresh margin. Existing tiles keep their identity; only the table moves.
+//
+//gather:shared-state
 func (d *Dense) grow(cx, cy int) {
 	minCX := min(d.minCX, cx-1)
 	minCY := min(d.minCY, cy-1)
@@ -579,6 +621,8 @@ func (d *Dense) Arrive(from, dst grid.Point) int { return d.ArriveShard(0, from,
 // Concurrent calls are safe when each lane runs on one goroutine and every
 // dst was routed to the lane Classify owns it to: arrivals then write
 // disjoint tiles, disjoint slot states and disjoint clock entries.
+//
+//gather:hotpath
 func (d *Dense) ArriveShard(ln int, from, dst grid.Point) int {
 	slot := d.slotAt(d.cur, from)
 	nxt := d.cur ^ 1
@@ -586,8 +630,8 @@ func (d *Dense) ArriveShard(ln int, from, dst grid.Point) int {
 	if t == nil || !t.marked[nxt] {
 		// Cold path: only the single-lane protocol takes it (Classify
 		// pre-marks every target of a sharded round).
-		t = d.ensureTile(dst)
-		d.mark(nxt, t)
+		t = d.ensureTile(dst) //gather:lane-ok single-lane cold path, never taken sharded
+		d.mark(nxt, t)        //gather:lane-ok single-lane cold path, never taken sharded
 	}
 	ry, rx := dst.Y&tileMask, dst.X&tileMask
 	b := uint64(1) << uint(rx)
@@ -595,7 +639,10 @@ func (d *Dense) ArriveShard(ln int, from, dst grid.Point) int {
 		t.bits[nxt][ry] |= b
 		t.slots[nxt][ry<<tileShift|rx] = slot
 		l := &d.lanes[ln]
-		l.occ = append(l.occ, cellSlot{dst, slot})
+		// The lane buffer was length-reset by lane.reset at round start and
+		// reaches swarm-size capacity within the first rounds; growth after
+		// that is a cold path the hint analysis cannot see from here.
+		l.occ = append(l.occ, cellSlot{dst, slot}) //gather:alloc-ok capacity reset in lane.reset, steady-state reuse
 		l.bounds = l.bounds.Include(dst)
 		return 1
 	}
@@ -716,27 +763,22 @@ func (d *Dense) commitSingle(l *lane) {
 	d.occ, l.occ = l.occ, d.occ[:0]
 }
 
-// commitSharded repairs every lane concurrently — through the installed
-// persistent-pool runner when the engine provided one, via ad-hoc
-// goroutines otherwise — then k-way merges the sorted lanes into occ.
-// Lane ownership is chunk-granular and cells sort by (Y, X), so each lane
-// contributes long runs of consecutive cells (up to a chunk row at a
-// time); the merge gallops — after the min-scan picks a lane it copies
-// that lane's whole run below the runner-up head — so its cost is near
-// one compare per cell rather than one min-scan per cell.
+// commitSharded repairs every lane — concurrently through the installed
+// persistent-pool runner, serially without one — then k-way merges the
+// sorted lanes into occ. Lane ownership is chunk-granular and cells sort
+// by (Y, X), so each lane contributes long runs of consecutive cells (up
+// to a chunk row at a time); the merge gallops — after the min-scan picks
+// a lane it copies that lane's whole run below the runner-up head — so its
+// cost is near one compare per cell rather than one min-scan per cell.
+//
+//gather:hotpath
 func (d *Dense) commitSharded(lanes []lane) {
 	if d.runner != nil {
-		d.runner(len(lanes), func(i int) { lanes[i].repair() })
+		d.runner(len(lanes), d.repairFn)
 	} else {
-		var wg sync.WaitGroup
 		for i := range lanes {
-			wg.Add(1)
-			go func(l *lane) {
-				defer wg.Done()
-				l.repair()
-			}(&lanes[i])
+			lanes[i].repair()
 		}
-		wg.Wait()
 	}
 	out := d.occ[:0]
 	heads := d.mergeHeads[:0]
@@ -786,39 +828,33 @@ func (d *Dense) commitSharded(lanes []lane) {
 // clearLayers clears the outgoing layer (it becomes the next round's
 // scratch) and the round's multi plane, touching only the tiles each layer
 // actually wrote — as the swarm contracts, this tracks the live tiles, not
-// the initial bounds. Sharded rounds clear concurrently.
+// the initial bounds. Sharded rounds with a runner clear the two planes
+// concurrently through the persistent clearFn closure.
+//
+//gather:hotpath
 func (d *Dense) clearLayers(old, nxt int, parallel bool) {
-	clearOld := func(ts []*tile) {
-		for _, t := range ts {
-			t.bits[old] = [tileSize]uint64{}
-			t.marked[old] = false
-		}
-	}
-	clearMulti := func(ts []*tile) {
-		for _, t := range ts {
-			t.multi = [tileSize]uint64{}
-		}
-	}
-	switch {
-	case !parallel || len(d.live[old])+len(d.live[nxt]) < 4:
-		clearOld(d.live[old])
-		clearMulti(d.live[nxt])
-	case d.runner != nil:
-		d.runner(2, func(i int) {
-			if i == 0 {
-				clearOld(d.live[old])
-			} else {
-				clearMulti(d.live[nxt])
-			}
-		})
-	default:
-		var wg sync.WaitGroup
-		wg.Add(2)
-		go func() { defer wg.Done(); clearOld(d.live[old]) }()
-		go func() { defer wg.Done(); clearMulti(d.live[nxt]) }()
-		wg.Wait()
+	if parallel && d.runner != nil && len(d.live[old])+len(d.live[nxt]) >= 4 {
+		d.runner(2, d.clearFn)
+	} else {
+		clearOldLayer(d.live[old], old)
+		clearMultiPlane(d.live[nxt])
 	}
 	d.live[old] = d.live[old][:0]
+}
+
+// clearOldLayer zeroes one layer's occupancy words and live marks.
+func clearOldLayer(ts []*tile, layer int) {
+	for _, t := range ts {
+		t.bits[layer] = [tileSize]uint64{}
+		t.marked[layer] = false
+	}
+}
+
+// clearMultiPlane zeroes the round's multi-arrival plane.
+func clearMultiPlane(ts []*tile) {
+	for _, t := range ts {
+		t.multi = [tileSize]uint64{}
+	}
 }
 
 // unionRect returns the smallest rectangle containing both rectangles.

@@ -1,3 +1,11 @@
+// Snapshot format discipline for this package: the marker below
+// fingerprints every format-bearing declaration (Append*/Decode*/restore
+// helpers, Snapshot, and the version constant). gatherlint recomputes the
+// fingerprint on each run; if the format changed without a snapshotVersion
+// bump, it reports the stale hash and the new one to paste in after bumping.
+//
+//gather:snapshot-format version=snapshotVersion hash=7a97174bf959a404
+
 package gridgather
 
 import (
