@@ -7,6 +7,7 @@
 //
 //	gathersim -workload hollow -n 200 [-radius 20] [-l 22] [-verify]
 //	gathersim -workload hollow -n 200 -scheduler ssync -algorithm greedy
+//	gathersim -workload hollow -n 200 -faults crash:p=0.001 -algorithm greedy
 //	gathersim -workload hollow -n 400 -checkpoint run.ggss -checkpoint-round 150
 //	gathersim -resume run.ggss
 //	gathersim -resume run.ggss -checkpoint run2.ggss -checkpoint-round 300
@@ -16,6 +17,12 @@
 // flag relaxes the time model (FSYNC by default) — note that the paper's
 // algorithm is only safe under FSYNC; pair relaxed schedulers with
 // -algorithm greedy for runs that cannot disconnect the swarm.
+//
+// The -faults flag injects deterministic faults (crash-stop robots, sensor
+// noise; see the WithFaults grammar). A faulty run gathers its surviving
+// robots; if a fault disconnects the swarm the run degrades gracefully to
+// the largest surviving component instead of aborting, and the result line
+// reports crashes and the degraded state.
 //
 // -checkpoint stops at -checkpoint-round (or at gathering, whichever comes
 // first), writes the session snapshot to the file, and exits. -resume
@@ -42,7 +49,8 @@ func main() {
 		l          = flag.Int("l", 0, "run start period (0 = paper default 22)")
 		scheduler  = flag.String("scheduler", "fsync", "time model: "+strings.Join(gridgather.Schedulers(), ", "))
 		algorithm  = flag.String("algorithm", "paper", "robot program: "+strings.Join(gridgather.Algorithms(), ", "))
-		seed       = flag.Int64("seed", 1, "seed for randomized schedulers")
+		seed       = flag.Int64("seed", 1, "seed for randomized schedulers and unpinned fault clauses")
+		faults     = flag.String("faults", "", "fault-injection spec, \"+\"-joined clauses of: "+strings.Join(gridgather.FaultSpecs(), ", ")+" (empty = fault-free)")
 		verify     = flag.Bool("verify", false, "check connectivity every round and enforce view locality")
 		quiet      = flag.Bool("q", false, "print only the result line")
 		checkpoint = flag.String("checkpoint", "", "write a session snapshot to this file and exit")
@@ -51,7 +59,7 @@ func main() {
 	)
 	flag.Parse()
 
-	sim, err := openSession(*resume, *workload, *n, *radius, *l, *scheduler, *algorithm, *seed, *verify, *quiet)
+	sim, err := openSession(*resume, *workload, *n, *radius, *l, *scheduler, *algorithm, *faults, *seed, *verify, *quiet)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -94,15 +102,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", res.Err)
 		os.Exit(1)
 	}
-	fmt.Printf("gathered=%v rounds=%d merges=%d runs=%d moves=%d robots=%d->%d rounds/n=%.2f\n",
+	faultTag := ""
+	if res.Crashes > 0 || res.Degraded {
+		faultTag = fmt.Sprintf(" crashes=%d degraded=%v", res.Crashes, res.Degraded)
+	}
+	fmt.Printf("gathered=%v rounds=%d merges=%d runs=%d moves=%d robots=%d->%d rounds/n=%.2f%s\n",
 		res.Gathered, res.Rounds, res.Merges, res.RunsStarted, res.Moves,
 		res.InitialRobots, res.FinalRobots,
-		float64(res.Rounds)/float64(res.InitialRobots))
+		float64(res.Rounds)/float64(res.InitialRobots), faultTag)
 }
 
 // openSession builds the session: from a snapshot file when resuming,
 // from a generated workload otherwise.
-func openSession(resume, workload string, n, radius, l int, scheduler, algorithm string, seed int64, verify, quiet bool) (*gridgather.Simulation, error) {
+func openSession(resume, workload string, n, radius, l int, scheduler, algorithm, faults string, seed int64, verify, quiet bool) (*gridgather.Simulation, error) {
 	if resume != "" {
 		snap, err := os.ReadFile(resume)
 		if err != nil {
@@ -134,6 +146,7 @@ func openSession(resume, workload string, n, radius, l int, scheduler, algorithm
 		gridgather.WithScheduler(scheduler),
 		gridgather.WithSchedulerSeed(seed),
 		gridgather.WithAlgorithm(algorithm),
+		gridgather.WithFaults(faults),
 		gridgather.WithConnectivityCheck(verify),
 		gridgather.WithStrictLocality(verify))
 }

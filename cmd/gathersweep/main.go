@@ -1,8 +1,8 @@
 // Command gathersweep runs a grid of gathering experiments — the cross
 // product of workload families × sizes × parameter sets × schedulers ×
-// algorithms × seeds — with concurrent simulations, and reports aggregated
-// statistics (rounds, rounds/n, merges, moves; mean and percentiles) as a
-// table, JSON or CSV.
+// fault plans × algorithms × seeds — with concurrent simulations, and
+// reports aggregated statistics (rounds, rounds/n, merges, moves; mean and
+// percentiles) as a table, JSON or CSV.
 //
 // Usage:
 //
@@ -12,12 +12,19 @@
 //	gathersweep -workloads hollow -sizes 2000 -engine-workers 0 -v
 //	gathersweep -sizes 100 -scheduler fsync,ssync,async:4 -algorithms greedy
 //	gathersweep -sizes 100 -scheduler ssync -algorithms paper,greedy
+//	gathersweep -sizes 100 -faults "off;crash:p=0.001;crash-at:r=50,k=8" -algorithms greedy
 //
 // -scheduler sweeps the time model (FSYNC/SSYNC/ASYNC; see internal/sched)
 // and -algorithms the robot program: "paper" is the reproduction, proved
 // for FSYNC only — under relaxed schedulers its failures (disconnections)
 // are themselves the measurement — while "greedy" stays safe under every
 // scheduler.
+//
+// -faults sweeps the fault-injection axis (internal/fault): a
+// semicolon-separated list of plans, each a "+"-joined set of clauses
+// (clauses contain commas, hence the semicolon separator). Faulty runs
+// gather their surviving robots — degraded runs are reported in the "degr"
+// column, crash counts in the raw outputs.
 //
 // -jobs controls how many simulations run concurrently (default: enough to
 // keep all CPUs busy — when -engine-workers parallelizes inside each
@@ -43,6 +50,7 @@ import (
 	"strings"
 
 	"gridgather/internal/core"
+	"gridgather/internal/fault"
 	"gridgather/internal/sched"
 	"gridgather/internal/sweep"
 )
@@ -56,6 +64,7 @@ func main() {
 		ls         = flag.String("L", "22", "comma-separated run start periods")
 		schedulers = flag.String("scheduler", "fsync", "comma-separated time models (grammar: "+strings.Join(sched.Specs(), ", ")+")")
 		algorithms = flag.String("algorithms", "paper", "comma-separated robot programs (have: "+strings.Join(sweep.Algorithms(), ", ")+")")
+		faults     = flag.String("faults", "", "semicolon-separated fault plans, each \"+\"-joined clauses of: "+strings.Join(fault.Specs(), ", ")+" (empty = fault-free)")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (0 = auto: all CPUs divided by engine workers)")
 		engineW    = flag.Int("engine-workers", 1, "compute workers inside each engine (0 = all CPUs)")
 		format     = flag.String("format", "table", "output format: table, json, csv")
@@ -81,6 +90,7 @@ func main() {
 		Seeds:         parseInt64s(*seeds),
 		Schedulers:    splitList(*schedulers),
 		Algorithms:    splitList(*algorithms),
+		Faults:        splitSemiList(*faults),
 		EngineWorkers: *engineW,
 	}
 	spec.Workloads = splitList(*workloads)
@@ -112,10 +122,14 @@ func main() {
 			if r.Err != "" {
 				status = "ERR " + r.Err
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d seed=%d R=%d L=%d sched=%s alg=%s: %s (%.0fms)\n",
+			faultTag := ""
+			if r.Job.Faults != "" {
+				faultTag = " faults=" + r.Job.Faults
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d seed=%d R=%d L=%d sched=%s alg=%s%s: %s (%.0fms)\n",
 				done, len(jobList), r.Job.Workload, r.Job.N, r.Job.Seed,
 				r.Job.Params.Radius, r.Job.Params.L,
-				r.Job.Scheduler, r.Job.Algorithm, status,
+				r.Job.Scheduler, r.Job.Algorithm, faultTag, status,
 				float64(r.Duration.Microseconds())/1000)
 		}
 	}
@@ -201,6 +215,20 @@ func parseInt64s(s string) []int64 {
 func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitSemiList splits a semicolon-separated flag value, dropping empty
+// entries — fault plans contain commas ("crash-at:r=50,k=8"), so the
+// -faults list cannot reuse the comma separator. "off" entries survive (a
+// fault-free arm of a faults sweep is meaningful), only blanks are dropped.
+func splitSemiList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
 		if part = strings.TrimSpace(part); part != "" {
 			out = append(out, part)
 		}

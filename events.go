@@ -18,6 +18,13 @@ const (
 	// EventAbort fires once if the simulation aborts (round limit,
 	// disconnection, or the stuck watchdog), with Event.Err set.
 	EventAbort
+	// EventCrash fires after rounds in which at least one robot
+	// crash-stopped (Event.RoundCrashes robots this round; WithFaults).
+	EventCrash
+	// EventDegraded fires once, after the round in which a fault
+	// disconnected the swarm and the run latched graceful degradation
+	// (WithFaults; a fault-free run aborts with EventAbort instead).
+	EventDegraded
 )
 
 func (k EventKind) String() string {
@@ -32,6 +39,10 @@ func (k EventKind) String() string {
 		return "gathered"
 	case EventAbort:
 		return "abort"
+	case EventCrash:
+		return "crash"
+	case EventDegraded:
+		return "degraded"
 	default:
 		return "event(?)"
 	}
@@ -46,9 +57,12 @@ const (
 	RunStartEvents EventMask = 1 << EventRunStart
 	GatheredEvents EventMask = 1 << EventGathered
 	AbortEvents    EventMask = 1 << EventAbort
+	CrashEvents    EventMask = 1 << EventCrash
+	DegradedEvents EventMask = 1 << EventDegraded
 
 	// AllEvents subscribes to every event kind.
-	AllEvents = RoundEvents | MergeEvents | RunStartEvents | GatheredEvents | AbortEvents
+	AllEvents = RoundEvents | MergeEvents | RunStartEvents | GatheredEvents |
+		AbortEvents | CrashEvents | DegradedEvents
 )
 
 // Has reports whether the mask includes kind.
@@ -80,6 +94,9 @@ type Event struct {
 	// RunsStarted is the cumulative number of run states created;
 	// RoundRunsStarted counts this round's starts.
 	RunsStarted, RoundRunsStarted int
+	// Crashes is the cumulative number of crash-stopped robots;
+	// RoundCrashes counts this round's crashes. Zero without WithFaults.
+	Crashes, RoundCrashes int
 	// Err is the abort reason; non-nil only for EventAbort.
 	Err error
 }
@@ -175,6 +192,8 @@ func (s *Simulation) emit(k EventKind, err error) {
 		RoundMerges:      s.eng.RoundMerges(),
 		RunsStarted:      s.eng.RunsStarted(),
 		RoundRunsStarted: s.roundRuns,
+		Crashes:          s.eng.Crashes(),
+		RoundCrashes:     s.eng.RoundCrashes(),
 		Err:              err,
 	}
 	s.emitting = true

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gridgather/internal/fault"
 	"gridgather/internal/gen"
 	"gridgather/internal/grid"
 	"gridgather/internal/scenario"
@@ -120,6 +121,11 @@ type Result struct {
 	Moves int
 	// InitialRobots and FinalRobots give the population before and after.
 	InitialRobots, FinalRobots int
+	// Crashes counts the robots that crash-stopped (WithFaults; 0 in a
+	// clean run) and Degraded reports whether a fault disconnected the
+	// swarm and the run continued on the largest surviving component.
+	Crashes  int
+	Degraded bool
 	// Err reports an aborted or cancelled simulation (round limit,
 	// disconnection, stuck watchdog, or context cancellation) and is nil
 	// on success.
@@ -238,6 +244,9 @@ func Workloads() []string {
 // Schedulers lists the accepted scheduler spec grammars (see
 // WithScheduler).
 func Schedulers() []string { return sched.Specs() }
+
+// FaultSpecs lists the accepted fault clause grammars (see WithFaults).
+func FaultSpecs() []string { return fault.Specs() }
 
 // Algorithms lists the available robot program names (see WithAlgorithm).
 func Algorithms() []string { return scenario.Algorithms() }

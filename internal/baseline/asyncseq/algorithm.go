@@ -33,6 +33,16 @@ import (
 // The lexicographic comparison uses relative positions, which all robots
 // order consistently — the same world-aligned bookkeeping concession the
 // run-state directions make (see robot.Run).
+//
+// Under crash-stop faults the strategy stays live by consulting the view's
+// failure detector: a crashed robot is occupied scenery. Its candidacy
+// never suppresses anyone (it will never execute a move), it neither
+// anchors a merge nor partners a corner cut (a crashed corner partner
+// would let a live robot oscillate around it forever), and the reclaim
+// rule lets live robots walk onto frozen neighbors — possibly stranding
+// crashed robots behind them, which the engine resolves as graceful
+// degradation. Without the detector a crashed convex corner would
+// suppress its lexicographically larger neighbors forever.
 type Algorithm struct{}
 
 // interferenceRadius is the L∞ radius of the mutual exclusion zone. Two
@@ -51,10 +61,14 @@ func (Algorithm) Radius() int { return 8 }
 // any. Returned coordinates are relative to base.
 func candidate(v *view.View, base grid.Point) (grid.Point, bool) {
 	occ := func(q grid.Point) bool { return v.Occ(q) }
-	if t, ok := deletable(occ, base); ok {
+	crs := func(q grid.Point) bool { return v.CrashedAt(q) }
+	if t, ok := deletable(occ, crs, base); ok {
 		return t.Sub(base), true
 	}
-	if q, ok := cuttable(occ, base); ok {
+	if q, ok := cuttable(occ, crs, base); ok {
+		return q.Sub(base), true
+	}
+	if q, ok := reclaimable(occ, crs, base); ok {
 		return q.Sub(base), true
 	}
 	return grid.Point{}, false
@@ -69,11 +83,14 @@ func (Algorithm) Compute(v *view.View) fsync.Action {
 	}
 	// Local mutual exclusion: scan the interference zone for a candidate
 	// mover at a lexicographically smaller position. Only smaller positions
-	// can suppress, so only they need checking.
+	// can suppress, so only they need checking. Crashed robots never move,
+	// so their candidacy is void — deferring to one would deadlock the
+	// observer forever (the view's failure detector is what makes the
+	// strategy live under crash faults).
 	for dy := -interferenceRadius; dy <= interferenceRadius; dy++ {
 		for dx := -interferenceRadius; dx <= interferenceRadius; dx++ {
 			q := grid.Pt(dx, dy)
-			if q == grid.Zero || !q.Less(grid.Zero) || !v.Occ(q) {
+			if q == grid.Zero || !q.Less(grid.Zero) || !v.Occ(q) || v.CrashedAt(q) {
 				continue
 			}
 			if _, ok := candidate(v, q); ok {

@@ -13,7 +13,12 @@
 //   - cuts its corner: a robot with exactly two perpendicular neighbors
 //     and a free diagonal between them hops onto that diagonal, shortening
 //     the boundary (always safe sequentially: the diagonal cell is
-//     4-adjacent to both neighbors).
+//     4-adjacent to both neighbors); or
+//   - reclaims a crashed neighbor (crash-fault runs only): a robot whose
+//     live ring cells all flank a crash-stopped 4-neighbor walks onto that
+//     frozen robot, consuming it. Connectivity duty extends only to live
+//     robots — crashed scenery may be stranded, which the engine turns
+//     into graceful degradation rather than an abort.
 //
 // The north-east-most robot is always actionable, so every round makes
 // progress and the strategy gathers in O(n) rounds. This baseline
@@ -48,20 +53,24 @@ var ring8 = [8]grid.Point{
 	grid.West, grid.SouthWest, grid.South, grid.SouthEast,
 }
 
-// deletable reports whether removing the robot at p keeps its occupied
-// neighborhood connected: the occupied ring cells must form one component
-// under 4-adjacency within the ring, and p must have at least one
-// 4-neighbor to merge onto. occ is the occupancy predicate — the global
-// swarm for the sequential simulation, a radius-limited view for the
-// engine-compatible Algorithm.
-func deletable(occupied func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
+// deletable reports whether removing the robot at p keeps its live
+// occupied neighborhood connected: the live ring cells must form one
+// component under 4-adjacency within the ring, and p must have at least
+// one live 4-neighbor to merge onto. occupied is the occupancy predicate —
+// the global swarm for the sequential simulation, a radius-limited view
+// for the engine-compatible Algorithm. crashed (nil = no crash faults)
+// narrows the connectivity duty to live robots: crash-stopped robots are
+// scenery the swarm may strand (the engine then degrades gracefully
+// instead of aborting), so they neither anchor a merge nor count toward
+// the ring components.
+func deletable(occupied, crashed func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
 	occ := [8]bool{}
 	cnt := 0
 	var target grid.Point
 	hasAxis := false
 	for i, d := range ring8 {
 		q := p.Add(d)
-		if occupied(q) {
+		if occupied(q) && (crashed == nil || !crashed(q)) {
 			occ[i] = true
 			cnt++
 			if d.IsUnit() && !hasAxis {
@@ -97,11 +106,18 @@ func deletable(occupied func(grid.Point) bool, p grid.Point) (grid.Point, bool) 
 }
 
 // cuttable reports whether the robot at p is a convex corner that can hop
-// onto the free diagonal between its exactly-two perpendicular neighbors.
-func cuttable(occupied func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
+// onto the diagonal between its exactly-two perpendicular live neighbors.
+// Crashed neighbors are ignored when counting axes (they are scenery, not
+// corner partners — a crashed corner partner would let the robot oscillate
+// around it forever). The landing cell may be free (the classic cut) or
+// hold a crashed robot: the diagonal is 4-adjacent to both live partners
+// either way, so live connectivity is preserved, and landing on a frozen
+// robot consumes it — strict progress, which is what breaks a live ring
+// locked around a crashed center.
+func cuttable(occupied, crashed func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
 	var axes []grid.Point
 	for _, d := range grid.Axis4 {
-		if occupied(p.Add(d)) {
+		if q := p.Add(d); occupied(q) && (crashed == nil || !crashed(q)) {
 			axes = append(axes, d)
 		}
 	}
@@ -113,10 +129,50 @@ func cuttable(occupied func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
 		return grid.Point{}, false // opposite neighbors: not a corner
 	}
 	q := p.Add(diag)
-	if occupied(q) {
+	if occupied(q) && (crashed == nil || !crashed(q)) {
 		return grid.Point{}, false
 	}
 	return q, true
+}
+
+// reclaimable reports whether the robot at p may advance onto a crashed
+// 4-neighbor, consuming it. The move relocates p onto the target cell, so
+// it is only safe when every live cell of p's ring flanks the target (the
+// two corners 4-adjacent to it): those stay connected through the robot's
+// new position, and no other live cell depended on p. Crashed cells beyond
+// the target carry no duty — stranding them is the graceful-degradation
+// trade. This rule is what frees a live robot pinned between crashed
+// neighbors: deletable refuses (no live axis to merge onto) and cuttable
+// refuses (no two live axes), but walking onto the frozen robot both
+// makes progress and reclaims the cell.
+func reclaimable(occupied, crashed func(grid.Point) bool, p grid.Point) (grid.Point, bool) {
+	if crashed == nil {
+		return grid.Point{}, false
+	}
+	for i, d := range ring8 {
+		if i%2 != 0 {
+			continue // axis directions sit at even ring positions
+		}
+		q := p.Add(d)
+		if !occupied(q) || !crashed(q) {
+			continue
+		}
+		ok := true
+		for j, dd := range ring8 {
+			qq := p.Add(dd)
+			if !occupied(qq) || crashed(qq) {
+				continue // only live cells carry a connectivity duty
+			}
+			if j != (i+1)%8 && j != (i+7)%8 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return q, true
+		}
+	}
+	return grid.Point{}, false
 }
 
 // Run executes the sequential strategy until gathering, activating robots
@@ -135,14 +191,14 @@ func Run(s *swarm.Swarm, maxRounds int) Result {
 				continue // merged away earlier this round
 			}
 			res.Activations++
-			if t, ok := deletable(w.Has, p); ok {
+			if t, ok := deletable(w.Has, nil, p); ok {
 				w.Remove(p)
 				_ = t // the robot moves onto t and merges: cell already occupied
 				res.Merges++
 				progressed = true
 				continue
 			}
-			if q, ok := cuttable(w.Has, p); ok {
+			if q, ok := cuttable(w.Has, nil, p); ok {
 				w.Remove(p)
 				w.Add(q)
 				res.Cuts++

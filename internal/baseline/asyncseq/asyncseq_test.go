@@ -10,10 +10,10 @@ import (
 
 func TestDeletableLineEnd(t *testing.T) {
 	s := gen.Line(4)
-	if _, ok := deletable(s.Has, grid.Pt(0, 0)); !ok {
+	if _, ok := deletable(s.Has, nil, grid.Pt(0, 0)); !ok {
 		t.Error("line end must be deletable")
 	}
-	if _, ok := deletable(s.Has, grid.Pt(1, 0)); ok {
+	if _, ok := deletable(s.Has, nil, grid.Pt(1, 0)); ok {
 		t.Error("line middle must not be deletable")
 	}
 }
@@ -21,14 +21,14 @@ func TestDeletableLineEnd(t *testing.T) {
 func TestDeletableCornerWithDiagonal(t *testing.T) {
 	// Corner with occupied diagonal: ring stays connected through it.
 	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1), grid.Pt(1, 1))
-	if _, ok := deletable(s.Has, grid.Pt(0, 0)); !ok {
+	if _, ok := deletable(s.Has, nil, grid.Pt(0, 0)); !ok {
 		t.Error("block corner must be deletable")
 	}
 }
 
 func TestCuttableRingCorner(t *testing.T) {
 	s := gen.Hollow(5, 5)
-	q, ok := cuttable(s.Has, grid.Pt(0, 0))
+	q, ok := cuttable(s.Has, nil, grid.Pt(0, 0))
 	if !ok {
 		t.Fatal("ring corner must be cuttable")
 	}
@@ -36,7 +36,7 @@ func TestCuttableRingCorner(t *testing.T) {
 		t.Errorf("cut target = %v", q)
 	}
 	// Wall middle: two opposite neighbors — not a corner.
-	if _, ok := cuttable(s.Has, grid.Pt(2, 0)); ok {
+	if _, ok := cuttable(s.Has, nil, grid.Pt(2, 0)); ok {
 		t.Error("wall middle must not be cuttable")
 	}
 }
@@ -85,10 +85,10 @@ func TestWhyFSYNCNeedsThePaper(t *testing.T) {
 	// Simultaneous (FSYNC) application of the sequential rules:
 	moves := map[grid.Point]grid.Point{}
 	for _, p := range s.Cells() {
-		if _, ok := deletable(s.Has, p); ok {
+		if _, ok := deletable(s.Has, nil, p); ok {
 			continue // deletions would merge: ignore for the hazard demo
 		}
-		if q, ok := cuttable(s.Has, p); ok {
+		if q, ok := cuttable(s.Has, nil, p); ok {
 			moves[p] = q
 		}
 	}
@@ -105,5 +105,75 @@ func TestWhyFSYNCNeedsThePaper(t *testing.T) {
 	}
 	if after.Connected() {
 		t.Error("expected simultaneous corner cuts to disconnect the zigzag (Fig. 5 hazard)")
+	}
+}
+
+// crashSet builds a crashed-predicate over a fixed set of cells.
+func crashSet(cells ...grid.Point) func(grid.Point) bool {
+	m := map[grid.Point]bool{}
+	for _, p := range cells {
+		m[p] = true
+	}
+	return func(p grid.Point) bool { return m[p] }
+}
+
+func TestCrashAwareDeletable(t *testing.T) {
+	// Line with a crashed middle: the end's only axis neighbor is crashed,
+	// so there is no live merge target.
+	s := gen.Line(4)
+	crashed := crashSet(grid.Pt(1, 0))
+	if _, ok := deletable(s.Has, crashed, grid.Pt(0, 0)); ok {
+		t.Error("end next to a crashed robot must not be live-deletable")
+	}
+	// The same end with a live middle stays deletable under a crash
+	// predicate that matches nothing.
+	if _, ok := deletable(s.Has, crashSet(), grid.Pt(0, 0)); !ok {
+		t.Error("crash-aware deletable with no crashes must match fault-free")
+	}
+}
+
+func TestCrashAwareCuttable(t *testing.T) {
+	// A corner whose partners are live cuts onto a crashed diagonal,
+	// reclaiming it.
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(0, 1), grid.Pt(1, 1))
+	q, ok := cuttable(s.Has, crashSet(grid.Pt(1, 1)), grid.Pt(0, 0))
+	if !ok || q != grid.Pt(1, 1) {
+		t.Errorf("corner must cut onto the crashed diagonal: %v, %v", q, ok)
+	}
+	// A crashed corner partner voids the corner: only one live axis left.
+	if _, ok := cuttable(s.Has, crashSet(grid.Pt(1, 0)), grid.Pt(0, 0)); ok {
+		t.Error("a crashed axis neighbor must not partner a corner cut")
+	}
+	// A live-occupied diagonal still blocks the cut.
+	if _, ok := cuttable(s.Has, crashSet(), grid.Pt(0, 0)); ok {
+		t.Error("cut onto a live robot must be refused")
+	}
+}
+
+func TestReclaimable(t *testing.T) {
+	// A robot pinned between two crashed neighbors, with its only live
+	// contact on a diagonal: deletable and cuttable both refuse, reclaim
+	// walks it onto a crashed neighbor the live cell flanks.
+	s := swarm.New(grid.Pt(0, 0), grid.Pt(0, 1), grid.Pt(0, -1), grid.Pt(1, 1))
+	crashed := crashSet(grid.Pt(0, 1), grid.Pt(0, -1))
+	if _, ok := deletable(s.Has, crashed, grid.Pt(0, 0)); ok {
+		t.Error("pinned robot must not be deletable")
+	}
+	if _, ok := cuttable(s.Has, crashed, grid.Pt(0, 0)); ok {
+		t.Error("pinned robot must not be cuttable")
+	}
+	q, ok := reclaimable(s.Has, crashed, grid.Pt(0, 0))
+	if !ok || q != grid.Pt(0, 1) {
+		t.Errorf("reclaim = %v, %v; want (0,1), true — the crashed neighbor flanked by the live diagonal", q, ok)
+	}
+	// With a live cell that does not flank any crashed neighbor, reclaim
+	// must refuse (the move would break live connectivity).
+	s2 := swarm.New(grid.Pt(0, 0), grid.Pt(0, 1), grid.Pt(1, -1))
+	if _, ok := reclaimable(s2.Has, crashSet(grid.Pt(0, 1)), grid.Pt(0, 0)); ok {
+		t.Error("reclaim with a non-flanking live cell must be refused")
+	}
+	// Fault-free: never reclaimable.
+	if _, ok := reclaimable(s.Has, nil, grid.Pt(0, 0)); ok {
+		t.Error("reclaim without a crash predicate must be refused")
 	}
 }

@@ -1,0 +1,315 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustParse(t *testing.T, spec string, seed int64) *Plan {
+	t.Helper()
+	p, err := Parse(spec, seed)
+	if err != nil {
+		t.Fatalf("Parse(%q, %d): %v", spec, seed, err)
+	}
+	if p == nil {
+		t.Fatalf("Parse(%q, %d): nil plan", spec, seed)
+	}
+	return p
+}
+
+func TestParseFaultFree(t *testing.T) {
+	for _, spec := range []string{"", "off", "none", "  off  "} {
+		p, err := Parse(spec, 42)
+		if err != nil || p != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus:p=0.5",        // unknown fault name
+		"crash",              // no parameters
+		"crash:",             // empty parameters
+		"crash:p=2",          // probability out of range
+		"crash:p=-0.1",       // probability out of range
+		"crash:p=x",          // non-numeric probability
+		"crash:p=0.5@x",      // non-numeric seed
+		"crash:k=3",          // wrong parameter for the kind
+		"crash:p=0.5,p=0.5",  // duplicate parameter
+		"crash-at:r=5",       // missing k
+		"crash-at:k=0,r=5",   // k below 1
+		"crash-at:r=-1,k=3",  // negative round
+		"crash-at:r=1,k=3,q", // malformed pair
+		"noise:r=5,k=1",      // wrong parameters for noise
+		"noise:p=0.1+",       // empty trailing clause
+		"+noise:p=0.1",       // empty leading clause
+	}
+	for _, spec := range bad {
+		p, err := Parse(spec, 42)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted (plan %v)", spec, p)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrBadSpec", spec, err)
+		}
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"crash:p=0.25", "crash:p=0.25"},
+		{" crash:p=0.250 + noise:p=0.1@7 ", "crash:p=0.25+noise:p=0.1@7"},
+		{"crash-at:k=8,r=50", "crash-at:r=50,k=8"},
+		{"crash-at:r=50,k=8@-3", "crash-at:r=50,k=8@-3"},
+		{"noise:p=1", "noise:p=1"},
+	}
+	for _, c := range cases {
+		p := mustParse(t, c.in, 42)
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// The canonical form must reparse to itself (String is a fixed
+		// point), so sweep aggregation keys are stable.
+		again := mustParse(t, p.String(), 42)
+		if again.String() != p.String() {
+			t.Errorf("String not a fixed point: %q -> %q", p.String(), again.String())
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.String() != "" {
+		t.Errorf("nil plan String = %q", nilPlan.String())
+	}
+}
+
+func TestSeeded(t *testing.T) {
+	cases := []struct {
+		spec string
+		want bool
+	}{
+		{"", false},
+		{"off", false},
+		{"crash:p=0.5@7", false},
+		{"crash:p=0.5", true},
+		{"crash:p=0.5@7+noise:p=0.1", true},
+		{"crash-at:r=5,k=2@1+noise:p=0.1@2", false},
+	}
+	for _, c := range cases {
+		got, err := Seeded(c.spec)
+		if err != nil || got != c.want {
+			t.Errorf("Seeded(%q) = %v, %v; want %v, nil", c.spec, got, err, c.want)
+		}
+	}
+	if _, err := Seeded("crash:p=9"); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("Seeded on a bad spec: %v, want ErrBadSpec", err)
+	}
+}
+
+func TestHasKinds(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.HasCrashes() || nilPlan.HasNoise() {
+		t.Error("nil plan reports faults")
+	}
+	p := mustParse(t, "noise:p=0.5", 1)
+	if p.HasCrashes() || !p.HasNoise() {
+		t.Errorf("noise plan: HasCrashes=%v HasNoise=%v", p.HasCrashes(), p.HasNoise())
+	}
+	p = mustParse(t, "crash-at:r=1,k=1", 1)
+	if !p.HasCrashes() || p.HasNoise() {
+		t.Errorf("crash plan: HasCrashes=%v HasNoise=%v", p.HasCrashes(), p.HasNoise())
+	}
+}
+
+// drawSeq runs rounds of DrawCrashes over a fresh population and returns
+// the per-round crash counts plus the final liveness vector.
+func drawSeq(p *Plan, n, rounds int) (counts []int, alive []bool) {
+	alive = make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for r := 0; r < rounds; r++ {
+		counts = append(counts, p.DrawCrashes(r, alive))
+	}
+	return counts, alive
+}
+
+func TestDrawCrashesDeterministic(t *testing.T) {
+	a := mustParse(t, "crash:p=0.05", 7)
+	b := mustParse(t, "crash:p=0.05", 7)
+	ca, la := drawSeq(a, 64, 50)
+	cb, lb := drawSeq(b, 64, 50)
+	for r := range ca {
+		if ca[r] != cb[r] {
+			t.Fatalf("round %d: crash counts diverged: %d vs %d", r, ca[r], cb[r])
+		}
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("robot %d: liveness diverged", i)
+		}
+	}
+	// A different simulation seed must give a different schedule (the
+	// clause has no "@seed" pin).
+	c := mustParse(t, "crash:p=0.05", 8)
+	cc, _ := drawSeq(c, 64, 50)
+	same := true
+	for r := range ca {
+		if ca[r] != cc[r] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical crash schedules (suspicious)")
+	}
+}
+
+func TestExplicitSeedPinsSchedule(t *testing.T) {
+	// "@seed" clauses ignore the simulation seed entirely.
+	a := mustParse(t, "crash:p=0.05@99", 1)
+	b := mustParse(t, "crash:p=0.05@99", 2)
+	ca, _ := drawSeq(a, 64, 50)
+	cb, _ := drawSeq(b, 64, 50)
+	for r := range ca {
+		if ca[r] != cb[r] {
+			t.Fatalf("round %d: pinned schedules diverged under different sim seeds", r)
+		}
+	}
+}
+
+func TestDrawCrashesZeroAndOne(t *testing.T) {
+	p := mustParse(t, "crash:p=0", 7)
+	counts, alive := drawSeq(p, 32, 20)
+	for r, c := range counts {
+		if c != 0 {
+			t.Fatalf("p=0 crashed %d robots at round %d", c, r)
+		}
+	}
+	for i := range alive {
+		if !alive[i] {
+			t.Fatalf("p=0 cleared robot %d", i)
+		}
+	}
+	p = mustParse(t, "crash:p=1", 7)
+	counts, alive = drawSeq(p, 32, 2)
+	if counts[0] != 32 || counts[1] != 0 {
+		t.Fatalf("p=1 counts = %v, want [32 0]", counts)
+	}
+	for i := range alive {
+		if alive[i] {
+			t.Fatalf("p=1 left robot %d alive", i)
+		}
+	}
+}
+
+func TestDrawCrashesCrashAt(t *testing.T) {
+	p := mustParse(t, "crash-at:r=3,k=5", 7)
+	counts, alive := drawSeq(p, 32, 10)
+	for r, c := range counts {
+		want := 0
+		if r == 3 {
+			want = 5
+		}
+		if c != want {
+			t.Fatalf("round %d: crash-at crashed %d, want %d", r, c, want)
+		}
+	}
+	live := 0
+	for i := range alive {
+		if alive[i] {
+			live++
+		}
+	}
+	if live != 32-5 {
+		t.Fatalf("crash-at left %d alive, want %d", live, 32-5)
+	}
+
+	// k larger than the population crashes everyone, exactly once.
+	p = mustParse(t, "crash-at:r=0,k=100", 7)
+	counts, _ = drawSeq(p, 8, 3)
+	if counts[0] != 8 || counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("oversized crash-at counts = %v", counts)
+	}
+}
+
+func TestNoiseFlip(t *testing.T) {
+	p := mustParse(t, "noise:p=1", 7)
+	for i := 0; i < 200; i++ {
+		off, ok := p.NoiseFlip(4)
+		if !ok {
+			t.Fatal("p=1 noise did not fire")
+		}
+		if d := abs(off.X) + abs(off.Y); d < 1 || d > 4 {
+			t.Fatalf("flip offset %v outside the L1 ball of radius 4", off)
+		}
+	}
+	p = mustParse(t, "noise:p=0", 7)
+	for i := 0; i < 50; i++ {
+		if _, ok := p.NoiseFlip(4); ok {
+			t.Fatal("p=0 noise fired")
+		}
+	}
+	// Degenerate radii never fire (there is no valid off-center cell).
+	p = mustParse(t, "noise:p=1", 7)
+	if _, ok := p.NoiseFlip(0); ok {
+		t.Fatal("radius-0 noise fired")
+	}
+	var nilPlan *Plan
+	if _, ok := nilPlan.NoiseFlip(4); ok {
+		t.Fatal("nil plan noise fired")
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	const spec = "crash:p=0.03+crash-at:r=5,k=4@9+noise:p=0.2"
+	orig := mustParse(t, spec, 7)
+
+	// Advance the streams mid-schedule: some crash rounds, some noise.
+	alive := make([]bool, 40)
+	for i := range alive {
+		alive[i] = true
+	}
+	for r := 0; r < 8; r++ {
+		orig.DrawCrashes(r, alive)
+		orig.NoiseFlip(3)
+	}
+
+	cur := orig.AppendCursor(nil)
+	if again := orig.AppendCursor(nil); string(again) != string(cur) {
+		t.Fatal("AppendCursor not deterministic")
+	}
+	restored := mustParse(t, spec, 7)
+	rest, err := restored.RestoreCursor(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after cursor restore", len(rest))
+	}
+
+	// Both plans must now produce identical futures.
+	aliveB := append([]bool(nil), alive...)
+	for r := 8; r < 30; r++ {
+		if a, b := orig.DrawCrashes(r, alive), restored.DrawCrashes(r, aliveB); a != b {
+			t.Fatalf("round %d: crash draw diverged after restore: %d vs %d", r, a, b)
+		}
+		oOff, oOK := orig.NoiseFlip(3)
+		rOff, rOK := restored.NoiseFlip(3)
+		if oOK != rOK || oOff != rOff {
+			t.Fatalf("round %d: noise draw diverged after restore", r)
+		}
+	}
+
+	// Truncated cursors must error, not panic.
+	for cut := 0; cut < len(cur); cut++ {
+		if _, err := mustParse(t, spec, 7).RestoreCursor(cur[:cut]); err == nil && cut < len(cur) {
+			// Some prefixes happen to decode (uvarint boundaries); the
+			// decisive case is the empty prefix.
+			continue
+		}
+	}
+	if _, err := mustParse(t, spec, 7).RestoreCursor(nil); err == nil {
+		t.Fatal("empty cursor restored without error")
+	}
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse throws arbitrary spec strings at the parser: it must never
+// panic, every rejection must wrap ErrBadSpec, and every accepted spec must
+// round-trip through its canonical String() form — reparsing the canonical
+// form yields the same canonical form and an equivalent fault schedule.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "off", "none",
+		"crash:p=0.001", "crash:p=0.5@7", "crash-at:r=500,k=32",
+		"crash-at:r=0,k=1@-9", "noise:p=0.01",
+		"crash:p=0.001+noise:p=0.01", "crash:p=1+crash-at:r=3,k=2+noise:p=1",
+		"crash:p=2", "crash-at:r=5", "bogus:p=1", "crash:p=0.5@x",
+		"crash:p=0.5,p=0.5", "+", "@", ":", "crash:p=1e-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec, 42)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("Parse(%q) error %v does not wrap ErrBadSpec", spec, err)
+			}
+			return
+		}
+		if p == nil {
+			return // fault-free spec
+		}
+		canon := p.String()
+		q, err := Parse(canon, 42)
+		if err != nil || q == nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, spec, err)
+		}
+		if got := q.String(); got != canon {
+			t.Fatalf("String not a fixed point: %q -> %q (from %q)", canon, got, spec)
+		}
+		// Equivalent schedules: same crash draws and noise flips over a
+		// short horizon. (p and q were parsed with the same seed.)
+		alive := make([]bool, 16)
+		aliveQ := make([]bool, 16)
+		for i := range alive {
+			alive[i], aliveQ[i] = true, true
+		}
+		for r := 0; r < 5; r++ {
+			if a, b := p.DrawCrashes(r, alive), q.DrawCrashes(r, aliveQ); a != b {
+				t.Fatalf("round %d: %q and its canonical form %q draw different crashes", r, spec, canon)
+			}
+			pOff, pOK := p.NoiseFlip(3)
+			qOff, qOK := q.NoiseFlip(3)
+			if pOK != qOK || pOff != qOff {
+				t.Fatalf("round %d: %q and its canonical form %q flip different noise", r, spec, canon)
+			}
+		}
+		// The cursor must round-trip at any point in the schedule.
+		cur := p.AppendCursor(nil)
+		fresh, err := Parse(canon, 42)
+		if err != nil || fresh == nil {
+			t.Fatalf("reparse for cursor restore failed: %v", err)
+		}
+		rest, err := fresh.RestoreCursor(cur)
+		if err != nil {
+			t.Fatalf("RestoreCursor on own cursor: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d bytes left after cursor restore", len(rest))
+		}
+	})
+}

@@ -60,6 +60,7 @@ import (
 	"runtime"
 	"sort"
 
+	"gridgather/internal/fault"
 	"gridgather/internal/grid"
 	"gridgather/internal/robot"
 	"gridgather/internal/sched"
@@ -128,6 +129,16 @@ type Config struct {
 	// merged onto. Budgets (MaxRounds, NoMergeLimit) should be scaled by
 	// the scheduler's fairness bound; see DefaultBudget.Scale.
 	Scheduler sched.Scheduler
+	// Faults, when non-nil, injects deterministic crash-stop and
+	// sensor-noise faults (see internal/fault). A crashed robot freezes
+	// forever: it stays an occupied, mergeable-onto cell, excluded from
+	// every activation set, its runs frozen. Faults also switch the engine
+	// to graceful degradation: a disconnection no longer aborts the run —
+	// it latches degraded mode, where Gathered() means "the live robots of
+	// the largest surviving component gathered". A freshly parsed Plan is
+	// consumed by exactly one simulation (its RNG streams advance with the
+	// rounds); its cursor is carried by snapshots like a scheduler's.
+	Faults *fault.Plan
 }
 
 // Result summarizes a simulation.
@@ -163,6 +174,20 @@ type Engine struct {
 	nextRunID  int
 	lastMerge  int
 	roundMerge int // merges in the most recent round
+
+	// Fault state (all zero without Config.Faults). crashed is indexed by
+	// the world's stable robot slots — slots are never reused after a
+	// merge, so a crash mark can never migrate to another robot.
+	crashTrack    bool             // the plan has crash clauses
+	crashed       []bool           // per-slot crash-stop marks
+	crashesTotal  int              // robots ever crashed
+	crashedLive   int              // crashed robots still occupying a cell
+	roundCrash    int              // crashes in the most recent round
+	degraded      bool             // a fault disconnected the swarm; latched
+	degradedRound int              // round the degradation latched
+	flips         []grid.Point     // per-activation noise offsets, indexed like order
+	aliveBuf      []bool           // scratch: liveness over the cell order
+	liveFn        func(int32) bool // slot liveness for component queries
 
 	// resolveSerial counts rounds left running the Resolve stage serially
 	// after a parallel probe found the fan-out unprofitable (a single-P
@@ -233,13 +258,15 @@ type actionAt struct {
 // global action index so the per-lane collections merge back into the
 // order a serial pass would have produced.
 type resolveOut struct {
-	moved     int
-	keeps     []idxKeep
-	transfers []idxTransfer
+	moved       int
+	crashedGone int // crashed sleepers a live arrival merged away
+	keeps       []idxKeep
+	transfers   []idxTransfer
 }
 
 func (o *resolveOut) reset() {
 	o.moved = 0
+	o.crashedGone = 0
 	o.keeps = o.keeps[:0]
 	o.transfers = o.transfers[:0]
 }
@@ -318,12 +345,26 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 	}
 	w := world.NewDense(s, cfg.Scheduler != nil)
 	w.ForceFullBFS(cfg.FullBFSConnectivity)
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		alg:       alg,
 		w:         w,
 		nextRunID: 1,
 	}
+	e.initFaults()
+	return e
+}
+
+// initFaults sets up crash-stop tracking when the configuration carries a
+// fault plan with crash clauses. Shared by New and NewRestored (the
+// restore path then overwrites the crash marks from the snapshot).
+func (e *Engine) initFaults() {
+	if e.cfg.Faults == nil || !e.cfg.Faults.HasCrashes() {
+		return
+	}
+	e.crashTrack = true
+	e.crashed = make([]bool, e.w.SlotCount())
+	e.liveFn = func(s int32) bool { return !e.crashed[s] }
 }
 
 // workers resolves the configured worker count for a round over n robots.
@@ -416,17 +457,100 @@ func (e *Engine) SetState(p grid.Point, st robot.State) {
 	e.w.SetState(p, st)
 }
 
-// Gathered reports whether the swarm fits in a 2×2 square.
-func (e *Engine) Gathered() bool { return e.w.Gathered() }
+// Crashes returns the number of robots that have crash-stopped so far.
+func (e *Engine) Crashes() int { return e.crashesTotal }
+
+// CrashedLive returns the number of crashed robots still occupying a cell
+// (crashed robots vanish only when a live robot merges onto them).
+func (e *Engine) CrashedLive() int { return e.crashedLive }
+
+// CrashedCell reports whether the cell at p currently holds a crash-stopped
+// robot. Always false without crash faults. Observability surface for
+// renderers and tests; the algorithms' view of the same fact is
+// view.CrashedAt.
+func (e *Engine) CrashedCell(p grid.Point) bool {
+	return e.crashTrack && e.crashedAtCell(p)
+}
+
+// RoundCrashes returns the number of robots that crashed in the last round.
+func (e *Engine) RoundCrashes() int { return e.roundCrash }
+
+// Degraded reports whether a fault disconnected the swarm and the engine
+// latched graceful-degradation mode (only possible with Config.Faults).
+func (e *Engine) Degraded() bool { return e.degraded }
+
+// DegradedRound returns the round at which degradation latched (0 if not
+// degraded).
+func (e *Engine) DegradedRound() int { return e.degradedRound }
+
+// Gathered reports whether the swarm has gathered. Without faults this is
+// the paper's condition — all robots in a 2×2 square. With faults the
+// condition is over the survivors: crashed robots are immovable scenery,
+// so gathering means the live robots sit in a 2×2 square; and once a fault
+// has disconnected the swarm (degraded mode), only the component holding
+// the most survivors is asked to gather — the rest (stranded crashed
+// robots, split-off minorities) is unreachable by a
+// connectivity-preserving algorithm.
+func (e *Engine) Gathered() bool {
+	if e.cfg.Faults == nil {
+		return e.w.Gathered()
+	}
+	if !e.degraded {
+		if e.crashedLive == 0 {
+			return e.w.Gathered()
+		}
+		return e.liveGathered()
+	}
+	if e.crashedLive == 0 {
+		// Every robot is live, so the most-survivors component is simply
+		// the largest one — answered by the incremental layer.
+		size, bounds, _ := e.w.LargestComponent()
+		return size > 0 && bounds.FitsIn2x2()
+	}
+	live, lb := e.w.LargestLiveComponent(e.liveFn)
+	return live > 0 && lb.FitsIn2x2()
+}
+
+// liveGathered reports whether the live robots (over the whole, still
+// connected swarm) fit in a 2×2 square. A swarm whose every robot crashed
+// can never gather.
+func (e *Engine) liveGathered() bool {
+	slots := e.w.Slots()
+	b := grid.EmptyRect
+	live := 0
+	for i, p := range e.w.Cells() {
+		if e.crashed[slots[i]] {
+			continue
+		}
+		live++
+		b = b.Include(p)
+		if !b.FitsIn2x2() {
+			return false
+		}
+	}
+	return live > 0
+}
 
 // viewConfig builds the view accessor bundle against current state: views
 // read the tiled bitset directly (no closures, no hashing).
 func (e *Engine) viewConfig() view.Config {
-	return view.Config{
+	vc := view.Config{
 		Radius:  e.alg.Radius(),
 		Checked: e.cfg.StrictViews,
 		Dense:   e.w,
 	}
+	if e.crashTrack {
+		vc.Crashed = e.crashedAtCell
+	}
+	return vc
+}
+
+// crashedAtCell reports whether the cell holds a crash-stopped robot. It is
+// the failure detector views expose to algorithms. Safe for concurrent use
+// during the compute phase: crash draws happen before compute, and the
+// marks are not touched again until commit.
+func (e *Engine) crashedAtCell(p grid.Point) bool {
+	return e.w.Has(p) && e.crashed[e.w.SlotAt(p)]
 }
 
 // computeRange runs Look+Compute for the robots e.order[lo:hi), writing
@@ -437,9 +561,15 @@ func (e *Engine) viewConfig() view.Config {
 //gather:hotpath
 func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 	v := view.New(vc, grid.Zero, e.round)
+	flips := e.flips
 	for i := lo; i < hi; i++ {
 		p := e.order[i]
 		v.Reposition(p, e.localRound(p))
+		if len(flips) != 0 {
+			if off := flips[i]; off != (grid.Point{}) {
+				v.SetNoise(off)
+			}
+		}
 		a := e.alg.Compute(v)
 		if a.Move.Linf() > 1 {
 			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move) //gather:alloc-ok abort path, the round is already lost
@@ -456,7 +586,9 @@ func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 func (e *Engine) Step() error {
 	e.ensureStageFns()
 	scheduled := e.cfg.Scheduler != nil
+	e.roundCrash = 0
 	e.stageActivate(scheduled)
+	e.drawNoise()
 	prevPop := len(e.order) + len(e.sleep)
 	workers := e.workers(len(e.order))
 	if err := e.stageCompute(workers); err != nil {
@@ -470,13 +602,23 @@ func (e *Engine) Step() error {
 	e.moves += moved
 	e.merges += removed
 	e.roundMerge = removed
-	if removed > 0 {
+	if removed > 0 || e.roundCrash > 0 {
+		// Crashes count as watchdog progress: a mass crash legitimately
+		// shrinks the population that still has to merge.
 		e.lastMerge = e.round
 	}
 
-	if e.cfg.CheckConnectivity && e.round%e.cfg.CheckEvery == 0 {
+	if e.cfg.CheckConnectivity && e.round%e.cfg.CheckEvery == 0 && !e.degraded {
 		if !e.w.Connected() {
-			return ErrDisconnected{Round: e.round}
+			if e.cfg.Faults == nil {
+				return ErrDisconnected{Round: e.round}
+			}
+			// Graceful degradation: a faulty swarm is allowed to split.
+			// From here on, gathering is asked of the largest surviving
+			// component only, and the (now permanently false) global
+			// connectivity check is skipped.
+			e.degraded = true
+			e.degradedRound = e.round
 		}
 	}
 	if e.cfg.NoMergeLimit > 0 && e.round-e.lastMerge >= e.cfg.NoMergeLimit && !e.Gathered() {
@@ -501,6 +643,10 @@ func (e *Engine) stageActivate(scheduled bool) {
 	cells := e.w.Cells()
 	e.order = e.order[:0]
 	e.sleep = e.sleep[:0]
+	if e.crashTrack {
+		e.activateFaulty(scheduled, cells)
+		return
+	}
 	if !scheduled {
 		e.order = append(e.order, cells...)
 		return
@@ -536,6 +682,84 @@ func (e *Engine) stageActivate(scheduled bool) {
 		} else {
 			e.sleep = append(e.sleep, p)
 		}
+	}
+}
+
+// activateFaulty is the crash-aware Activate stage: it first draws this
+// round's crash decisions over the live population (in canonical cell
+// order, so the coin stream is position-stable), then intersects the
+// scheduler's activation set with the survivors — a crashed robot sleeps
+// forever. Range-activating schedulers go through the generic mask path
+// here: Activate and ActivateRange are proven equivalent, and a mask is
+// needed anyway to subtract the crashed set.
+//
+//gather:hotpath
+func (e *Engine) activateFaulty(scheduled bool, cells []grid.Point) {
+	e.order = e.order[:0]
+	e.sleep = e.sleep[:0]
+	slots := e.w.Slots()
+	n := len(cells)
+	if cap(e.aliveBuf) < n {
+		e.aliveBuf = make([]bool, n)
+	}
+	alive := e.aliveBuf[:n]
+	for i, s := range slots {
+		alive[i] = !e.crashed[s]
+	}
+	if c := e.cfg.Faults.DrawCrashes(e.round, alive); c > 0 {
+		for i, s := range slots {
+			if !alive[i] && !e.crashed[s] {
+				e.crashed[s] = true
+			}
+		}
+		e.crashesTotal += c
+		e.crashedLive += c
+		e.roundCrash = c
+	}
+	if !scheduled {
+		for i, p := range cells {
+			if alive[i] {
+				e.order = append(e.order, p)
+			} else {
+				e.sleep = append(e.sleep, p)
+			}
+		}
+		return
+	}
+	if cap(e.mask) < n {
+		e.mask = make([]bool, n)
+	}
+	mask := e.mask[:n]
+	clear(mask)
+	e.cfg.Scheduler.Activate(e.round, cells, slots, mask)
+	for i, p := range cells {
+		if mask[i] && alive[i] {
+			e.order = append(e.order, p)
+		} else {
+			e.sleep = append(e.sleep, p)
+		}
+	}
+}
+
+// drawNoise draws one view-noise flip per activated robot, in activation
+// order. e.flips parallels e.order; a zero offset means "no flip this
+// activation". Without noise clauses the flip list stays empty and the
+// compute stage skips the lookup entirely.
+//
+//gather:hotpath
+func (e *Engine) drawNoise() {
+	if !e.cfg.Faults.HasNoise() {
+		e.flips = e.flips[:0]
+		return
+	}
+	n := len(e.order)
+	if cap(e.flips) < n {
+		e.flips = make([]grid.Point, n)
+	}
+	e.flips = e.flips[:n]
+	r := e.alg.Radius()
+	for i := range e.flips {
+		e.flips[i], _ = e.cfg.Faults.NoiseFlip(r)
 	}
 }
 
@@ -812,7 +1036,15 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 		if scheduled {
 			cl = e.w.ClockAt(p)
 		}
-		e.w.SleepShard(ln, p)
+		cnt := e.w.SleepShard(ln, p)
+		if e.crashTrack && cnt > 1 && e.crashed[e.w.SlotAt(p)] {
+			// A live robot merged onto a crashed sleeper: the crash mark
+			// dies with the sleeper's slot (slots are never reused), and
+			// the cell now holds the live first-arriver. Activated arrivals
+			// run before sleepers within a lane and same-cell arrivals
+			// share a lane, so the count here is the cell's final verdict.
+			out.crashedGone++
+		}
 		if scheduled {
 			e.w.RaiseClock(p, cl)
 		}
@@ -830,9 +1062,12 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 func (e *Engine) mergeOuts(lanes int) int {
 	outs := e.outs[:lanes]
 	moved := 0
+	gone := 0
 	for i := range outs {
 		moved += outs[i].moved
+		gone += outs[i].crashedGone
 	}
+	e.crashedLive -= gone
 	if len(outs) == 1 {
 		e.freshKeeps = append(e.freshKeeps[:0], outs[0].keeps...)
 		e.transferList = append(e.transferList[:0], outs[0].transfers...)

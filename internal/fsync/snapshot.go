@@ -38,7 +38,67 @@ func (e *Engine) AppendState(b []byte) []byte {
 			b = cc.AppendCursor(b)
 		}
 	}
+	if e.cfg.Faults != nil {
+		b = e.appendFaultState(b)
+	}
 	return b
+}
+
+// appendFaultState encodes the fault layer: crash counters, the
+// degradation latch, the crashed-live slot set (in canonical cell order,
+// so equal states yield equal bytes), and the plan's RNG cursor. Gated on
+// Config.Faults, so fault-free snapshots are byte-identical to pre-fault
+// ones.
+func (e *Engine) appendFaultState(b []byte) []byte {
+	b = codec.AppendUvarint(b, uint64(e.crashesTotal))
+	b = codec.AppendUvarint(b, uint64(e.roundCrash))
+	b = codec.AppendBool(b, e.degraded)
+	b = codec.AppendUvarint(b, uint64(e.degradedRound))
+	b = codec.AppendUvarint(b, uint64(e.crashedLive))
+	if e.crashTrack {
+		slots := e.w.Slots()
+		for i := range e.w.Cells() {
+			if e.crashed[slots[i]] {
+				b = codec.AppendUvarint(b, uint64(slots[i]))
+			}
+		}
+	}
+	return e.cfg.Faults.AppendCursor(b)
+}
+
+// restoreFaultState decodes appendFaultState into an engine whose
+// initFaults already ran, restoring the plan's cursor in place.
+func (e *Engine) restoreFaultState(b []byte) ([]byte, error) {
+	r := codec.NewReader(b)
+	e.crashesTotal = int(r.Uvarint())
+	e.roundCrash = int(r.Uvarint())
+	e.degraded = r.Bool()
+	e.degradedRound = int(r.Uvarint())
+	cnt := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if cnt > uint64(r.Len()) {
+		// Corruption guard: each crashed slot costs ≥ 1 byte, so a count
+		// beyond the remaining bytes cannot be honest.
+		return nil, fmt.Errorf("fsync: snapshot claims %d crashed robots with %d bytes left", cnt, r.Len())
+	}
+	e.crashedLive = int(cnt)
+	if e.crashTrack {
+		for i := uint64(0); i < cnt; i++ {
+			slot := r.Uvarint()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if slot >= uint64(len(e.crashed)) {
+				return nil, fmt.Errorf("fsync: snapshot crashed slot %d out of range (have %d slots)", slot, len(e.crashed))
+			}
+			e.crashed[slot] = true
+		}
+	} else if cnt != 0 {
+		return nil, fmt.Errorf("fsync: snapshot carries %d crashed robots for a plan without crash clauses", cnt)
+	}
+	return e.cfg.Faults.RestoreCursor(r.Rest())
 }
 
 // NewRestored builds an engine whose state is decoded from a snapshot
@@ -81,6 +141,12 @@ func NewRestored(alg Algorithm, cfg Config, b []byte) (*Engine, []byte, error) {
 			return nil, nil, fmt.Errorf("fsync: scheduler %v cannot restore a cursor", cfg.Scheduler)
 		}
 		if rest, err = cc.RestoreCursor(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.Faults != nil {
+		e.initFaults()
+		if rest, err = e.restoreFaultState(rest); err != nil {
 			return nil, nil, err
 		}
 	}

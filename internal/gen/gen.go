@@ -342,6 +342,72 @@ func RandomClusters(n, k int, seed int64) *swarm.Swarm {
 	return s
 }
 
+// AntColony grows a random connected swarm of exactly n robots with a
+// small colony of pheromone-laying ants. Each ant wanders the lattice near
+// the swarm, biased toward cells its colony has visited before (the
+// pheromone field), and deposits a robot whenever it stands on a free cell
+// 4-adjacent to the swarm — so every addition touches the existing body
+// and the result is connected by construction. The pheromone bias makes
+// ants retrace and extend each other's trails, yielding organic branching
+// growths — denser than tree, stringier than blob — with a texture neither
+// deterministic family covers. An ant that wanders too long without
+// depositing is leashed back onto a random swarm cell. Deterministic for a
+// fixed seed: neighbors are scored in the fixed Axis4 order and the
+// pheromone map is only keyed into, never iterated.
+func AntColony(n int, seed int64) *swarm.Swarm {
+	rng := rand.New(rand.NewSource(seed))
+	s := swarm.New(grid.Pt(0, 0))
+	const ants = 8
+	const leash = 48 // steps without a deposit before teleporting home
+	pher := map[grid.Point]int{grid.Pt(0, 0): 1}
+	pos := make([]grid.Point, ants)
+	idle := make([]int, ants)
+	for s.Len() < n {
+		for a := 0; a < ants && s.Len() < n; a++ {
+			// Roulette-pick among the four neighbors in fixed order, weight
+			// 1 + min(pheromone, cap): trails attract, but the cap keeps
+			// every direction at positive probability — a greedy pick would
+			// let two high-pheromone interior cells trap an ant forever.
+			var w [4]float64
+			total := 0.0
+			for j, d := range grid.Axis4 {
+				w[j] = float64(1 + min(pher[pos[a].Add(d)], 8))
+				total += w[j]
+			}
+			best := pos[a].Add(grid.Axis4[3])
+			r := rng.Float64() * total
+			for j, d := range grid.Axis4 {
+				if r -= w[j]; r < 0 {
+					best = pos[a].Add(d)
+					break
+				}
+			}
+			pos[a] = best
+			pher[best]++
+			idle[a]++
+			if !s.Has(best) {
+				adj := false
+				for _, q := range grid.Neighbors4(best) {
+					if s.Has(q) {
+						adj = true
+						break
+					}
+				}
+				if adj {
+					s.Add(best)
+					idle[a] = 0
+				}
+			}
+			if idle[a] > leash {
+				cells := s.Cells()
+				pos[a] = cells[rng.Intn(len(cells))]
+				idle[a] = 0
+			}
+		}
+	}
+	return s
+}
+
 func sign(v int) int {
 	if v < 0 {
 		return -1
@@ -435,6 +501,7 @@ func SeededCatalog() []SeededWorkload {
 		{Name: "blob", Build: RandomBlob, Random: true},
 		{Name: "walk", Build: RandomWalk, Random: true},
 		{Name: "clusters", Build: func(n int, seed int64) *swarm.Swarm { return RandomClusters(n, 4, seed) }, Random: true},
+		{Name: "antcolony", Build: AntColony, Random: true},
 	}
 }
 
@@ -444,8 +511,8 @@ func Catalog() []Workload {
 	seeded := SeededCatalog()
 	out := make([]Workload, 0, len(seeded))
 	for _, w := range seeded {
-		if w.Name == "walk" {
-			// The walk family is sweep-only: its shapes vary too wildly
+		if w.Name == "walk" || w.Name == "antcolony" {
+			// These families are sweep-only: their shapes vary too wildly
 			// across seeds for the fixed-seed experiment tables.
 			continue
 		}

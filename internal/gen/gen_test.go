@@ -48,6 +48,8 @@ func TestAllGeneratorsConnected(t *testing.T) {
 	check("walk", RandomWalk(120, 7))
 	check("clusters", RandomClusters(200, 4, 7))
 	check("clusters-tiny", RandomClusters(9, 4, 7))
+	check("antcolony", AntColony(120, 7))
+	check("antcolony-tiny", AntColony(3, 7))
 	check("sierpinski", Sierpinski(3))
 }
 
@@ -81,6 +83,9 @@ func TestGeneratorSizes(t *testing.T) {
 	}
 	if got := RandomClusters(300, 4, 3).Len(); got != 300 {
 		t.Errorf("clusters len = %d", got)
+	}
+	if got := AntColony(300, 3).Len(); got != 300 {
+		t.Errorf("antcolony len = %d", got)
 	}
 	// The carpet holds exactly 8^depth robots.
 	if got := Sierpinski(2).Len(); got != 64 {
@@ -132,6 +137,14 @@ func TestRandomGeneratorsDeterministic(t *testing.T) {
 	}
 	if a.Equal(RandomTree(64, 12)) {
 		t.Error("different seeds produced identical trees (suspicious)")
+	}
+	e := AntColony(200, 11)
+	f := AntColony(200, 11)
+	if !e.Equal(f) {
+		t.Error("AntColony not deterministic for equal seed")
+	}
+	if e.Equal(AntColony(200, 12)) {
+		t.Error("different seeds produced identical colonies (suspicious)")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"gridgather/internal/baseline/asyncseq"
 	"gridgather/internal/core"
+	"gridgather/internal/fault"
 	"gridgather/internal/fsync"
 	"gridgather/internal/sched"
 )
@@ -25,6 +26,9 @@ type Scenario struct {
 	// Scheduler is the engine's time model; nil means FSYNC and keeps the
 	// engine's fast path.
 	Scheduler sched.Scheduler
+	// Faults is the fault-injection plan; nil means a clean, fault-free
+	// run and keeps every engine fast path.
+	Faults *fault.Plan
 	// Budget is the canonical simulation budget scaled by the scheduler's
 	// fairness bound. Apply caller overrides with Budget.WithOverrides.
 	Budget fsync.Budget
@@ -48,10 +52,12 @@ func CheckAlgorithm(name string) error {
 // or "paper" for the paper's algorithm (built from params, which must
 // already be validated — core.NewGatherer panics on invalid parameters) and
 // "greedy" for the scheduler-robust strategy (params ignored). scheduler is
-// a sched.Parse spec; seed feeds its randomized variants, with seed 0
-// normalized to 1 here — the single place that rule lives, so the public
-// API, the sweep harness and checkpoint restoration cannot drift on it.
-func Resolve(algorithm, scheduler string, seed int64, params core.Params, n int) (Scenario, error) {
+// a sched.Parse spec; faults is a fault.Parse spec ("" for a clean run).
+// seed feeds the randomized schedulers and unseeded fault clauses, with
+// seed 0 normalized to 1 here — the single place that rule lives, so the
+// public API, the sweep harness and checkpoint restoration cannot drift
+// on it.
+func Resolve(algorithm, scheduler, faults string, seed int64, params core.Params, n int) (Scenario, error) {
 	if seed == 0 {
 		seed = 1
 	}
@@ -67,6 +73,9 @@ func Resolve(algorithm, scheduler string, seed int64, params core.Params, n int)
 		out.Algorithm = asyncseq.Algorithm{}
 	default:
 		return Scenario{}, CheckAlgorithm(algorithm)
+	}
+	if out.Faults, err = fault.Parse(faults, seed); err != nil {
+		return Scenario{}, err
 	}
 	out.Budget = fsync.DefaultBudget(n).Scale(sch.Fairness(n))
 	if !sched.IsFSYNC(sch) {

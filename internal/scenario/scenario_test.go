@@ -10,7 +10,7 @@ import (
 )
 
 func TestResolveDefaults(t *testing.T) {
-	s, err := Resolve("", "", 1, core.Defaults(), 100)
+	s, err := Resolve("", "", "", 1, core.Defaults(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestResolveDefaults(t *testing.T) {
 }
 
 func TestResolveRelaxed(t *testing.T) {
-	s, err := Resolve("greedy", "ssync-rr:3", 1, core.Defaults(), 100)
+	s, err := Resolve("greedy", "ssync-rr:3", "", 1, core.Defaults(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +50,11 @@ func TestResolveSeedZeroMeansOne(t *testing.T) {
 		slots[i] = int32(i)
 	}
 	for _, spec := range []string{"ssync-rand:3", "ssync-lazy:5"} {
-		zero, err := Resolve("greedy", spec, 0, core.Defaults(), len(cells))
+		zero, err := Resolve("greedy", spec, "", 0, core.Defaults(), len(cells))
 		if err != nil {
 			t.Fatal(err)
 		}
-		one, err := Resolve("greedy", spec, 1, core.Defaults(), len(cells))
+		one, err := Resolve("greedy", spec, "", 1, core.Defaults(), len(cells))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,11 +73,14 @@ func TestResolveSeedZeroMeansOne(t *testing.T) {
 }
 
 func TestResolveErrors(t *testing.T) {
-	if _, err := Resolve("magic", "", 1, core.Defaults(), 10); err == nil {
+	if _, err := Resolve("magic", "", "", 1, core.Defaults(), 10); err == nil {
 		t.Error("expected error for unknown algorithm")
 	}
-	if _, err := Resolve("", "warp", 1, core.Defaults(), 10); err == nil {
+	if _, err := Resolve("", "warp", "", 1, core.Defaults(), 10); err == nil {
 		t.Error("expected error for unknown scheduler")
+	}
+	if _, err := Resolve("", "", "crash:p=7", 1, core.Defaults(), 10); err == nil {
+		t.Error("expected error for invalid fault spec")
 	}
 	if err := CheckAlgorithm("greedy"); err != nil {
 		t.Errorf("CheckAlgorithm(greedy): %v", err)

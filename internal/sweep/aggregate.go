@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gridgather/internal/fault"
 	"gridgather/internal/metrics"
 	"gridgather/internal/sched"
 )
@@ -53,10 +54,15 @@ type Aggregate struct {
 	// "ssync-rr:3") and Algorithm the robot program of the group.
 	Scheduler string `json:"scheduler"`
 	Algorithm string `json:"algorithm"`
+	// Faults is the canonical fault plan of the group ("" when fault-free).
+	Faults string `json:"faults,omitempty"`
 	// Runs is the number of simulations in the group, Failures how many
-	// aborted (round limit, stuck watchdog, disconnection).
+	// aborted (round limit, stuck watchdog, disconnection), Degraded how
+	// many continued past a fault disconnection on the largest surviving
+	// component (degraded runs still count as successes when they gather).
 	Runs     int `json:"runs"`
 	Failures int `json:"failures"`
+	Degraded int `json:"degraded,omitempty"`
 	// Robots is the mean actual robot count of the built instances.
 	Robots float64 `json:"robots"`
 	// Rounds, RoundsPerN, Merges, Moves and RunsStarted summarize the
@@ -75,6 +81,7 @@ type groupKey struct {
 	radius, l int
 	scheduler string
 	algorithm string
+	faults    string
 }
 
 // canonicalScheduler maps equivalent scheduler specs to one group name
@@ -112,18 +119,45 @@ func canonicalAlgorithm(name string) string {
 	return name
 }
 
+// canonicalFaults maps equivalent fault specs to one group name ("", "off"
+// and "none" all name the fault-free plan; probabilities render in shortest
+// round-trip form). Specs that do not parse group under their raw string.
+func canonicalFaults(spec string) string {
+	p, err := fault.Parse(spec, 1)
+	if err != nil {
+		return spec
+	}
+	return p.String()
+}
+
+// faultCanonicalizer returns a memoizing canonicalFaults, mirroring
+// schedCanonicalizer for the same per-row cost reason.
+func faultCanonicalizer() func(string) string {
+	memo := make(map[string]string)
+	return func(spec string) string {
+		c, ok := memo[spec]
+		if !ok {
+			c = canonicalFaults(spec)
+			memo[spec] = c
+		}
+		return c
+	}
+}
+
 // Aggregated groups results by (workload, n, radius, L, scheduler,
-// algorithm) and summarizes each group's metric distributions. Groups
-// appear in first-occurrence order of the input, so job-ordered results
-// yield deterministic reports.
+// algorithm, faults) and summarizes each group's metric distributions.
+// Groups appear in first-occurrence order of the input, so job-ordered
+// results yield deterministic reports.
 func Aggregated(results []Result) []Aggregate {
 	var order []groupKey
 	groups := make(map[groupKey][]Result)
 	canon := schedCanonicalizer()
+	canonF := faultCanonicalizer()
 	for _, r := range results {
 		k := groupKey{
 			r.Job.Workload, r.Job.N, r.Job.Params.Radius, r.Job.Params.L,
 			canon(r.Job.Scheduler), canonicalAlgorithm(r.Job.Algorithm),
+			canonF(r.Job.Faults),
 		}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
@@ -135,12 +169,16 @@ func Aggregated(results []Result) []Aggregate {
 		rs := groups[k]
 		a := Aggregate{
 			Workload: k.workload, N: k.n, Radius: k.radius, L: k.l,
-			Scheduler: k.scheduler, Algorithm: k.algorithm, Runs: len(rs),
+			Scheduler: k.scheduler, Algorithm: k.algorithm, Faults: k.faults,
+			Runs: len(rs),
 		}
 		var rounds, perN, merges, moves, runs []float64
 		var robots float64
 		for _, r := range rs {
 			robots += float64(r.Robots)
+			if r.Degraded {
+				a.Degraded++
+			}
 			if r.Err != "" || !r.Gathered {
 				a.Failures++
 				continue
@@ -166,10 +204,14 @@ func Aggregated(results []Result) []Aggregate {
 // the experiment harness outputs.
 func Table(aggs []Aggregate) string {
 	tab := metrics.Table{Header: []string{
-		"workload", "n", "R", "L", "sched", "alg", "runs", "fail",
+		"workload", "n", "R", "L", "sched", "alg", "faults", "runs", "fail", "degr",
 		"rounds(mean)", "rounds(p50)", "rounds(p90)", "rounds/n", "merges", "moves",
 	}}
 	for _, a := range aggs {
+		faults := a.Faults
+		if faults == "" {
+			faults = "-"
+		}
 		tab.AddRow(
 			a.Workload,
 			fmt.Sprint(a.N),
@@ -177,8 +219,10 @@ func Table(aggs []Aggregate) string {
 			fmt.Sprint(a.L),
 			a.Scheduler,
 			a.Algorithm,
+			faults,
 			fmt.Sprint(a.Runs),
 			fmt.Sprint(a.Failures),
+			fmt.Sprint(a.Degraded),
 			fmt.Sprintf("%.1f", a.Rounds.Mean),
 			fmt.Sprintf("%.1f", a.Rounds.P50),
 			fmt.Sprintf("%.1f", a.Rounds.P90),

@@ -32,14 +32,15 @@ func WriteJSON(w io.Writer, v any) error {
 func WriteResultsCSV(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"workload", "n", "seed", "radius", "l", "scheduler", "algorithm",
+		"workload", "n", "seed", "radius", "l", "scheduler", "algorithm", "faults",
 		"robots", "final_robots",
 		"gathered", "rounds", "rounds_per_n", "merges", "moves",
-		"runs_started", "err", "duration_ms",
+		"runs_started", "crashes", "degraded", "err", "duration_ms",
 	}); err != nil {
 		return err
 	}
 	canon := schedCanonicalizer()
+	canonF := faultCanonicalizer()
 	for _, r := range results {
 		rec := []string{
 			r.Job.Workload,
@@ -49,6 +50,7 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 			fmt.Sprint(r.Job.Params.L),
 			canon(r.Job.Scheduler),
 			canonicalAlgorithm(r.Job.Algorithm),
+			canonF(r.Job.Faults),
 			fmt.Sprint(r.Robots),
 			fmt.Sprint(r.FinalRobots),
 			fmt.Sprint(r.Gathered),
@@ -57,6 +59,8 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 			fmt.Sprint(r.Merges),
 			fmt.Sprint(r.Moves),
 			fmt.Sprint(r.RunsStarted),
+			fmt.Sprint(r.Crashes),
+			fmt.Sprint(r.Degraded),
 			r.Err,
 			fmt.Sprintf("%.3f", float64(r.Duration.Microseconds())/1000),
 		}
@@ -73,8 +77,8 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"workload", "n", "radius", "l", "scheduler", "algorithm",
-		"runs", "failures", "robots",
+		"workload", "n", "radius", "l", "scheduler", "algorithm", "faults",
+		"runs", "failures", "degraded", "robots",
 		"rounds_mean", "rounds_min", "rounds_max", "rounds_p50", "rounds_p90", "rounds_p99",
 		"rounds_per_n_mean", "merges_mean", "moves_mean", "runs_started_mean",
 	}); err != nil {
@@ -88,8 +92,10 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			fmt.Sprint(a.L),
 			a.Scheduler,
 			a.Algorithm,
+			a.Faults,
 			fmt.Sprint(a.Runs),
 			fmt.Sprint(a.Failures),
+			fmt.Sprint(a.Degraded),
 			fmt.Sprintf("%.1f", a.Robots),
 			fmt.Sprintf("%.2f", a.Rounds.Mean),
 			fmt.Sprintf("%.0f", a.Rounds.Min),

@@ -1,9 +1,9 @@
 // Package sweep is the concurrent experiment-sweep subsystem: it expands a
 // grid of (workload family × swarm size × parameter set × scheduler ×
-// algorithm × seed) into simulation jobs, fans the jobs out across
-// goroutines, and aggregates the per-run metrics (rounds, rounds/n, merges,
-// moves, with mean/min/max and percentiles) into machine-readable (JSON,
-// CSV) or human-readable (table) reports.
+// fault plan × algorithm × seed) into simulation jobs, fans the jobs out
+// across goroutines, and aggregates the per-run metrics (rounds, rounds/n,
+// merges, moves, with mean/min/max and percentiles) into machine-readable
+// (JSON, CSV) or human-readable (table) reports.
 //
 // The scheduler axis (internal/sched) sweeps the time model: FSYNC is the
 // paper's setting; SSYNC and ASYNC specs measure how the algorithms behave
@@ -31,6 +31,7 @@ import (
 
 	"gridgather"
 	"gridgather/internal/core"
+	"gridgather/internal/fault"
 	"gridgather/internal/gen"
 	"gridgather/internal/scenario"
 	"gridgather/internal/sched"
@@ -54,6 +55,9 @@ type Job struct {
 	// Algorithm names the robot program: "paper" (default, empty) or
 	// "greedy" (the scheduler-robust strategy; ignores Params).
 	Algorithm string `json:"algorithm,omitempty"`
+	// Faults is the fault-injection spec (fault.Parse grammar); empty runs
+	// fault-free. Clauses without an explicit "@seed" draw from Seed.
+	Faults string `json:"faults,omitempty"`
 	// MaxRounds aborts the run after this many rounds; 0 means the
 	// canonical budget (fsync.DefaultBudget scaled by the scheduler's
 	// fairness bound); negative values are rejected.
@@ -88,6 +92,11 @@ type Result struct {
 	Moves int `json:"moves"`
 	// RunsStarted counts the §3.2 run states created.
 	RunsStarted int `json:"runs_started"`
+	// Crashes counts the robots that crash-stopped (Job.Faults; 0 in a
+	// clean run) and Degraded reports whether a fault disconnected the
+	// swarm and the run continued on the largest surviving component.
+	Crashes  int  `json:"crashes,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
 	// Err is the abort reason, empty on success.
 	Err string `json:"err,omitempty"`
 	// Duration is the wall-clock simulation time.
@@ -126,6 +135,7 @@ func RunOne(job Job) Result {
 		gridgather.WithScheduler(job.Scheduler),
 		gridgather.WithSchedulerSeed(job.Seed),
 		gridgather.WithAlgorithm(job.Algorithm),
+		gridgather.WithFaults(job.Faults),
 		gridgather.WithMaxRounds(job.MaxRounds),
 		gridgather.WithNoMergeLimit(job.NoMergeLimit),
 		gridgather.WithWorkers(max(job.EngineWorkers, 1)),
@@ -146,6 +156,8 @@ func RunOne(job Job) Result {
 	out.Merges = res.Merges
 	out.Moves = res.Moves
 	out.RunsStarted = res.RunsStarted
+	out.Crashes = res.Crashes
+	out.Degraded = res.Degraded
 	if res.InitialRobots > 0 {
 		out.RoundsPerN = float64(res.Rounds) / float64(res.InitialRobots)
 	}
@@ -276,13 +288,17 @@ type Spec struct {
 	// Algorithms are robot program names (see Algorithms); empty means
 	// {"paper"}.
 	Algorithms []string
+	// Faults are fault-injection specs (fault.Parse grammar); empty means
+	// {""} (fault-free). Specs whose clauses lack an explicit "@seed" draw
+	// their fault schedule from each job's seed.
+	Faults []string
 	// EngineWorkers is copied to every job (see Job.EngineWorkers).
 	EngineWorkers int
 }
 
 // Jobs expands the spec into concrete jobs in deterministic order
-// (workload-major, then size, then params, then scheduler, then algorithm,
-// then seed).
+// (workload-major, then size, then params, then scheduler, then faults,
+// then algorithm, then seed).
 func (s Spec) Jobs() ([]Job, error) {
 	if len(s.Sizes) == 0 {
 		return nil, fmt.Errorf("sweep: spec has no sizes")
@@ -324,6 +340,20 @@ func (s Spec) Jobs() ([]Job, error) {
 		}
 		schedRandom[spec] = r
 	}
+	faults := s.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
+	// Likewise fault specs: validate once, and record which specs draw
+	// their fault schedule from the job seed (any clause without "@seed").
+	faultSeeded := make(map[string]bool, len(faults))
+	for _, spec := range faults {
+		fs, err := fault.Seeded(spec)
+		if err != nil {
+			return nil, err
+		}
+		faultSeeded[spec] = fs
+	}
 	var jobs []Job
 	for _, name := range families {
 		random, err := isRandom(name)
@@ -339,23 +369,27 @@ func (s Spec) Jobs() ([]Job, error) {
 					return nil, fmt.Errorf("sweep: %w", err)
 				}
 				for _, scheduler := range schedulers {
-					// Skip redundant seeds only when neither the workload
-					// builder nor the scheduler depends on the seed.
-					jobSeeds := seeds
-					if !random && !schedRandom[scheduler] {
-						jobSeeds = seeds[:1]
-					}
-					for _, algorithm := range algorithms {
-						for _, seed := range jobSeeds {
-							jobs = append(jobs, Job{
-								Workload:      name,
-								N:             n,
-								Seed:          seed,
-								Params:        p,
-								Scheduler:     scheduler,
-								Algorithm:     algorithm,
-								EngineWorkers: s.EngineWorkers,
-							})
+					for _, faultSpec := range faults {
+						// Skip redundant seeds only when neither the
+						// workload builder, the scheduler, nor the fault
+						// plan depends on the seed.
+						jobSeeds := seeds
+						if !random && !schedRandom[scheduler] && !faultSeeded[faultSpec] {
+							jobSeeds = seeds[:1]
+						}
+						for _, algorithm := range algorithms {
+							for _, seed := range jobSeeds {
+								jobs = append(jobs, Job{
+									Workload:      name,
+									N:             n,
+									Seed:          seed,
+									Params:        p,
+									Scheduler:     scheduler,
+									Algorithm:     algorithm,
+									Faults:        faultSpec,
+									EngineWorkers: s.EngineWorkers,
+								})
+							}
 						}
 					}
 				}

@@ -28,6 +28,8 @@ type View struct {
 	occ     func(grid.Point) bool
 	state   func(grid.Point) robot.State
 	round   int
+	crashed func(grid.Point) bool
+	noise   grid.Point // non-zero: occupancy reads at this offset are inverted
 }
 
 // Config bundles the engine-side accessors for building views.
@@ -47,6 +49,12 @@ type Config struct {
 	// State returns the state of the robot at a world coordinate (zero
 	// State if the cell is free). Closure slow path like Occ.
 	State func(grid.Point) robot.State
+	// Crashed reports whether the robot at a world coordinate has
+	// crash-stopped (nil when the simulation carries no crash faults).
+	// Exposing it in views is the failure-detector assumption of the
+	// crash-stop model: a robot can tell a crashed neighbor from a live
+	// one, but learns nothing else about it.
+	Crashed func(grid.Point) bool
 }
 
 // New builds the view of the robot at world position origin for the given
@@ -59,6 +67,7 @@ func New(cfg Config, origin grid.Point, round int) *View {
 		dense:   cfg.Dense,
 		occ:     cfg.Occ,
 		state:   cfg.State,
+		crashed: cfg.Crashed,
 		round:   round,
 	}
 }
@@ -71,7 +80,15 @@ func New(cfg Config, origin grid.Point, round int) *View {
 func (v *View) Reposition(origin grid.Point, round int) {
 	v.origin = origin
 	v.round = round
+	v.noise = grid.Point{}
 }
+
+// SetNoise installs a sensor-noise flip for this activation: occupancy
+// reads at exactly the given relative offset return the inverted value.
+// The zero offset clears the flip (a robot always senses itself
+// correctly). Reposition resets the flip, so noise never leaks across
+// robots when the engine reuses a view allocation.
+func (v *View) SetNoise(rel grid.Point) { v.noise = rel }
 
 // Radius returns the viewing radius.
 func (v *View) Radius() int { return v.radius }
@@ -92,14 +109,33 @@ func (v *View) check(rel grid.Point) {
 // is occupied. Occ(grid.Zero) is always true.
 func (v *View) Occ(rel grid.Point) bool {
 	v.check(rel)
+	occ := false
 	if v.dense != nil {
-		return v.dense.Has(v.origin.Add(rel))
+		occ = v.dense.Has(v.origin.Add(rel))
+	} else {
+		occ = v.occ(v.origin.Add(rel))
 	}
-	return v.occ(v.origin.Add(rel))
+	if rel == v.noise && v.noise != (grid.Point{}) {
+		return !occ
+	}
+	return occ
 }
 
 // Free reports whether the cell at the given offset is empty.
 func (v *View) Free(rel grid.Point) bool { return !v.Occ(rel) }
+
+// CrashedAt reports whether the cell at the given offset holds a
+// crash-stopped robot. Always false when the simulation carries no crash
+// faults. The liveness read is gated on the (possibly noise-corrupted)
+// occupancy read, so the view never tells an inconsistent story: a noise
+// flip that hides a crashed robot also hides its crash mark, and a phantom
+// robot conjured on a free cell always reads as live.
+func (v *View) CrashedAt(rel grid.Point) bool {
+	if v.crashed == nil {
+		return false
+	}
+	return v.Occ(rel) && v.crashed(v.origin.Add(rel))
+}
 
 // StateAt returns the state of the robot at the given offset. Robots can
 // "see the states of all robots inside the viewing range".

@@ -43,7 +43,11 @@ package world
 // follow; the differential suite in this package and internal/fsync proves
 // the two paths agree bit-for-bit, round by round.
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"gridgather/internal/grid"
+)
 
 // connLink is one seam adjacency: local component a of the owning chunk
 // touches local component b of the neighbor across the border.
@@ -61,12 +65,27 @@ type chunkConn struct {
 	ncomps int
 	labels [tileSize * tileSize]uint16
 
+	// comps aggregates each local component's cell count, bounding box and
+	// canonical minimum cell (absolute coordinates), maintained by relabel.
+	// The largest-component query folds these per-chunk summaries across
+	// seam links instead of revisiting cells.
+	comps []compAgg
+
 	east, north     []connLink
 	eastNbr         *chunkConn
 	northNbr        *chunkConn
 	eastOK, northOK bool
 
 	base int32 // per-query scratch: first global union-find node of this chunk
+}
+
+// compAgg summarizes one component (chunk-local in chunkConn.comps, global
+// in the largest-component query scratch): cell count, bounding box, and
+// the component's minimum cell in canonical (Less) order.
+type compAgg struct {
+	size   int32
+	bounds grid.Rect
+	min    grid.Point
 }
 
 // rowRun is one horizontal run of consecutive occupied cells during a
@@ -105,6 +124,7 @@ type connIncr struct {
 	runUF   []int32
 	runRows []int8 // run id → row (for the label fill pass)
 	runs    []rowRun
+	agg     []compAgg    // largest-component per-root aggregates
 	free    []*chunkConn // chunkConn free list (evicted chunks)
 }
 
@@ -307,12 +327,34 @@ func (c *connIncr) relabel(cc *chunkConn, t *tile, layer int) {
 			ncomps++
 		}
 	}
+	if cap(cc.comps) < ncomps {
+		cc.comps = make([]compAgg, ncomps)
+	}
+	cc.comps = cc.comps[:ncomps]
+	for i := range cc.comps {
+		cc.comps[i] = compAgg{bounds: grid.EmptyRect}
+	}
+	// Absolute coordinates via OR: x < 64 and the low 6 bits of cx<<6 are
+	// zero (also for negative cx in two's complement), so OR is addition.
+	baseX, baseY := cc.cx<<tileShift, cc.cy<<tileShift
 	for i := range runs {
 		comp := uint16(runs[findRun(uf, int32(i))].id)
 		row := int(rows[i]) << tileShift
-		for m := runs[i].mask; m != 0; m &= m - 1 {
+		mask := runs[i].mask
+		for m := mask; m != 0; m &= m - 1 {
 			cc.labels[row|bits.TrailingZeros64(m)] = comp
 		}
+		a := &cc.comps[comp]
+		y := baseY | int(rows[i])
+		lo := grid.Point{X: baseX | bits.TrailingZeros64(mask), Y: y}
+		hi := grid.Point{X: baseX | (63 - bits.LeadingZeros64(mask)), Y: y}
+		// Rows ascend and a run's lowest cell is its Less-minimum, so the
+		// Less-least run candidate is the component's true minimum cell.
+		if a.size == 0 || lo.Less(a.min) {
+			a.min = lo
+		}
+		a.size += int32(bits.OnesCount64(mask))
+		a.bounds = a.bounds.Include(lo).Include(hi)
 	}
 	cc.ncomps = ncomps
 	c.runs, c.runUF, c.runRows = runs, uf, rows
@@ -344,7 +386,16 @@ func unionRuns(uf []int32, a, b int32) {
 // entries, in deterministic order. Label bases, and therefore the union-find
 // trace, come out identical on every run.
 func (c *connIncr) query(d *Dense) bool {
-	n := int32(0)
+	n, roots := c.unite(d)
+	return n <= 1 || roots == 1
+}
+
+// unite runs the shared half of the chunk-graph queries: assign label
+// bases, initialize the union-find, refresh invalidated border caches and
+// union every seam link. Returns the node count and the surviving root
+// count. n ≤ 1 short-circuits before the union-find is touched (there is
+// nothing to union); callers must not read c.parent in that case.
+func (c *connIncr) unite(d *Dense) (n, roots int32) {
 	for _, t := range d.live[d.cur] {
 		cc := c.chunks[t]
 		if cc == nil {
@@ -354,8 +405,8 @@ func (c *connIncr) query(d *Dense) bool {
 		n += int32(cc.ncomps)
 	}
 	c.stats.Chunks, c.stats.Comps = len(c.chunks), int(n)
-	if n == 1 {
-		return true
+	if n <= 1 {
+		return n, n
 	}
 	if cap(c.parent) < int(n) {
 		c.parent = make([]int32, n)
@@ -364,7 +415,7 @@ func (c *connIncr) query(d *Dense) bool {
 	for i := range c.parent {
 		c.parent[i] = int32(i)
 	}
-	roots := n
+	roots = n
 	for _, t := range d.live[d.cur] {
 		cc := c.chunks[t]
 		if cc == nil {
@@ -387,7 +438,57 @@ func (c *connIncr) query(d *Dense) bool {
 			roots -= c.union(cc.base+int32(l.a), cc.northNbr.base+int32(l.b))
 		}
 	}
-	return roots == 1
+	return n, roots
+}
+
+// largest folds the per-chunk component summaries across the seam
+// union-find and returns the largest component's cell count, bounding box
+// and canonical minimum cell. Ties go to the component with the smaller
+// minimum cell — exactly the component a first-wins scan in canonical cell
+// order keeps, so the incremental answer matches LargestComponentBFS
+// bit-for-bit.
+func (c *connIncr) largest(d *Dense) (size int, bounds grid.Rect, seed grid.Point) {
+	n, _ := c.unite(d)
+	if n == 0 {
+		return 0, grid.EmptyRect, grid.Point{}
+	}
+	if cap(c.agg) < int(n) {
+		c.agg = make([]compAgg, n)
+	}
+	agg := c.agg[:n]
+	for i := range agg {
+		agg[i] = compAgg{bounds: grid.EmptyRect}
+	}
+	for _, t := range d.live[d.cur] {
+		cc := c.chunks[t]
+		if cc == nil {
+			continue
+		}
+		for id := range cc.comps {
+			node := cc.base + int32(id)
+			if n > 1 {
+				node = c.find(node)
+			}
+			a, src := &agg[node], &cc.comps[id]
+			if a.size == 0 || src.min.Less(a.min) {
+				a.min = src.min
+			}
+			a.size += src.size
+			a.bounds = a.bounds.Include(grid.Point{X: src.bounds.MinX, Y: src.bounds.MinY}).
+				Include(grid.Point{X: src.bounds.MaxX, Y: src.bounds.MaxY})
+		}
+	}
+	best := -1
+	for i := range agg {
+		if agg[i].size == 0 {
+			continue // not a root: its cells were folded into the root's entry
+		}
+		if best < 0 || agg[i].size > agg[best].size ||
+			(agg[i].size == agg[best].size && agg[i].min.Less(agg[best].min)) {
+			best = i
+		}
+	}
+	return int(agg[best].size), agg[best].bounds, agg[best].min
 }
 
 // neighborConn resolves the chunkConn at chunk coordinates (cx, cy), nil

@@ -353,3 +353,58 @@ func FuzzIncrementalConnectivity(f *testing.F) {
 		checkAgainstOracle(t, d, s, s.Cells())
 	})
 }
+
+// TestLargestLiveComponent pins the degraded-mode ranking: components are
+// ranked by live-robot count, not cell count, so a big heap of crashed
+// robots never outranks the survivors, and the returned bounds cover only
+// the live cells.
+func TestLargestLiveComponent(t *testing.T) {
+	// Component A: a 3×3 block at the origin, fully crashed (9 cells).
+	// Component B: a 2-cell strip far away, fully live.
+	cells := []grid.Point{}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			cells = append(cells, grid.Pt(x, y))
+		}
+	}
+	cells = append(cells, grid.Pt(50, 0), grid.Pt(51, 0))
+	d := connWorld(cells...)
+	crashed := map[int32]bool{}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			crashed[d.SlotAt(grid.Pt(x, y))] = true
+		}
+	}
+	live := func(s int32) bool { return !crashed[s] }
+
+	n, b := d.LargestLiveComponent(live)
+	if n != 2 {
+		t.Fatalf("live count = %d, want 2 (the crashed 3×3 must not win)", n)
+	}
+	if b != (grid.Rect{MinX: 50, MinY: 0, MaxX: 51, MaxY: 0}) {
+		t.Fatalf("live bounds = %v", b)
+	}
+
+	// A crashed cell inside the winning component is scenery: it affects
+	// neither the count nor the bounds.
+	d2 := connWorld(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	mid := d2.SlotAt(grid.Pt(1, 0))
+	n2, b2 := d2.LargestLiveComponent(func(s int32) bool { return s != mid })
+	if n2 != 2 || b2 != (grid.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 0}) {
+		t.Fatalf("count/bounds with embedded crash = %d, %v", n2, b2)
+	}
+
+	// All-crashed world: no live component at all.
+	n3, _ := d.LargestLiveComponent(func(int32) bool { return false })
+	if n3 != 0 {
+		t.Fatalf("all-crashed world reported %d live robots", n3)
+	}
+
+	// Tie on live count: first-wins over canonical order — the component
+	// with the smaller minimum cell.
+	d4 := connWorld(grid.Pt(0, 0), grid.Pt(10, 0))
+	n4, b4 := d4.LargestLiveComponent(func(int32) bool { return true })
+	if n4 != 1 || b4 != (grid.Rect{MinX: 0, MinY: 0, MaxX: 0, MaxY: 0}) {
+		t.Fatalf("tie-break: %d, %v; want the canonical-first singleton", n4, b4)
+	}
+}

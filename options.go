@@ -11,8 +11,8 @@ import (
 // available CPUs.
 //
 // Options divide into two classes. Structural options (WithRadius, WithL,
-// WithScheduler, WithSchedulerSeed, WithAlgorithm) define what is being
-// simulated; they are baked into snapshots and rejected by Restore.
+// WithScheduler, WithSchedulerSeed, WithAlgorithm, WithFaults) define what
+// is being simulated; they are baked into snapshots and rejected by Restore.
 // Execution options (WithMaxRounds, WithNoMergeLimit, WithWorkers,
 // WithConnectivityCheck, WithStrictLocality, WithObserver) only control
 // how the simulation is driven and may be changed freely on Restore.
@@ -27,6 +27,7 @@ type settings struct {
 	scheduler     string
 	schedulerSeed int64
 	algorithm     string
+	faults        string
 	checkConn     bool
 	checkConnSet  bool // WithConnectivityCheck was passed (Restore override)
 	strict        bool
@@ -92,6 +93,24 @@ func WithSchedulerSeed(seed int64) Option {
 // ignores radius and L). Structural: rejected by Restore.
 func WithAlgorithm(name string) Option {
 	return structural("WithAlgorithm", func(s *settings) { s.algorithm = name })
+}
+
+// WithFaults injects deterministic faults by spec: "+"-joined clauses of
+// "crash:p=<prob>" (each robot crash-stops with probability p per round),
+// "crash-at:r=<round>,k=<count>" (a one-shot mass crash), and
+// "noise:p=<prob>" (each activation's view gets one flipped cell with
+// probability p); each clause takes an optional "@seed" pinning its RNG
+// stream independently of the scheduler seed. "" (default), "off" and
+// "none" run fault-free. A crashed robot freezes forever as an occupied,
+// mergeable-onto cell, and faults switch the run to graceful degradation:
+// a disconnection no longer aborts — gathering is then asked of the
+// survivors in the component holding the most live robots, observable via
+// EventDegraded and Status. Degradation piggybacks on the connectivity
+// check, so enable WithConnectivityCheck to observe disconnections; with
+// the check off, a run split by faults ends at the no-merge watchdog
+// instead. Structural: baked into snapshots, rejected by Restore.
+func WithFaults(spec string) Option {
+	return structural("WithFaults", func(s *settings) { s.faults = spec })
 }
 
 // WithMaxRounds sets the hard round limit after which the simulation

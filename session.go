@@ -41,6 +41,7 @@ type Simulation struct {
 	scheduler     string
 	schedulerSeed int64
 	algorithm     string
+	faults        string
 	checkConn     bool
 	strict        bool
 	workers       int
@@ -82,7 +83,7 @@ func newSession(sw *swarm.Swarm, cfg settings) (*Simulation, error) {
 	if err := params.Validate(); err != nil {
 		return nil, fmt.Errorf("gridgather: %w", err)
 	}
-	sc, err := scenario.Resolve(cfg.algorithm, cfg.scheduler, cfg.schedulerSeed, params, sw.Len())
+	sc, err := scenario.Resolve(cfg.algorithm, cfg.scheduler, cfg.faults, cfg.schedulerSeed, params, sw.Len())
 	if err != nil {
 		return nil, fmt.Errorf("gridgather: %w", err)
 	}
@@ -96,6 +97,7 @@ func newSession(sw *swarm.Swarm, cfg settings) (*Simulation, error) {
 		scheduler:     cfg.scheduler,
 		schedulerSeed: cfg.schedulerSeed,
 		algorithm:     cfg.algorithm,
+		faults:        cfg.faults,
 		checkConn:     cfg.checkConn,
 		strict:        cfg.strict,
 		workers:       cfg.workers,
@@ -129,6 +131,7 @@ func (s *Simulation) engineConfig(sc scenario.Scenario) fsync.Config {
 		StrictViews:         s.strict,
 		Workers:             s.workers,
 		Scheduler:           sc.Scheduler,
+		Faults:              sc.Faults,
 		FullBFSConnectivity: s.fullBFS,
 	}
 }
@@ -162,8 +165,10 @@ func (s *Simulation) Step() error {
 	round := s.wants(EventRound)
 	merge := s.eng.RoundMerges() > 0 && s.wants(EventMerge)
 	runs := s.roundRuns > 0 && s.wants(EventRunStart)
+	crash := s.eng.RoundCrashes() > 0 && s.wants(EventCrash)
+	degraded := s.eng.Degraded() && s.eng.DegradedRound() == s.eng.Round() && s.wants(EventDegraded)
 	gathered := s.eng.Gathered() && s.wants(EventGathered)
-	if round || merge || runs || gathered {
+	if round || merge || runs || crash || degraded || gathered {
 		s.fillEventBuffers()
 		if round {
 			s.emit(EventRound, nil)
@@ -173,6 +178,12 @@ func (s *Simulation) Step() error {
 		}
 		if runs {
 			s.emit(EventRunStart, nil)
+		}
+		if crash {
+			s.emit(EventCrash, nil)
+		}
+		if degraded {
+			s.emit(EventDegraded, nil)
 		}
 		if gathered {
 			s.emit(EventGathered, nil)
@@ -237,25 +248,71 @@ func (s *Simulation) Run(ctx context.Context) Result {
 type Status struct {
 	// Round is the number of completed rounds.
 	Round int
-	// Robots is the current population.
+	// Robots is the current population (occupied cells, crashed included).
 	Robots int
-	// Gathered reports whether the swarm currently fits in a 2×2 square.
+	// Alive is the number of robots still executing their program; Crashed
+	// counts the crash-stopped robots still occupying a cell. Without
+	// WithFaults, Alive == Robots and Crashed == 0.
+	Alive, Crashed int
+	// Gathered reports whether the gathering condition currently holds
+	// (all robots in a 2×2 square; under faults, the live robots — of the
+	// largest surviving component once degraded).
 	Gathered bool
+	// Degraded reports whether a fault disconnected the swarm and the run
+	// continues on the largest surviving component; DegradedRound is the
+	// round that happened (0 otherwise).
+	Degraded      bool
+	DegradedRound int
 	// Done reports whether the simulation has finished: gathered or
 	// aborted. A done session never executes further rounds.
 	Done bool
+	// Reason is a stable label for the session's condition: "" (running),
+	// "gathered", "degraded" (running toward a degraded gathering),
+	// "round-limit", "disconnected", "stuck", or "error". Aborts win over
+	// "gathered", which wins over "degraded".
+	Reason string
 	// Err is the abort error (nil unless the simulation aborted).
 	Err error
 }
 
 // Status returns the session's current progress.
 func (s *Simulation) Status() Status {
-	return Status{
-		Round:    s.eng.Round(),
-		Robots:   s.eng.World().Len(),
-		Gathered: s.eng.Gathered(),
-		Done:     s.err != nil || s.eng.Gathered(),
-		Err:      s.err,
+	gathered := s.eng.Gathered()
+	st := Status{
+		Round:         s.eng.Round(),
+		Robots:        s.eng.World().Len(),
+		Crashed:       s.eng.CrashedLive(),
+		Gathered:      gathered,
+		Degraded:      s.eng.Degraded(),
+		DegradedRound: s.eng.DegradedRound(),
+		Done:          s.err != nil || gathered,
+		Err:           s.err,
+	}
+	st.Alive = st.Robots - st.Crashed
+	st.Reason = statusReason(s.err, gathered, st.Degraded)
+	return st
+}
+
+// statusReason derives the Status.Reason label; see the field doc.
+func statusReason(err error, gathered, degraded bool) string {
+	switch err.(type) {
+	case nil:
+	case fsync.ErrRoundLimit:
+		return "round-limit"
+	case fsync.ErrDisconnected:
+		return "disconnected"
+	case fsync.ErrStuck:
+		return "stuck"
+	default:
+		return "error"
+	}
+	switch {
+	case gathered:
+		return "gathered"
+	case degraded:
+		return "degraded"
+	default:
+		return ""
 	}
 }
 
@@ -271,6 +328,9 @@ type Metrics struct {
 	RunsStarted int
 	// Moves counts individual robot hops.
 	Moves int
+	// Crashes counts the robots that crash-stopped so far (including
+	// crashed robots later absorbed by a merge). 0 without WithFaults.
+	Crashes int
 }
 
 // Metrics returns the session's current counters.
@@ -282,6 +342,7 @@ func (s *Simulation) Metrics() Metrics {
 		Merges:        s.eng.Merges(),
 		RunsStarted:   s.eng.RunsStarted(),
 		Moves:         s.eng.Moves(),
+		Crashes:       s.eng.Crashes(),
 	}
 }
 
@@ -297,6 +358,8 @@ func (s *Simulation) Result() Result {
 		Moves:         s.eng.Moves(),
 		InitialRobots: s.initial,
 		FinalRobots:   s.eng.World().Len(),
+		Crashes:       s.eng.Crashes(),
+		Degraded:      s.eng.Degraded(),
 		Err:           s.err,
 	}
 }

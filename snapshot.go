@@ -4,7 +4,7 @@
 // fingerprint on each run; if the format changed without a snapshotVersion
 // bump, it reports the stale hash and the new one to paste in after bumping.
 //
-//gather:snapshot-format version=snapshotVersion hash=7a97174bf959a404
+//gather:snapshot-format version=snapshotVersion hash=4e1f2cffc77e4dae
 
 package gridgather
 
@@ -28,8 +28,10 @@ import (
 var snapshotMagic = []byte("GGSS")
 
 // snapshotVersion is bumped whenever the layout changes; Restore rejects
-// other versions with ErrSnapshotVersion.
-const snapshotVersion = 1
+// other versions with ErrSnapshotVersion. Version 2 added the fault spec
+// to the structural header and the engine's fault section (crash marks,
+// degradation latch, fault-RNG cursor) to the state.
+const snapshotVersion = 2
 
 // Typed Restore failures, matched with errors.Is.
 var (
@@ -62,6 +64,7 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	b = codec.AppendString(b, s.scheduler)
 	b = codec.AppendVarint(b, s.schedulerSeed)
 	b = codec.AppendString(b, s.algorithm)
+	b = codec.AppendString(b, s.faults)
 	b = codec.AppendInt(b, s.maxRounds)
 	b = codec.AppendInt(b, s.noMergeLimit)
 	b = codec.AppendBool(b, s.checkConn)
@@ -154,6 +157,7 @@ func Restore(snapshot []byte, opts ...Option) (*Simulation, error) {
 		scheduler:     r.Text(),
 		schedulerSeed: r.Varint(),
 		algorithm:     r.Text(),
+		faults:        r.Text(),
 		maxRounds:     r.Int(),
 		noMergeLimit:  r.Int(),
 		checkConn:     r.Bool(),
@@ -197,7 +201,7 @@ func Restore(snapshot []byte, opts ...Option) (*Simulation, error) {
 	// The budget was resolved at the original construction (fairness-scaled
 	// by the initial population); Resolve here only rebuilds the algorithm
 	// and a fresh scheduler instance for the cursor to restore into.
-	sc, err := scenario.Resolve(sim.algorithm, sim.scheduler, sim.schedulerSeed, params, sim.initial)
+	sc, err := scenario.Resolve(sim.algorithm, sim.scheduler, sim.faults, sim.schedulerSeed, params, sim.initial)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshotInvalid, err)
 	}
