@@ -25,20 +25,28 @@
 // workloads (hollow, solid, line, blob) for every -bench-workers count and
 // every -bench-ns size, prints the table, and writes the JSON to the given
 // path. -bench-conn adds the connectivity-check microbench (incremental
-// layer vs full scratch BFS on sparse-movement rounds); -bench-repeats
-// keeps the fastest of several repeats per cell, which is what lets the
-// tight regression guard hold on noisy machines. The committed
-// BENCH_engine.json at the repo root is the performance baseline —
-// regenerate it with `-bench-ns 16384,131072 -bench-conn -bench-repeats 3
-// -bench-workers 1,4 -bench-gather=false` on a quiet machine.
-// -bench-guard exits non-zero if the parallel pipeline measured slower
-// than the serial path on any (workload, n) beyond perf.GuardTolerance.
+// layer vs full scratch BFS on sparse-movement rounds); -bench-quiesce
+// measures every cell under both quiescence modes (the dirty-region fast
+// path vs pinned full recomputation — the on/off ratio is the quiescence
+// layer's headline); -bench-repeats keeps the fastest of several repeats
+// per cell, which is what lets the tight regression guard hold on noisy
+// machines. The committed BENCH_engine.json at the repo root is the
+// performance baseline — regenerate it with `-bench-ns 16384,131072
+// -bench-conn -bench-quiesce -bench-repeats 3 -bench-workers 1,4
+// -bench-gather=false` on a quiet machine. -bench-guard exits non-zero if
+// the parallel pipeline measured slower than the serial path on any
+// (workload, n, quiesce mode) beyond perf.GuardTolerance.
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the whole
+// run (experiments or bench alike) for use with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -75,9 +83,41 @@ func main() {
 	benchWorkers := flag.String("bench-workers", "1", "comma-separated worker counts to measure per -bench-json workload")
 	benchWorkloads := flag.String("bench-workloads", "", "comma-separated workload names for -bench-json (default hollow,solid,line,blob; large-n runs should pick compact shapes — hollow/line tile memory grows with the perimeter)")
 	benchConn := flag.Bool("bench-conn", false, "also measure the connectivity check (incremental vs full BFS) per workload/n")
+	benchQuiesce := flag.Bool("bench-quiesce", false, "measure each -bench-json cell under both quiescence modes (fast path vs full recompute)")
 	benchGuard := flag.Bool("bench-guard", false, "exit non-zero if the parallel pipeline is slower than the serial path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run (experiments or bench) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
 	exp.Concurrency = *jobs
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	w := os.Stdout
 	if *benchJSON != "" {
@@ -107,6 +147,7 @@ func main() {
 			Workers:       workers,
 			Gather:        *benchGather,
 			ConnCheck:     *benchConn,
+			Quiesce:       *benchQuiesce,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -56,6 +56,12 @@ const interferenceRadius = 3
 // cells (L∞ 1 further, L1 ≤ 8).
 func (Algorithm) Radius() int { return 8 }
 
+// RoundPeriod implements fsync.Periodic: the strategy never reads the
+// round number — its decisions are pure functions of the view's cell
+// contents — so any two activations with identical views decide
+// identically (period 1), unlocking the engine's quiescence fast path.
+func (Algorithm) RoundPeriod() int { return 1 }
+
 // candidate returns the move the sequential strategy proposes for the robot
 // at relative position base (grid.Zero = the observing robot itself), if
 // any. Returned coordinates are relative to base.

@@ -35,6 +35,12 @@ func Default() *Gatherer { return NewGatherer(Defaults()) }
 // Radius implements fsync.Algorithm.
 func (g *Gatherer) Radius() int { return g.params.Radius }
 
+// RoundPeriod implements fsync.Periodic: Compute reads the round only
+// through the every-L-th-round run-start gate (Fig. 11 step 3), so two
+// activations with identical views and rounds congruent mod L decide
+// identically — which unlocks the engine's quiescence fast path.
+func (g *Gatherer) RoundPeriod() int { return g.params.L }
+
 // Params returns the algorithm's parameters.
 func (g *Gatherer) Params() Params { return g.params }
 

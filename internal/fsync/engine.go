@@ -78,6 +78,21 @@ type Algorithm interface {
 	Radius() int
 }
 
+// Periodic is an optional Algorithm extension that unlocks the quiescence
+// fast path. An algorithm implementing it promises that Compute is a pure
+// function of the view's cell contents (occupancy, states, crash marks
+// within the radius) and of v.Round() mod RoundPeriod() ONLY — two
+// activations whose views agree cell-for-cell and whose rounds are
+// congruent mod the period must produce identical actions. The paper's
+// algorithm qualifies with period L (run starts fire on round%L == 0 and
+// nothing else reads the round); round-oblivious algorithms qualify with
+// period 1. Algorithms that read the absolute round, randomize, or carry
+// hidden per-robot state must NOT implement it. Periods outside [1, 32]
+// disable the fast path (verdict masks are 32 bits wide).
+type Periodic interface {
+	RoundPeriod() int
+}
+
 // Config controls engine behaviour.
 type Config struct {
 	// MaxRounds aborts the simulation after this many rounds. 0 means no
@@ -119,6 +134,16 @@ type Config struct {
 	// proven to agree answer-for-answer by the differential suite; this
 	// knob is the escape hatch and the oracle side of that suite.
 	FullBFSConnectivity bool
+	// FullRecompute disables the quiescence fast path: every activated
+	// robot rebuilds its view and reruns Compute every round, even when the
+	// dirty-region tracking proves its view unchanged and its cached
+	// verdict is "stay". Like FullBFSConnectivity this never changes
+	// outcomes — the quiescence differential suite proves skip ≡ recompute
+	// bit-identically — so it is an escape hatch and the oracle side of
+	// that suite. Quiescence also self-disables when the algorithm does not
+	// implement Periodic or when StrictViews is on (a skipped robot proves
+	// no locality).
+	FullRecompute bool
 	// Scheduler yields each round's activation set, generalizing the time
 	// model to SSYNC/ASYNC (see internal/sched). nil means FSYNC — every
 	// robot every round — via a fast path that skips the activation and
@@ -199,6 +224,16 @@ type Engine struct {
 	// this is purely a performance decision.
 	resolveSerial int
 
+	// Quiescence state (quiesce.go; all zero when the fast path is off).
+	// qFlags parallels acts/order: compute workers write one byte per
+	// robot at disjoint indices, the serial post-pass reads them all.
+	qOn       bool
+	qPeriod   int
+	qFlags    []uint8
+	qMarks    []grid.Point // deferred view-dirty marks (post-pass scratch)
+	qComputed int          // activations that ran Look+Compute
+	qSkipped  int          // activations replayed from the quiescent cache
+
 	// Scratch structures reused across rounds. Each Step fills them from
 	// scratch; nothing outside Step may retain references to them.
 	order        []grid.Point  // this round's activation set
@@ -262,6 +297,7 @@ type resolveOut struct {
 	crashedGone int // crashed sleepers a live arrival merged away
 	keeps       []idxKeep
 	transfers   []idxTransfer
+	dirty       []grid.Point // merge cells to view-dirty for quiescence (occupancy-stable state changes)
 }
 
 func (o *resolveOut) reset() {
@@ -269,6 +305,7 @@ func (o *resolveOut) reset() {
 	o.crashedGone = 0
 	o.keeps = o.keeps[:0]
 	o.transfers = o.transfers[:0]
+	o.dirty = o.dirty[:0]
 }
 
 // idxKeep is a surviving-so-far brand-new kept run awaiting adoption,
@@ -352,6 +389,7 @@ func New(s *swarm.Swarm, alg Algorithm, cfg Config) *Engine {
 		nextRunID: 1,
 	}
 	e.initFaults()
+	e.initQuiesce()
 	return e
 }
 
@@ -439,8 +477,12 @@ func (e *Engine) Runners() []grid.Point {
 
 // SetRound overrides the round counter (test scaffolding: starting at a
 // round that is not a multiple of L suppresses run starts while planted
-// run states are observed).
-func (e *Engine) SetRound(r int) { e.round = r }
+// run states are observed). Cached quiescent verdicts are dropped — the
+// jump changes every robot's round phase out from under them.
+func (e *Engine) SetRound(r int) {
+	e.round = r
+	e.w.QuiesceReset()
+}
 
 // SetState overrides the state of the robot at p (test scaffolding for
 // constructing mid-run scenarios).
@@ -558,23 +600,49 @@ func (e *Engine) crashedAtCell(p grid.Point) bool {
 // keeps the phase allocation-free; disjoint index ranges keep concurrent
 // calls race-free and the combined result independent of the sharding.
 //
+// With quiescence on, robots whose cell is clean and whose cached verdict
+// for this round phase is "quiescent" replay Stay without building a view
+// (QuiesceSkip reads only immutable pre-round state, so the check is safe
+// from concurrent workers); noise-flipped activations never skip — the
+// perturbed view is not the cached one. Each robot's skip/noisy/had-runs
+// disposition lands in e.qFlags for the serial post-pass.
+//
 //gather:hotpath
 func (e *Engine) computeRange(vc view.Config, lo, hi int) error {
 	v := view.New(vc, grid.Zero, e.round)
 	flips := e.flips
+	q := e.qOn
 	for i := lo; i < hi; i++ {
 		p := e.order[i]
-		v.Reposition(p, e.localRound(p))
+		lr := e.localRound(p)
+		var off grid.Point
 		if len(flips) != 0 {
-			if off := flips[i]; off != (grid.Point{}) {
-				v.SetNoise(off)
-			}
+			off = flips[i]
+		}
+		if q && off == (grid.Point{}) && e.w.QuiesceSkip(p, lr%e.qPeriod) {
+			e.acts[i] = actionAt{from: p} // the cached quiescent action: Stay
+			e.qFlags[i] = qfSkip
+			continue
+		}
+		v.Reposition(p, lr)
+		if off != (grid.Point{}) {
+			v.SetNoise(off)
 		}
 		a := e.alg.Compute(v)
 		if a.Move.Linf() > 1 {
 			return fmt.Errorf("fsync: robot at %v attempted move %v exceeding one cell", p, a.Move) //gather:alloc-ok abort path, the round is already lost
 		}
 		e.acts[i] = actionAt{from: p, act: a}
+		if q {
+			f := uint8(0)
+			if off != (grid.Point{}) {
+				f = qfNoisy
+			}
+			if e.w.HasRunsAt(p) {
+				f |= qfHadRuns
+			}
+			e.qFlags[i] = f
+		}
 	}
 	return nil
 }
@@ -710,6 +778,10 @@ func (e *Engine) activateFaulty(scheduled bool, cells []grid.Point) {
 		for i, s := range slots {
 			if !alive[i] && !e.crashed[s] {
 				e.crashed[s] = true
+				// The crash flips CrashedAt for this very round's views
+				// (crashes draw before compute), with no occupancy change:
+				// view-dirty the region before any skip check runs.
+				e.w.MarkViewDirty(cells[i])
 			}
 		}
 		e.crashesTotal += c
@@ -784,8 +856,20 @@ func (e *Engine) stageCompute(workers int) error {
 		e.acts = make([]actionAt, n)
 	}
 	e.acts = e.acts[:n]
+	if e.qOn {
+		// One disposition byte per activation; computeRange writes every
+		// index (skip and compute alike), so no clearing is needed.
+		if cap(e.qFlags) < n {
+			e.qFlags = make([]uint8, n)
+		}
+		e.qFlags = e.qFlags[:n]
+	}
 	if workers == 1 {
-		return e.computeRange(vc, 0, n)
+		if err := e.computeRange(vc, 0, n); err != nil {
+			return err
+		}
+		e.quiescePost()
+		return nil
 	}
 	if cap(e.computeErrs) < workers {
 		e.computeErrs = make([]error, workers)
@@ -801,6 +885,7 @@ func (e *Engine) stageCompute(workers int) error {
 			return errs[w]
 		}
 	}
+	e.quiescePost()
 	return nil
 }
 
@@ -882,6 +967,9 @@ func (e *Engine) stageResolve(scheduled bool, workers int) int {
 				rb = append(rb, e.deliver[k].run)
 			}
 			e.w.SetArrivalState(to, robot.State{Runs: rb})
+			// The recipient gained runs without moving: view-dirty its
+			// region so it and its neighbors recompute next round.
+			e.w.MarkViewDirty(to)
 		}
 		i = j
 	}
@@ -1004,6 +1092,12 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 					break
 				}
 			}
+		} else if e.qOn {
+			// A merge can leave dst occupancy-stable (arrival onto a stayer)
+			// while its state, slot and crash mark change under the
+			// neighbors' views — the commit diff can't see it, so queue a
+			// view-dirty mark for the serial pass after the lanes join.
+			out.dirty = append(out.dirty, dst) //gather:alloc-ok length-reset in out.reset, steady-state reuse
 		}
 		if scheduled {
 			e.w.RaiseClock(dst, cl)
@@ -1037,6 +1131,11 @@ func (e *Engine) resolveLane(ln int, all bool, actIdx, sleepIdx []int32, schedul
 			cl = e.w.ClockAt(p)
 		}
 		cnt := e.w.SleepShard(ln, p)
+		if e.qOn && cnt > 1 {
+			// An activated robot already landed on this sleeper's cell: the
+			// sleeper merges away, an occupancy-stable state/slot change.
+			out.dirty = append(out.dirty, p) //gather:alloc-ok length-reset in out.reset, steady-state reuse
+		}
 		if e.crashTrack && cnt > 1 && e.crashed[e.w.SlotAt(p)] {
 			// A live robot merged onto a crashed sleeper: the crash mark
 			// dies with the sleeper's slot (slots are never reused), and
@@ -1066,6 +1165,11 @@ func (e *Engine) mergeOuts(lanes int) int {
 	for i := range outs {
 		moved += outs[i].moved
 		gone += outs[i].crashedGone
+		for _, p := range outs[i].dirty {
+			// Serial, after the lanes joined: MarkViewDirty writes shared
+			// qdirty planes. OR-only, so lane order is irrelevant.
+			e.w.MarkViewDirty(p)
+		}
 	}
 	e.crashedLive -= gone
 	if len(outs) == 1 {

@@ -1,0 +1,129 @@
+// Quiescence-driven rounds: the engine half of the dirty-region fast path
+// (the world half is internal/world/quiesce.go). The paper's strategy
+// moves only boundary robots, so a dense swarm's interior recomputes
+// "stay" every round; this layer replays those cached verdicts and makes
+// per-round compute cost scale with the moving frontier instead of n.
+//
+// Division of labor per round:
+//
+//	activate   newly crashed cells view-dirty their region (the crash is
+//	           visible to this round's views)
+//	compute    workers consult Dense.QuiesceSkip per activation and record
+//	           each robot's disposition in qFlags (skip / noisy / had runs)
+//	post-pass  quiescePost (serial): records clean verdicts via
+//	           QuiesceNote, then applies the deferred view-dirty marks for
+//	           state changes the commit diff can't see (run aging and
+//	           departures via had-runs, run starts via keeps)
+//	resolve    merges onto occupancy-stable cells and delivered transfers
+//	           add their own marks (serially, after the lanes join)
+//	commit     Dense.noteRoundDiff dilates every occupancy change by the
+//	           view radius into the dirty planes for the next round
+//
+// The skip is exact, not approximate: the differential suite steps
+// quiescent and full-recompute engines in lockstep and demands bit
+// identity (cells, slots, run states + IDs, clocks, counters, final
+// Result) across the workload corpus × scheduler families × worker
+// counts × fault plans.
+//
+//gather:deterministic
+package fsync
+
+// qFlags disposition bits, written per activation index by the compute
+// workers (disjoint indices — race-free) and drained by quiescePost.
+const (
+	qfSkip    = 1 << iota // replayed the cached quiescent Stay
+	qfNoisy               // view was noise-perturbed; verdict not cacheable
+	qfHadRuns             // robot carried runs entering the round
+)
+
+// QuiesceStats reports the quiescence layer's lifetime counters.
+type QuiesceStats struct {
+	// Enabled reports whether the fast path is active (algorithm is
+	// Periodic, FullRecompute and StrictViews are off).
+	Enabled bool
+	// Computed counts activations that ran Look+Compute; Skipped counts
+	// activations that replayed the cached quiescent action.
+	Computed, Skipped int
+}
+
+// Ratio returns the fraction of activations skipped (0 when none ran).
+func (s QuiesceStats) Ratio() float64 {
+	if t := s.Computed + s.Skipped; t > 0 {
+		return float64(s.Skipped) / float64(t)
+	}
+	return 0
+}
+
+// QuiesceStats returns the engine's quiescence counters.
+func (e *Engine) QuiesceStats() QuiesceStats {
+	return QuiesceStats{Enabled: e.qOn, Computed: e.qComputed, Skipped: e.qSkipped}
+}
+
+// initQuiesce enables the quiescence fast path when it is sound: the
+// algorithm declares a round period (Periodic) small enough for the
+// 32-bit verdict masks, its radius fits the dirty planes' dilation window,
+// FullRecompute is off, and views are not strict (a skipped robot proves
+// no locality, so StrictViews must see every compute). Shared by New and
+// NewRestored; restored engines start with empty masks, which is always
+// sound — every robot recomputes until fresh verdicts accumulate.
+func (e *Engine) initQuiesce() {
+	if e.cfg.FullRecompute || e.cfg.StrictViews {
+		return
+	}
+	p, ok := e.alg.(Periodic)
+	if !ok {
+		return
+	}
+	period := p.RoundPeriod()
+	if period < 1 || period > 32 {
+		return
+	}
+	if r := e.alg.Radius(); r >= 1 && r <= 63 {
+		e.qOn = true
+		e.qPeriod = period
+		e.w.EnableQuiescence(r)
+	}
+}
+
+// quiescePost is the serial post-compute pass: one sweep over the round's
+// disposition bytes. Skipped robots cost a counter bump; each computed
+// robot with a clean (noise-free) view records its verdict — consuming
+// its cell's dirty bit — and robots whose state the commit diff cannot
+// observe (runs aging or departing in place, runs starting via keeps)
+// queue view-dirty marks. The marks apply only after every verdict is
+// recorded: applying them inline could set a dirty bit that a later
+// robot's QuiesceNote would wrongly consume as its own.
+//
+//gather:hotpath
+func (e *Engine) quiescePost() {
+	if !e.qOn {
+		return
+	}
+	marks := e.qMarks[:0]
+	for i := range e.acts {
+		f := e.qFlags[i]
+		if f&qfSkip != 0 {
+			e.qSkipped++
+			continue
+		}
+		e.qComputed++
+		a := &e.acts[i]
+		hadRuns := f&qfHadRuns != 0
+		if f&qfNoisy == 0 {
+			e.w.QuiesceNote(a.from, e.localRound(a.from)%e.qPeriod, !hadRuns && a.act.quiescent())
+		}
+		if hadRuns {
+			// The robot's runs age, glide or hand off this round; even if
+			// another robot re-occupies the cell (occupancy-stable under
+			// the commit diff), the neighbors' views change.
+			marks = append(marks, a.from) //gather:alloc-ok length-reset per round, steady-state reuse
+		}
+		if a.act.nKeep > 0 {
+			marks = append(marks, a.from.Add(a.act.Move)) //gather:alloc-ok length-reset per round, steady-state reuse
+		}
+	}
+	for _, p := range marks {
+		e.w.MarkViewDirty(p)
+	}
+	e.qMarks = marks
+}

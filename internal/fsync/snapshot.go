@@ -150,5 +150,8 @@ func NewRestored(alg Algorithm, cfg Config, b []byte) (*Engine, []byte, error) {
 			return nil, nil, err
 		}
 	}
+	// Quiescence carries no snapshot state: a restored engine starts with
+	// empty verdict masks and recomputes everything until they refill.
+	e.initQuiesce()
 	return e, rest, nil
 }

@@ -37,6 +37,12 @@ type Entry struct {
 	// mode, with no engine attached. Empty for engine Step entries. The
 	// regression guard ignores conn entries.
 	Conn string `json:"conn,omitempty"`
+	// Quiesce tags engine Step entries measured under an explicit
+	// quiescence mode ("on" = the dirty-region fast path, "off" =
+	// Config.FullRecompute). Empty when the run did not sweep the quiesce
+	// axis (entries then measure the engine default, which is "on"). The
+	// regression guard compares worker counts within one mode only.
+	Quiesce string `json:"quiesce,omitempty"`
 	// NsPerRound is the mean wall-clock cost of one Engine.Step.
 	NsPerRound float64 `json:"ns_per_round"`
 	// BytesPerRound and AllocsPerRound are heap-allocation deltas per
@@ -89,6 +95,11 @@ type Config struct {
 	// scratch BFS ("bfs"). The ratio is the headline of the incremental
 	// connectivity layer.
 	ConnCheck bool
+	// Quiesce measures every engine Step cell twice — quiescence fast path
+	// ("on") versus full recomputation ("off", fsync.Config.FullRecompute)
+	// — tagging the entries accordingly. The on/off ratio is the headline
+	// of the quiescence layer.
+	Quiesce bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,8 +202,8 @@ func measureConn(s *swarm.Swarm, fullBFS bool, warmup, rounds int) (Entry, error
 
 // measure times MeasureRounds engine steps after warmup, restarting the
 // simulation if it gathers mid-measurement (it does not at bench sizes).
-func measure(s *swarm.Swarm, workers, warmup, rounds int) (Entry, error) {
-	cfg := fsync.Config{Workers: workers}
+func measure(s *swarm.Swarm, workers, warmup, rounds int, fullRecompute bool) (Entry, error) {
+	cfg := fsync.Config{Workers: workers, FullRecompute: fullRecompute}
 	eng := fsync.New(s, core.Default(), cfg)
 	step := func() error {
 		if eng.Gathered() {
@@ -248,16 +259,27 @@ func Run(cfg Config) (Report, error) {
 				}
 				gatherRounds = res.Rounds
 			}
+			// Without the quiesce axis, one untagged entry per worker count
+			// measures the engine default (the quiescence fast path); with
+			// it, a tagged on/off pair measures the fast path against
+			// pinned full recomputation.
+			modes := []string{""}
+			if cfg.Quiesce {
+				modes = []string{"on", "off"}
+			}
 			for _, workers := range cfg.Workers {
-				e, err := measureBest(cfg.Repeats, func() (Entry, error) {
-					return measure(s, workers, cfg.WarmupRounds, cfg.MeasureRounds)
-				})
-				if err != nil {
-					return Report{}, fmt.Errorf("perf: %s/n=%d/workers=%d: %w", name, n, workers, err)
+				for _, mode := range modes {
+					e, err := measureBest(cfg.Repeats, func() (Entry, error) {
+						return measure(s, workers, cfg.WarmupRounds, cfg.MeasureRounds, mode == "off")
+					})
+					if err != nil {
+						return Report{}, fmt.Errorf("perf: %s/n=%d/workers=%d: %w", name, n, workers, err)
+					}
+					e.Workload = name
+					e.Quiesce = mode
+					e.GatherRounds = gatherRounds
+					rep.Entries = append(rep.Entries, e)
 				}
-				e.Workload = name
-				e.GatherRounds = gatherRounds
-				rep.Entries = append(rep.Entries, e)
 			}
 			if cfg.ConnCheck {
 				for _, fullBFS := range []bool{false, true} {
@@ -288,14 +310,14 @@ func WriteJSON(rep Report, path string) error {
 // WriteTable renders the report for terminals.
 func WriteTable(w io.Writer, rep Report) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tn\tworkers\tconn\tms/round\tKB/round\tallocs/round\tgather rounds")
+	fmt.Fprintln(tw, "workload\tn\tworkers\tconn\tquiesce\tms/round\tKB/round\tallocs/round\tgather rounds")
 	for _, e := range rep.Entries {
 		gather := ""
 		if e.GatherRounds > 0 {
 			gather = fmt.Sprintf("%d", e.GatherRounds)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.4f\t%.1f\t%.1f\t%s\n",
-			e.Workload, e.N, e.Workers, e.Conn,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%.4f\t%.1f\t%.1f\t%s\n",
+			e.Workload, e.N, e.Workers, e.Conn, e.Quiesce,
 			e.NsPerRound/1e6, e.BytesPerRound/1024, e.AllocsPerRound, gather)
 	}
 	return tw.Flush()
@@ -311,32 +333,50 @@ func WriteTable(w io.Writer, rep Report) error {
 // unprofitable rounds shows up well past it).
 const GuardTolerance = 1.05
 
-// Guard enforces the CI regression bar: for every (workload, n) measured
-// at several worker counts, the parallel pipeline must not be slower than
-// the serial path beyond GuardTolerance. Connectivity microbench entries
-// are not guarded — they compare modes, not worker counts.
+// Guard enforces the CI regression bar: for every (workload, n, quiesce
+// mode) measured at several worker counts, the parallel pipeline must not
+// be slower than the serial path beyond GuardTolerance. Cells are keyed on
+// the quiesce tag too, so a quiesce-axis run guards both modes without
+// ever comparing the fast path against full recomputation.
+//
+// The bar is relative for full-cost cells and ABSOLUTE for quiesce-on
+// cells measured alongside their "off" twin: quiescence shrinks the round
+// several-fold but the sharding overhead it tolerates — classify, lane
+// bookkeeping, the k-way commit merge still touch every robot — does not
+// shrink with it, so a quiesce-on parallel cell is allowed the same
+// absolute overhead budget its full-recompute twin gets
+// ((GuardTolerance−1) × the off-mode serial cost), not 5% of its own much
+// smaller round. Connectivity microbench entries are not guarded — they
+// compare modes, not worker counts.
 func Guard(rep Report) error {
 	type cell struct {
 		workload string
 		n        int
+		quiesce  string
 	}
 	serialNs := map[cell]float64{}
 	for _, e := range rep.Entries {
 		if e.Workers == 1 && e.Conn == "" {
-			serialNs[cell{e.Workload, e.N}] = e.NsPerRound
+			serialNs[cell{e.Workload, e.N, e.Quiesce}] = e.NsPerRound
 		}
 	}
 	for _, e := range rep.Entries {
 		if e.Workers == 1 || e.Conn != "" {
 			continue
 		}
-		ref, ok := serialNs[cell{e.Workload, e.N}]
+		ref, ok := serialNs[cell{e.Workload, e.N, e.Quiesce}]
 		if !ok {
 			continue
 		}
-		if e.NsPerRound > ref*GuardTolerance {
-			return fmt.Errorf("perf: parallel pipeline slower than serial on %s (n=%d, workers=%d): %.0fns vs %.0fns per round",
-				e.Workload, e.N, e.Workers, e.NsPerRound, ref)
+		allowed := ref * GuardTolerance
+		if e.Quiesce == "on" {
+			if full, ok := serialNs[cell{e.Workload, e.N, "off"}]; ok {
+				allowed = ref + (GuardTolerance-1)*full
+			}
+		}
+		if e.NsPerRound > allowed {
+			return fmt.Errorf("perf: parallel pipeline slower than serial on %s (n=%d, workers=%d, quiesce=%q): %.0fns vs %.0fns per round (allowed %.0fns)",
+				e.Workload, e.N, e.Workers, e.Quiesce, e.NsPerRound, ref, allowed)
 		}
 	}
 	return nil

@@ -72,6 +72,9 @@ type Aggregate struct {
 	Merges      Dist `json:"merges"`
 	Moves       Dist `json:"moves"`
 	RunsStarted Dist `json:"runs_started"`
+	// QuiescentRatio summarizes the per-run fraction of activations served
+	// from the quiescence verdict cache.
+	QuiescentRatio Dist `json:"quiescent_ratio"`
 }
 
 // groupKey identifies an aggregate group.
@@ -172,7 +175,7 @@ func Aggregated(results []Result) []Aggregate {
 			Scheduler: k.scheduler, Algorithm: k.algorithm, Faults: k.faults,
 			Runs: len(rs),
 		}
-		var rounds, perN, merges, moves, runs []float64
+		var rounds, perN, merges, moves, runs, quiet []float64
 		var robots float64
 		for _, r := range rs {
 			robots += float64(r.Robots)
@@ -188,6 +191,7 @@ func Aggregated(results []Result) []Aggregate {
 			merges = append(merges, float64(r.Merges))
 			moves = append(moves, float64(r.Moves))
 			runs = append(runs, float64(r.RunsStarted))
+			quiet = append(quiet, r.QuiescentRatio)
 		}
 		a.Robots = robots / float64(len(rs))
 		a.Rounds = dist(rounds)
@@ -195,6 +199,7 @@ func Aggregated(results []Result) []Aggregate {
 		a.Merges = dist(merges)
 		a.Moves = dist(moves)
 		a.RunsStarted = dist(runs)
+		a.QuiescentRatio = dist(quiet)
 		out = append(out, a)
 	}
 	return out

@@ -55,8 +55,8 @@ func ExampleWriteAggregatesCSV() {
 	// CSV is stable.
 	_ = sweep.WriteAggregatesCSV(os.Stdout, aggs[:1])
 	// Output:
-	// workload,n,radius,l,scheduler,algorithm,faults,runs,failures,degraded,robots,rounds_mean,rounds_min,rounds_max,rounds_p50,rounds_p90,rounds_p99,rounds_per_n_mean,merges_mean,moves_mean,runs_started_mean
-	// line,20,20,22,fsync,paper,,1,0,0,20.0,9.00,9,9,9.0,9.0,9.0,0.4500,18.00,18.00,0.00
+	// workload,n,radius,l,scheduler,algorithm,faults,runs,failures,degraded,robots,rounds_mean,rounds_min,rounds_max,rounds_p50,rounds_p90,rounds_p99,rounds_per_n_mean,merges_mean,moves_mean,runs_started_mean,quiescent_ratio_mean
+	// line,20,20,22,fsync,paper,,1,0,0,20.0,9.00,9,9,9.0,9.0,9.0,0.4500,18.00,18.00,0.00,0.0000
 }
 
 // The scheduler axis sweeps the time model: the same instance under FSYNC

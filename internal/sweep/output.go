@@ -35,7 +35,7 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 		"workload", "n", "seed", "radius", "l", "scheduler", "algorithm", "faults",
 		"robots", "final_robots",
 		"gathered", "rounds", "rounds_per_n", "merges", "moves",
-		"runs_started", "crashes", "degraded", "err", "duration_ms",
+		"runs_started", "crashes", "degraded", "quiescent_ratio", "err", "duration_ms",
 	}); err != nil {
 		return err
 	}
@@ -61,6 +61,7 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 			fmt.Sprint(r.RunsStarted),
 			fmt.Sprint(r.Crashes),
 			fmt.Sprint(r.Degraded),
+			fmt.Sprintf("%.4f", r.QuiescentRatio),
 			r.Err,
 			fmt.Sprintf("%.3f", float64(r.Duration.Microseconds())/1000),
 		}
@@ -81,6 +82,7 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 		"runs", "failures", "degraded", "robots",
 		"rounds_mean", "rounds_min", "rounds_max", "rounds_p50", "rounds_p90", "rounds_p99",
 		"rounds_per_n_mean", "merges_mean", "moves_mean", "runs_started_mean",
+		"quiescent_ratio_mean",
 	}); err != nil {
 		return err
 	}
@@ -107,6 +109,7 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			fmt.Sprintf("%.2f", a.Merges.Mean),
 			fmt.Sprintf("%.2f", a.Moves.Mean),
 			fmt.Sprintf("%.2f", a.RunsStarted.Mean),
+			fmt.Sprintf("%.4f", a.QuiescentRatio.Mean),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -97,6 +97,10 @@ type Result struct {
 	// swarm and the run continued on the largest surviving component.
 	Crashes  int  `json:"crashes,omitempty"`
 	Degraded bool `json:"degraded,omitempty"`
+	// QuiescentRatio is the fraction of activations the engine's quiescence
+	// fast path replayed from cache instead of recomputing (0 when the fast
+	// path is disabled for the run's configuration).
+	QuiescentRatio float64 `json:"quiescent_ratio,omitempty"`
 	// Err is the abort reason, empty on success.
 	Err string `json:"err,omitempty"`
 	// Duration is the wall-clock simulation time.
@@ -158,6 +162,7 @@ func RunOne(job Job) Result {
 	out.RunsStarted = res.RunsStarted
 	out.Crashes = res.Crashes
 	out.Degraded = res.Degraded
+	out.QuiescentRatio = sim.Metrics().QuiescentRatio
 	if res.InitialRobots > 0 {
 		out.RoundsPerN = float64(res.Rounds) / float64(res.InitialRobots)
 	}

@@ -137,23 +137,10 @@ func (c *connIncr) markDirty(t *tile) {
 	}
 }
 
-// noteCommit inspects the two occupancy layers just before Commit clears
-// the outgoing one, and queues every chunk whose occupancy words changed.
-// One 512-byte array compare per live chunk — the cost tracks the live
-// chunk count, and only chunks that actually changed get relabeled.
-func (c *connIncr) noteCommit(d *Dense, old, nxt int) {
-	for _, t := range d.live[nxt] {
-		if !t.marked[old] || t.bits[old] != t.bits[nxt] {
-			c.markDirty(t)
-		}
-	}
-	for _, t := range d.live[old] {
-		if !t.marked[nxt] {
-			// The chunk emptied this round: no arrivals landed in it.
-			c.markDirty(t)
-		}
-	}
-}
+// Commit-time change detection lives in Dense.noteRoundDiff (quiesce.go):
+// one tile diff per round queues changed chunks here via markDirty and
+// feeds the quiescence dirty planes — no double word-compare when both
+// consumers are on.
 
 // invalidate resets the incremental structure; the next query falls back
 // to the full BFS and rebuilds.

@@ -81,9 +81,10 @@ type tile struct {
 	bits      [2][tileSize]uint64
 	multi     [tileSize]uint64
 	vis       [tileSize]uint64
-	marked    [2]bool // on Dense.live[layer]: this tile may hold bits in that layer
-	connDirty bool    // queued on connIncr.dirty (occupancy changed since the last relabel)
-	cx, cy    int     // absolute chunk coordinates (set once at allocation)
+	qdirty    [tileSize]uint64 // quiescence: cells whose view may have changed since the robot there last recomputed (cumulative; cleared per cell by QuiesceNote)
+	marked    [2]bool          // on Dense.live[layer]: this tile may hold bits in that layer
+	connDirty bool             // queued on connIncr.dirty (occupancy changed since the last relabel)
+	cx, cy    int              // absolute chunk coordinates (set once at allocation)
 	slots     [2][tileSize * tileSize]int32
 }
 
@@ -185,6 +186,15 @@ type Dense struct {
 	conn    *connIncr // incremental connectivity (lazily built on first query)
 	fullBFS bool      // pin Connected to the full-BFS path (escape hatch/oracle)
 	runner  Runner    // optional persistent-pool fan-out for Commit's parallel phases
+
+	// Quiescence layer (quiesce.go): Commit's tile diff dilates every
+	// occupancy change by the view radius into the per-tile qdirty planes,
+	// and qmask caches, per slot and per round phase, whether the robot's
+	// last clean recompute returned the quiescent Stay.
+	qOn     bool
+	qRadius int
+	//gather:shared-state
+	qmask []uint32 // slot → per-phase quiescent-verdict bits
 
 	// Persistent closures handed to runner by the commit path, built once
 	// in ensureCommitFns: dispatching a fresh closure every round would
@@ -397,6 +407,7 @@ func (d *Dense) packState(slot int32, st robot.State) {
 // (test scaffolding; p must be occupied). The runs are copied.
 func (d *Dense) SetState(p grid.Point, st robot.State) {
 	d.packState(d.slotAt(d.cur, p), st)
+	d.QuiesceReset()
 }
 
 // ClockAt returns the logical clock of the robot at p (0 if free or clocks
@@ -497,6 +508,10 @@ func (d *Dense) Add(p grid.Point) {
 	if d.clocks != nil {
 		d.clocks = append(d.clocks, 0)
 	}
+	if d.qOn {
+		d.qmask = append(d.qmask, 0)
+		d.QuiesceReset()
+	}
 	d.count++
 	if d.boundsOK {
 		d.bounds = d.bounds.Include(p)
@@ -523,6 +538,7 @@ func (d *Dense) Remove(p grid.Point) {
 	if d.conn != nil && d.conn.valid {
 		d.conn.markDirty(t)
 	}
+	d.QuiesceReset()
 	d.occDirty = true
 	d.cellsValid = false
 }
@@ -742,12 +758,10 @@ func (d *Dense) Commit() {
 	}
 	old := d.cur
 	nxt := old ^ 1
-	if d.conn != nil && d.conn.valid {
-		// Queue the chunks whose occupancy changed this round for the
-		// incremental connectivity layer, before the outgoing layer is
-		// cleared (the comparison needs both layers intact).
-		d.conn.noteCommit(d, old, nxt)
-	}
+	// One tile diff feeds both the incremental connectivity layer and the
+	// quiescence dirty planes; it must run before the outgoing layer is
+	// cleared (the comparison needs both layers intact).
+	d.noteRoundDiff(old, nxt)
 	d.clearLayers(old, nxt, d.nlanes > 1)
 	d.cur = nxt
 	d.count = len(d.occ)

@@ -46,6 +46,7 @@ type Simulation struct {
 	strict        bool
 	workers       int
 	fullBFS       bool
+	fullRecompute bool
 
 	// Event plumbing.
 	subs       []subscription
@@ -102,6 +103,7 @@ func newSession(sw *swarm.Swarm, cfg settings) (*Simulation, error) {
 		strict:        cfg.strict,
 		workers:       cfg.workers,
 		fullBFS:       cfg.fullBFS,
+		fullRecompute: cfg.fullRecompute,
 		subs:          cfg.subs,
 	}
 	sim.seedSubIDs()
@@ -133,6 +135,7 @@ func (s *Simulation) engineConfig(sc scenario.Scenario) fsync.Config {
 		Scheduler:           sc.Scheduler,
 		Faults:              sc.Faults,
 		FullBFSConnectivity: s.fullBFS,
+		FullRecompute:       s.fullRecompute,
 	}
 }
 
@@ -263,6 +266,10 @@ type Status struct {
 	// round that happened (0 otherwise).
 	Degraded      bool
 	DegradedRound int
+	// QuiescentRatio is the fraction of activations so far whose Compute
+	// call the quiescence fast path skipped (0 when the fast path is
+	// disabled — see WithFullRecompute — or before the first round).
+	QuiescentRatio float64
 	// Done reports whether the simulation has finished: gathered or
 	// aborted. A done session never executes further rounds.
 	Done bool
@@ -279,14 +286,15 @@ type Status struct {
 func (s *Simulation) Status() Status {
 	gathered := s.eng.Gathered()
 	st := Status{
-		Round:         s.eng.Round(),
-		Robots:        s.eng.World().Len(),
-		Crashed:       s.eng.CrashedLive(),
-		Gathered:      gathered,
-		Degraded:      s.eng.Degraded(),
-		DegradedRound: s.eng.DegradedRound(),
-		Done:          s.err != nil || gathered,
-		Err:           s.err,
+		Round:          s.eng.Round(),
+		Robots:         s.eng.World().Len(),
+		Crashed:        s.eng.CrashedLive(),
+		Gathered:       gathered,
+		Degraded:       s.eng.Degraded(),
+		DegradedRound:  s.eng.DegradedRound(),
+		QuiescentRatio: s.eng.QuiesceStats().Ratio(),
+		Done:           s.err != nil || gathered,
+		Err:            s.err,
 	}
 	st.Alive = st.Robots - st.Crashed
 	st.Reason = statusReason(s.err, gathered, st.Degraded)
@@ -331,18 +339,32 @@ type Metrics struct {
 	// Crashes counts the robots that crash-stopped so far (including
 	// crashed robots later absorbed by a merge). 0 without WithFaults.
 	Crashes int
+	// QuiesceComputed and QuiesceSkipped count the activations whose
+	// Compute ran versus were replayed from the quiescence verdict cache;
+	// QuiescentRatio is Skipped/(Computed+Skipped). All zero when the fast
+	// path is disabled (WithFullRecompute, WithStrictLocality, or an
+	// algorithm without a declared round period). Unlike every other
+	// counter these describe the execution strategy, not the simulation:
+	// they are not snapshot state, and a session restored mid-run counts
+	// from a cold cache.
+	QuiesceComputed, QuiesceSkipped int
+	QuiescentRatio                  float64
 }
 
 // Metrics returns the session's current counters.
 func (s *Simulation) Metrics() Metrics {
+	qs := s.eng.QuiesceStats()
 	return Metrics{
-		Rounds:        s.eng.Round(),
-		InitialRobots: s.initial,
-		Robots:        s.eng.World().Len(),
-		Merges:        s.eng.Merges(),
-		RunsStarted:   s.eng.RunsStarted(),
-		Moves:         s.eng.Moves(),
-		Crashes:       s.eng.Crashes(),
+		Rounds:          s.eng.Round(),
+		InitialRobots:   s.initial,
+		Robots:          s.eng.World().Len(),
+		Merges:          s.eng.Merges(),
+		RunsStarted:     s.eng.RunsStarted(),
+		Moves:           s.eng.Moves(),
+		Crashes:         s.eng.Crashes(),
+		QuiesceComputed: qs.Computed,
+		QuiesceSkipped:  qs.Skipped,
+		QuiescentRatio:  qs.Ratio(),
 	}
 }
 

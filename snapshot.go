@@ -4,7 +4,7 @@
 // fingerprint on each run; if the format changed without a snapshotVersion
 // bump, it reports the stale hash and the new one to paste in after bumping.
 //
-//gather:snapshot-format version=snapshotVersion hash=4e1f2cffc77e4dae
+//gather:snapshot-format version=snapshotVersion hash=021cc4b0c60a5ecf
 
 package gridgather
 
@@ -191,6 +191,7 @@ func Restore(snapshot []byte, opts ...Option) (*Simulation, error) {
 	}
 	sim.workers = cfg.workers
 	sim.fullBFS = cfg.fullBFS
+	sim.fullRecompute = cfg.fullRecompute
 	sim.subs = cfg.subs
 	sim.seedSubIDs()
 
