@@ -1,0 +1,88 @@
+// Command gatherd serves gathering simulations over HTTP: create
+// sessions, step them round by round or to completion, stream NDJSON
+// events, download and upload snapshots. A bounded pool keeps at most
+// -max-resident simulations in memory; idle sessions spill to -spill as
+// snapshot files and restore transparently on their next touch, and the
+// same directory is how a restarted daemon resumes every session a
+// graceful shutdown spilled.
+//
+//	gatherd -addr 127.0.0.1:8645 -spill /var/lib/gatherd
+//
+// SIGINT/SIGTERM drain in-flight steps, close event streams, and spill
+// all live sessions before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridgather/internal/serve"
+	"gridgather/internal/serve/pool"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8645", "listen address")
+		spill        = flag.String("spill", "gatherd-spill", "snapshot spill directory (also the restart-recovery source)")
+		maxResident  = flag.Int("max-resident", 64, "maximum simulations held in memory at once")
+		maxSessions  = flag.Int("max-sessions", 4096, "maximum sessions, resident + spilled")
+		maxInFlight  = flag.Int("max-inflight", 32, "maximum concurrent requests per client")
+		streamBuffer = flag.Int("stream-buffer", 256, "events buffered per stream before the consumer counts as slow")
+		streamWrite  = flag.Duration("stream-write-timeout", 10*time.Second, "per-record write deadline on event streams")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		version      = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("gatherd", serve.Version)
+		return
+	}
+
+	srv, err := serve.New(serve.Config{
+		Pool: pool.Config{
+			MaxResident:          *maxResident,
+			MaxSessions:          *maxSessions,
+			MaxInFlightPerClient: *maxInFlight,
+		},
+		SpillDir:           *spill,
+		StreamBuffer:       *streamBuffer,
+		StreamWriteTimeout: *streamWrite,
+	})
+	if err != nil {
+		log.Fatalf("gatherd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("gatherd: %v", err)
+	}
+	hs := &http.Server{Handler: srv}
+	log.Printf("gatherd %s listening on http://%s (spill dir %s, max resident %d)",
+		serve.Version, ln.Addr(), *spill, *maxResident)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("gatherd: %v", err)
+	case got := <-sig:
+		log.Printf("gatherd: %v — draining in-flight steps and spilling sessions", got)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx, hs); err != nil {
+			log.Fatalf("gatherd: shutdown: %v", err)
+		}
+		log.Printf("gatherd: all sessions spilled to %s", *spill)
+	}
+}

@@ -1,0 +1,465 @@
+// Command gatherload drives a running gatherd with an open-model workload
+// — sessions arrive at a fixed rate regardless of how fast the daemon
+// drains them — mixing creates, steps, event streams, snapshot downloads,
+// explicit evictions (to measure the spill/restore round trip) and
+// restore-from-upload sessions, and reports latency percentiles as the
+// service benchmark JSON (BENCH_service.json).
+//
+//	gatherload -addr http://127.0.0.1:8645 -duration 10s -rate 20 -out BENCH_service.json
+//
+// -smoke runs a short deterministic end-to-end pass instead (including
+// one faulty session and one restored-from-upload session) and exits
+// non-zero on any protocol failure — the CI acceptance mode. -guard
+// additionally enforces perf.ServiceGuard on the fresh report.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"gridgather/internal/metrics"
+	"gridgather/internal/perf"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8645", "gatherd base URL")
+		duration = flag.Duration("duration", 10*time.Second, "load window")
+		rate     = flag.Float64("rate", 20, "session arrivals per second (open model)")
+		n        = flag.Int("n", 60, "robots per session")
+		clients  = flag.Int("clients", 8, "distinct client identities")
+		seed     = flag.Int64("seed", 1, "workload mix seed")
+		out      = flag.String("out", "", "write the service benchmark JSON here")
+		smoke    = flag.Bool("smoke", false, "run the deterministic acceptance pass instead of open load")
+		guard    = flag.Bool("guard", false, "fail unless perf.ServiceGuard passes on the fresh report")
+	)
+	flag.Parse()
+
+	r := &runner{
+		base:   *addr,
+		n:      *n,
+		client: &http.Client{Timeout: 60 * time.Second},
+		lat:    map[string][]float64{},
+	}
+	start := time.Now()
+	if *smoke {
+		r.smoke()
+	} else {
+		r.load(*duration, *rate, *clients, *seed)
+	}
+	rep := r.report(time.Since(start), *smoke)
+	r.printSummary(rep)
+	if *out != "" {
+		if err := perf.WriteServiceJSON(rep, *out); err != nil {
+			log.Fatalf("gatherload: write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if r.errs > 0 {
+		log.Fatalf("gatherload: %d errors", r.errs)
+	}
+	if *guard {
+		if err := perf.ServiceGuard(rep); err != nil {
+			log.Fatalf("gatherload: %v", err)
+		}
+		fmt.Println("service guard: ok")
+	}
+}
+
+type runner struct {
+	base   string
+	n      int
+	client *http.Client
+
+	mu           sync.Mutex
+	lat          map[string][]float64 // milliseconds per operation class
+	sessions     int
+	backpressure int
+	errs         int
+}
+
+func (r *runner) record(class string, d time.Duration) {
+	r.mu.Lock()
+	r.lat[class] = append(r.lat[class], float64(d)/float64(time.Millisecond))
+	r.mu.Unlock()
+}
+
+func (r *runner) errf(format string, args ...any) {
+	r.mu.Lock()
+	r.errs++
+	r.mu.Unlock()
+	log.Printf("ERROR "+format, args...)
+}
+
+// do issues one request and decodes a JSON response; 429/503 are counted
+// as backpressure (an expected load-shedding outcome), everything else
+// unexpected as an error.
+func (r *runner) do(clientID, method, path string, body []byte, out any) int {
+	req, err := http.NewRequest(method, r.base+path, bytes.NewReader(body))
+	if err != nil {
+		r.errf("%s %s: %v", method, path, err)
+		return 0
+	}
+	req.Header.Set("X-Client", clientID)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.errf("%s %s: %v", method, path, err)
+		return 0
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		r.mu.Lock()
+		r.backpressure++
+		r.mu.Unlock()
+	}
+	if out != nil && len(data) > 0 && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			r.errf("%s %s: bad JSON: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (r *runner) timed(class, clientID, method, path string, body []byte, out any) int {
+	t0 := time.Now()
+	code := r.do(clientID, method, path, body, out)
+	if code >= 200 && code < 300 {
+		r.record(class, time.Since(t0))
+	}
+	return code
+}
+
+type sessionInfo struct {
+	ID     string `json:"id"`
+	Round  int    `json:"round"`
+	Robots int    `json:"robots"`
+	Done   bool   `json:"done"`
+}
+
+type stepResponse struct {
+	Executed int         `json:"executed"`
+	Status   sessionInfo `json:"status"`
+}
+
+// mix is one arrival's precomputed behavior (decided by the main
+// goroutine's seeded RNG so worker goroutines stay deterministic-ish and
+// race-free).
+type mix struct {
+	i       int
+	faulty  bool
+	stream  bool
+	upload  bool
+	delete_ bool
+}
+
+func (r *runner) load(duration time.Duration, rate float64, clients int, seed int64) {
+	if rate <= 0 {
+		log.Fatal("gatherload: -rate must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	interval := time.Duration(float64(time.Second) / rate)
+	deadline := time.Now().Add(duration)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-tick.C
+		m := mix{
+			i:       i,
+			faulty:  rng.Float64() < 0.25,
+			stream:  rng.Float64() < 0.25,
+			upload:  rng.Float64() < 0.15,
+			delete_: rng.Float64() < 0.5,
+		}
+		wg.Add(1)
+		go func(m mix) {
+			defer wg.Done()
+			r.scenario(fmt.Sprintf("load-%d", m.i%clients), m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// scenario is one session's life: create, step, maybe stream, snapshot,
+// evict + restore (the measured spill round trip), maybe clone via
+// restore-from-upload, maybe delete.
+func (r *runner) scenario(clientID string, m mix) {
+	create := fmt.Sprintf(`{"workload":"hollow","n":%d,"label":"%s"}`, r.n, clientID)
+	if m.faulty {
+		create = fmt.Sprintf(
+			`{"workload":"blob","n":%d,"label":"%s-faulty","scheduler":"ssync-rr:3","faults":"crash-at:r=4,k=2@1","connectivity_check":true}`,
+			r.n, clientID)
+	}
+	var info sessionInfo
+	code := r.timed("create", clientID, "POST", "/v1/sessions", []byte(create), &info)
+	if code != http.StatusCreated {
+		if code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
+			r.errf("create: status %d", code)
+		}
+		return
+	}
+	r.mu.Lock()
+	r.sessions++
+	r.mu.Unlock()
+	sid := "/v1/sessions/" + info.ID
+
+	var streamDone chan struct{}
+	if m.stream {
+		streamDone = make(chan struct{})
+		go r.streamSome(clientID+"-stream", info.ID, streamDone)
+	}
+
+	var step stepResponse
+	for k := 0; k < 3; k++ {
+		if code := r.timed("step", clientID, "POST", sid+"/step", []byte(`{"rounds":5}`), &step); code != http.StatusOK {
+			if code != http.StatusServiceUnavailable {
+				r.errf("step: status %d", code)
+			}
+			return
+		}
+		if step.Status.Done {
+			break
+		}
+	}
+
+	snap := r.snapshot(clientID, info.ID)
+
+	// The measured spill/restore round trip: evict, then the next step
+	// pays the restore.
+	if code := r.timed("evict", clientID, "POST", sid+"/evict", nil, nil); code == http.StatusOK {
+		if code := r.timed("restore", clientID, "POST", sid+"/step", []byte(`{"rounds":1}`), &step); code != http.StatusOK &&
+			code != http.StatusServiceUnavailable {
+			r.errf("restore step: status %d", code)
+		}
+	}
+
+	if m.upload && snap != nil {
+		var clone sessionInfo
+		code := r.timed("create", clientID, "POST", "/v1/sessions/restore?label="+clientID+"-clone", snap, &clone)
+		switch code {
+		case http.StatusCreated:
+			r.mu.Lock()
+			r.sessions++
+			r.mu.Unlock()
+			r.timed("step", clientID, "POST", "/v1/sessions/"+clone.ID+"/step", []byte(`{"rounds":2}`), nil)
+			r.do(clientID, "DELETE", "/v1/sessions/"+clone.ID, nil, nil)
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		default:
+			r.errf("restore upload: status %d", code)
+		}
+	}
+
+	if streamDone != nil {
+		<-streamDone
+	}
+	if m.delete_ {
+		if code := r.do(clientID, "DELETE", sid, nil, nil); code != http.StatusNoContent && code != http.StatusNotFound {
+			r.errf("delete: status %d", code)
+		}
+	}
+}
+
+func (r *runner) snapshot(clientID, id string) []byte {
+	t0 := time.Now()
+	req, _ := http.NewRequest("GET", r.base+"/v1/sessions/"+id+"/snapshot", nil)
+	req.Header.Set("X-Client", clientID)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.errf("snapshot: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusServiceUnavailable {
+			r.errf("snapshot: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	r.record("snapshot", time.Since(t0))
+	return data
+}
+
+// streamSome holds an NDJSON event stream open and drains a handful of
+// records, then hangs up — enough to exercise the fan-out, slow-consumer
+// bookkeeping, and the stream's in-flight slot.
+func (r *runner) streamSome(clientID, id string, done chan<- struct{}) {
+	defer close(done)
+	// The stream gets its own short deadline: an idle session emits
+	// nothing, and a load driver must not dangle on it.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", r.base+"/v1/sessions/"+id+"/events?mask=round,gathered,abort", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set("X-Client", clientID)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return // the session may be gone already; streams are best-effort here
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	buf := make([]byte, 4096)
+	for read := 0; read < 4; read++ {
+		resp.Body.Read(buf)
+	}
+}
+
+// smoke is the deterministic acceptance pass: every endpoint once, one
+// faulty session, one eviction round trip, one restored-from-upload
+// session — any unexpected status is fatal via the error counter.
+func (r *runner) smoke() {
+	const c = "smoke"
+	if code := r.do(c, "GET", "/v1/healthz", nil, nil); code != http.StatusOK {
+		r.errf("healthz: status %d", code)
+		return
+	}
+
+	// A plain session: create, step, status, metrics, snapshot.
+	var plain sessionInfo
+	if code := r.timed("create", c, "POST", "/v1/sessions",
+		[]byte(fmt.Sprintf(`{"workload":"hollow","n":%d,"label":"smoke-plain"}`, r.n)), &plain); code != http.StatusCreated {
+		r.errf("create plain: status %d", code)
+		return
+	}
+	r.sessions++
+	var step stepResponse
+	if r.timed("step", c, "POST", "/v1/sessions/"+plain.ID+"/step", []byte(`{"rounds":5}`), &step); step.Status.Round != 5 {
+		r.errf("plain stepped to %d, want 5", step.Status.Round)
+	}
+	if code := r.do(c, "GET", "/v1/sessions/"+plain.ID+"/metrics", nil, nil); code != http.StatusOK {
+		r.errf("metrics: status %d", code)
+	}
+
+	// A faulty session runs to completion under crashes and a non-default
+	// scheduler.
+	var faulty sessionInfo
+	if code := r.timed("create", c, "POST", "/v1/sessions",
+		[]byte(fmt.Sprintf(`{"workload":"blob","n":%d,"label":"smoke-faulty","scheduler":"ssync-rr:3","faults":"crash-at:r=4,k=2@1","connectivity_check":true}`, r.n)),
+		&faulty); code != http.StatusCreated {
+		r.errf("create faulty: status %d", code)
+		return
+	}
+	r.sessions++
+	var fdone stepResponse
+	r.timed("step", c, "POST", "/v1/sessions/"+faulty.ID+"/step", []byte(`{"to_completion":true,"budget_rounds":100000}`), &fdone)
+	if !fdone.Status.Done {
+		r.errf("faulty session not done: %+v", fdone.Status)
+	}
+
+	// The eviction round trip: spill, then the next step restores.
+	if code := r.timed("evict", c, "POST", "/v1/sessions/"+plain.ID+"/evict", nil, nil); code != http.StatusOK {
+		r.errf("evict: status %d", code)
+	}
+	if r.timed("restore", c, "POST", "/v1/sessions/"+plain.ID+"/step", []byte(`{"rounds":1}`), &step); step.Status.Round != 6 {
+		r.errf("restored session at round %d, want 6", step.Status.Round)
+	}
+
+	// The snapshot round trip: download, upload as a new session, and the
+	// clone continues from the same round.
+	snap := r.snapshot(c, plain.ID)
+	if snap == nil {
+		r.errf("no snapshot for upload test")
+		return
+	}
+	var clone sessionInfo
+	if code := r.timed("create", c, "POST", "/v1/sessions/restore?label=smoke-clone", snap, &clone); code != http.StatusCreated {
+		r.errf("restore upload: status %d", code)
+		return
+	}
+	r.sessions++
+	if clone.Round != step.Status.Round {
+		r.errf("clone starts at round %d, want %d", clone.Round, step.Status.Round)
+	}
+	var cs, ps stepResponse
+	r.timed("step", c, "POST", "/v1/sessions/"+clone.ID+"/step", []byte(`{"rounds":3}`), &cs)
+	r.timed("step", c, "POST", "/v1/sessions/"+plain.ID+"/step", []byte(`{"rounds":3}`), &ps)
+	if cs.Status.Round != ps.Status.Round || cs.Status.Robots != ps.Status.Robots {
+		r.errf("clone diverged: %+v vs %+v", cs.Status, ps.Status)
+	}
+
+	if code := r.do(c, "DELETE", "/v1/sessions/"+clone.ID, nil, nil); code != http.StatusNoContent {
+		r.errf("delete clone: status %d", code)
+	}
+}
+
+func (r *runner) report(elapsed time.Duration, smoke bool) perf.ServiceReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := func(class string, pct float64) float64 {
+		xs := r.lat[class]
+		if len(xs) == 0 {
+			return 0
+		}
+		return metrics.Percentile(xs, pct)
+	}
+	note := fmt.Sprintf("open-model load, n=%d robots/session", r.n)
+	if smoke {
+		note = fmt.Sprintf("smoke acceptance pass, n=%d robots/session", r.n)
+	}
+	rep := perf.ServiceReport{
+		Note:            note,
+		DurationSeconds: elapsed.Seconds(),
+		Sessions:        r.sessions,
+		SessionsPerSec:  float64(r.sessions) / elapsed.Seconds(),
+		CreateP50Ms:     p("create", 50),
+		CreateP99Ms:     p("create", 99),
+		StepP50Ms:       p("step", 50),
+		StepP99Ms:       p("step", 99),
+		SnapshotP50Ms:   p("snapshot", 50),
+		SnapshotP99Ms:   p("snapshot", 99),
+		EvictP50Ms:      p("evict", 50),
+		EvictP99Ms:      p("evict", 99),
+		RestoreP50Ms:    p("restore", 50),
+		RestoreP99Ms:    p("restore", 99),
+		Errors:          r.errs,
+	}
+	// Fold in the daemon's own accounting.
+	var stats struct {
+		MaxResident         int    `json:"max_resident"`
+		MaxResidentObserved int    `json:"max_resident_observed"`
+		Evictions           uint64 `json:"evictions"`
+		Restores            uint64 `json:"restores"`
+		EventsStreamed      uint64 `json:"events_streamed"`
+		BytesOut            uint64 `json:"bytes_out"`
+	}
+	r.mu.Unlock()
+	code := r.do("gatherload-report", "GET", "/v1/stats", nil, &stats)
+	r.mu.Lock()
+	if code == http.StatusOK {
+		rep.MaxResidentCap = stats.MaxResident
+		rep.MaxResidentObserved = stats.MaxResidentObserved
+		rep.Evictions = stats.Evictions
+		rep.Restores = stats.Restores
+		rep.EventsStreamed = stats.EventsStreamed
+		rep.BytesOut = stats.BytesOut
+	}
+	rep.Errors = r.errs
+	return rep
+}
+
+func (r *runner) printSummary(rep perf.ServiceReport) {
+	fmt.Printf("sessions: %d in %.1fs (%.1f/s), backpressure replies: %d, errors: %d\n",
+		rep.Sessions, rep.DurationSeconds, rep.SessionsPerSec, r.backpressure, rep.Errors)
+	fmt.Printf("create  p50 %6.2fms  p99 %6.2fms\n", rep.CreateP50Ms, rep.CreateP99Ms)
+	fmt.Printf("step    p50 %6.2fms  p99 %6.2fms\n", rep.StepP50Ms, rep.StepP99Ms)
+	fmt.Printf("snap    p50 %6.2fms  p99 %6.2fms\n", rep.SnapshotP50Ms, rep.SnapshotP99Ms)
+	fmt.Printf("evict   p50 %6.2fms  p99 %6.2fms\n", rep.EvictP50Ms, rep.EvictP99Ms)
+	fmt.Printf("restore p50 %6.2fms  p99 %6.2fms\n", rep.RestoreP50Ms, rep.RestoreP99Ms)
+	fmt.Printf("resident peak %d/%d, evictions %d, restores %d, events streamed %d\n",
+		rep.MaxResidentObserved, rep.MaxResidentCap, rep.Evictions, rep.Restores, rep.EventsStreamed)
+}

@@ -1,0 +1,169 @@
+package gridgather
+
+import (
+	"testing"
+)
+
+// newEventTestSim builds a small simulation that takes several rounds to
+// gather, for exercising the subscription machinery round by round.
+func newEventTestSim(t *testing.T) *Simulation {
+	t.Helper()
+	cells, err := Workload("hollow", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestCancelOwnSubscriptionDuringEmit is the safety bar for gatherd's
+// slow-consumer eviction, which cancels a subscription from inside that
+// subscription's own callback while an emit is iterating the subscriber
+// list. The cancelled subscription must still complete the in-flight
+// delivery, other subscribers must each receive the event exactly once,
+// and no later event may reach the cancelled callback.
+func TestCancelOwnSubscriptionDuringEmit(t *testing.T) {
+	sim := newEventTestSim(t)
+
+	var before, self, after int
+	sim.Subscribe(RoundEvents, func(Event) { before++ })
+	var cancelSelf func()
+	cancelSelf = sim.Subscribe(RoundEvents, func(Event) {
+		self++
+		cancelSelf() // evict ourselves mid-delivery, exactly like the server does
+		cancelSelf() // double-cancel from inside the callback must be harmless
+	})
+	sim.Subscribe(RoundEvents, func(Event) { after++ })
+
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if before != 1 || self != 1 || after != 1 {
+		t.Fatalf("round 1 deliveries: before=%d self=%d after=%d, want 1/1/1", before, self, after)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if before != 2 || after != 2 {
+		t.Errorf("round 2: surviving subscribers got before=%d after=%d, want 2/2", before, after)
+	}
+	if self != 1 {
+		t.Errorf("cancelled subscriber delivered %d times, want exactly 1", self)
+	}
+	// The swept slot must not confuse later subscriptions.
+	var late int
+	sim.Subscribe(RoundEvents, func(Event) { late++ })
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if late != 1 || before != 3 || after != 3 {
+		t.Errorf("round 3: late=%d before=%d after=%d, want 1/3/3", late, before, after)
+	}
+}
+
+// TestCancelLaterSubscriptionDuringEmit pins the documented in-flight
+// semantics: a cancellation issued from inside a callback takes effect for
+// the remainder of the current delivery, so a not-yet-visited subscriber
+// cancelled mid-emit never sees the in-flight event.
+func TestCancelLaterSubscriptionDuringEmit(t *testing.T) {
+	sim := newEventTestSim(t)
+
+	var victim int
+	var cancelVictim func()
+	sim.Subscribe(RoundEvents, func(Event) {
+		cancelVictim()
+	})
+	cancelVictim = sim.Subscribe(RoundEvents, func(Event) { victim++ })
+
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if victim != 0 {
+		t.Errorf("subscriber cancelled before its turn was delivered %d times, want 0", victim)
+	}
+}
+
+// TestCancelEarlierSubscriptionDuringEmit: cancelling a subscriber that
+// already ran this delivery must not disturb the rest of the iteration or
+// double-deliver to anyone.
+func TestCancelEarlierSubscriptionDuringEmit(t *testing.T) {
+	sim := newEventTestSim(t)
+
+	var first, last int
+	cancelFirst := sim.Subscribe(RoundEvents, func(Event) { first++ })
+	sim.Subscribe(RoundEvents, func(Event) {
+		cancelFirst()
+	})
+	sim.Subscribe(RoundEvents, func(Event) { last++ })
+
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || last != 1 {
+		t.Fatalf("round 1: first=%d last=%d, want 1/1", first, last)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Errorf("cancelled-after-delivery subscriber got %d events, want 1", first)
+	}
+	if last != 2 {
+		t.Errorf("surviving subscriber got %d events, want 2", last)
+	}
+}
+
+// TestSubscribeDuringEmit: a subscription added from inside a callback
+// must not receive the event already being delivered (the emit loop's
+// bounds were fixed when the delivery started) but receives later ones.
+func TestSubscribeDuringEmit(t *testing.T) {
+	sim := newEventTestSim(t)
+
+	var nested int
+	var once bool
+	sim.Subscribe(RoundEvents, func(Event) {
+		if !once {
+			once = true
+			sim.Subscribe(RoundEvents, func(Event) { nested++ })
+		}
+	})
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if nested != 0 {
+		t.Errorf("subscriber added mid-emit saw the in-flight event (%d deliveries)", nested)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if nested != 1 {
+		t.Errorf("subscriber added mid-emit got %d later events, want 1", nested)
+	}
+}
+
+// TestCancelChurnDuringEmitDoesNotLeak: repeated subscribe/cancel-inside-
+// callback cycles must not grow the subscriber slices without bound (the
+// deferred compaction has to sweep the dead entries once the emit ends).
+func TestCancelChurnDuringEmitDoesNotLeak(t *testing.T) {
+	cells, err := Workload("hollow", 200) // enough rounds for 64 churn cycles
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		var cancel func()
+		cancel = sim.Subscribe(RoundEvents, func(Event) { cancel() })
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(sim.subs); n > 1 {
+		t.Errorf("subscriber slice holds %d entries after churn, want ≤1 (compaction leak)", n)
+	}
+}

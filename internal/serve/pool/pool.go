@@ -1,0 +1,427 @@
+// Package pool is the bounded session pool behind the gatherd daemon: the
+// accounting core that decides which sessions stay resident in memory,
+// which spill to disk, and which clients are over their in-flight budget.
+// The discipline is modeled on tendermint's blocksync BlockPool — a hard
+// cap on resident work, per-peer in-flight limits, and flow accounting
+// that lets the serving layer time out slow consumers — with Snapshot()
+// as the eviction currency instead of block requests.
+//
+// The pool is deliberately free of wall-clock reads and map iteration:
+// recency is a logical touch counter bumped per acquisition, and victim
+// selection scans the insertion-ordered entry list, so given the same
+// operation sequence the pool always evicts the same sessions. (The
+// serving layer injects real time only where the protocol needs it — the
+// min-recv-rate stream timeouts.) The package is //gather:deterministic;
+// gatherlint enforces the hygiene.
+//
+// Locking protocol: the pool's mutex is a leaf lock — no pool method
+// calls out or touches a session while holding it. Callers pin an entry
+// (Acquire) before locking the session it carries, and eviction only
+// selects unpinned entries, so every held session lock belongs to a
+// pinned entry and victim-spill chains cannot deadlock.
+//
+//gather:deterministic
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Typed refusals, matched with errors.Is. The serving layer maps them to
+// HTTP backpressure responses.
+var (
+	// ErrPoolFull reports that the total session cap (resident + spilled)
+	// is reached; the client should delete sessions or try another box.
+	ErrPoolFull = errors.New("pool: session table full")
+	// ErrAllBusy reports that every resident session is pinned by an
+	// in-flight operation, so no eviction victim exists to make room; the
+	// condition is transient — retry.
+	ErrAllBusy = errors.New("pool: all resident sessions busy, no eviction victim")
+	// ErrClientLimit reports a client over its in-flight request cap.
+	ErrClientLimit = errors.New("pool: client in-flight limit reached")
+	// ErrNotFound reports an unknown or deleted session ID.
+	ErrNotFound = errors.New("pool: no such session")
+)
+
+// Config bounds the pool.
+type Config struct {
+	// MaxResident caps the sessions held in memory at once; the pool
+	// spills least-recently-touched idle sessions to stay under it.
+	// Default 64.
+	MaxResident int
+	// MaxSessions caps the total session table, resident + spilled.
+	// Default 4096.
+	MaxSessions int
+	// MaxInFlightPerClient caps one client's concurrent requests
+	// (tendermint's maxPendingRequestsPerPeer). Default 32.
+	MaxInFlightPerClient int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxResident <= 0 {
+		c.MaxResident = 64
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.MaxInFlightPerClient <= 0 {
+		c.MaxInFlightPerClient = 32
+	}
+	return c
+}
+
+// Entry is one pooled session's lifecycle record. The payload (the
+// serving layer's session wrapper) is set at admission and never changes;
+// all mutable state is guarded by the pool mutex.
+type Entry struct {
+	id      string
+	payload any
+
+	touch    uint64 // logical recency; larger = more recently used
+	pins     int    // in-flight operations pinning the entry
+	resident bool   // a live Simulation is in memory
+	evicting bool   // selected as a spill victim; not selectable again
+	gone     bool   // removed; acquisitions fail with ErrNotFound
+}
+
+// ID returns the session ID.
+func (e *Entry) ID() string { return e.id }
+
+// Payload returns the opaque session wrapper installed at admission.
+func (e *Entry) Payload() any { return e.payload }
+
+// Stats is a point-in-time pool accounting snapshot.
+type Stats struct {
+	// Sessions is the live session-table size; Resident of those are in
+	// memory and Spilled on disk.
+	Sessions, Resident, Spilled int
+	// MaxResidentObserved is the high-water mark of Resident.
+	MaxResidentObserved int
+	// Created, Evictions, Restores and Deletes count lifecycle
+	// transitions; Evictions is spills to disk, Restores is loads back.
+	Created, Evictions, Restores, Deletes uint64
+	// RejectedFull and RejectedBusy count admissions refused by
+	// ErrPoolFull / ErrAllBusy; RejectedClient counts ErrClientLimit
+	// refusals.
+	RejectedFull, RejectedBusy, RejectedClient uint64
+	// Clients is the number of clients with in-flight requests right now;
+	// InFlight is their total. BytesOut is the cumulative payload flow the
+	// serving layer has reported (flow accounting for min-recv-rate
+	// decisions and capacity planning).
+	Clients, InFlight int
+	BytesOut          uint64
+}
+
+// Pool is the bounded session pool. All methods are safe for concurrent
+// use.
+type Pool struct {
+	mu  sync.Mutex
+	cfg Config
+
+	byID  map[string]*Entry // keyed lookups only (never ranged)
+	order []*Entry          // insertion order: the deterministic scan list
+
+	clock    uint64
+	resident int
+
+	clients  map[string]int // in-flight per client (never ranged)
+	inFlight int
+
+	stats Stats
+}
+
+// New creates a pool with the given bounds.
+func New(cfg Config) *Pool {
+	return &Pool{
+		cfg:     cfg.withDefaults(),
+		byID:    make(map[string]*Entry),
+		clients: make(map[string]int),
+	}
+}
+
+// Config returns the resolved bounds.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Admit registers a new resident session and returns its entry, plus the
+// victims the caller must spill BEFORE materializing the new session (the
+// pool has already re-counted them as non-resident; spilling first keeps
+// the true number of in-memory sessions under MaxResident at every
+// instant). Victims come back pinned and flagged; finish each with
+// MarkSpilled. Fails with ErrPoolFull or ErrAllBusy.
+func (p *Pool) Admit(id string, payload any) (*Entry, []*Entry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.byID[id]; dup {
+		return nil, nil, fmt.Errorf("pool: duplicate session ID %q", id)
+	}
+	if len(p.byID) >= p.cfg.MaxSessions {
+		p.stats.RejectedFull++
+		return nil, nil, ErrPoolFull
+	}
+	victims, err := p.makeRoomLocked()
+	if err != nil {
+		return nil, nil, err
+	}
+	e := &Entry{id: id, payload: payload, resident: true, pins: 1}
+	p.bumpLocked(e)
+	p.byID[id] = e
+	p.order = append(p.order, e)
+	p.resident++
+	p.noteResidentLocked()
+	p.stats.Created++
+	return e, victims, nil
+}
+
+// AdmitSpilled registers a session that already lives in the spill store
+// (daemon restart recovery). It takes no resident slot and needs no
+// victims; the entry is returned unpinned.
+func (p *Pool) AdmitSpilled(id string, payload any) (*Entry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.byID[id]; dup {
+		return nil, fmt.Errorf("pool: duplicate session ID %q", id)
+	}
+	if len(p.byID) >= p.cfg.MaxSessions {
+		p.stats.RejectedFull++
+		return nil, ErrPoolFull
+	}
+	e := &Entry{id: id, payload: payload}
+	p.byID[id] = e
+	p.order = append(p.order, e)
+	return e, nil
+}
+
+// Acquire pins the session for an operation and marks it touched. The
+// caller must Release the entry when the operation ends; while pinned the
+// entry is never selected for eviction. Acquire does not restore a
+// spilled session — the caller checks its wrapper under the session lock
+// and uses ReserveResident if it finds the Simulation spilled.
+func (p *Pool) Acquire(id string) (*Entry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.byID[id]
+	if !ok || e.gone {
+		return nil, ErrNotFound
+	}
+	e.pins++
+	p.bumpLocked(e)
+	return e, nil
+}
+
+// Release undoes one Acquire (or the admission pin).
+func (p *Pool) Release(e *Entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.pins > 0 {
+		e.pins--
+	}
+}
+
+// ReserveResident books a resident slot for a spilled entry the caller
+// has pinned and locked, returning the victims to spill first (same
+// contract as Admit). The caller restores the session from the store
+// after spilling the victims.
+func (p *Pool) ReserveResident(e *Entry) ([]*Entry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.gone {
+		return nil, ErrNotFound
+	}
+	if e.resident {
+		return nil, nil
+	}
+	victims, err := p.makeRoomLocked()
+	if err != nil {
+		return nil, err
+	}
+	e.resident = true
+	p.resident++
+	p.noteResidentLocked()
+	p.stats.Restores++
+	return victims, nil
+}
+
+// MarkSpilled completes a victim spill: the entry was counted out of the
+// resident set when it was selected; this clears the eviction flag and
+// drops the selection pin.
+func (p *Pool) MarkSpilled(e *Entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e.evicting = false
+	if e.pins > 0 {
+		e.pins--
+	}
+	p.stats.Evictions++
+}
+
+// DropResident releases e's resident slot after the caller — holding the
+// entry pinned and its session locked — has spilled the session itself
+// (explicit evictions and shutdown spill-all, where the caller picks the
+// victim instead of the LRU scan). No-op if the entry is not resident.
+func (p *Pool) DropResident(e *Entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.gone || !e.resident {
+		return
+	}
+	e.resident = false
+	p.resident--
+	p.stats.Evictions++
+}
+
+// Remove deletes the session from the table. Concurrent operations that
+// already pinned the entry finish against their wrapper; new Acquires
+// fail with ErrNotFound.
+func (p *Pool) Remove(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.byID[id]
+	if !ok || e.gone {
+		return ErrNotFound
+	}
+	e.gone = true
+	if e.resident {
+		e.resident = false
+		p.resident--
+	}
+	delete(p.byID, id)
+	for i, o := range p.order {
+		if o == e {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.stats.Deletes++
+	return nil
+}
+
+// Entries returns the live entries in insertion order (a copy; the
+// deterministic iteration surface for list and spill-all operations).
+func (p *Pool) Entries() []*Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Entry, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// Resident reports whether the entry currently holds a resident slot.
+func (p *Pool) Resident(e *Entry) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return e.resident
+}
+
+// ClientAcquire charges one in-flight request to the client, refusing
+// with ErrClientLimit over the cap. Pair with ClientRelease.
+func (p *Pool) ClientAcquire(client string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.clients[client] >= p.cfg.MaxInFlightPerClient {
+		p.stats.RejectedClient++
+		return ErrClientLimit
+	}
+	p.clients[client]++
+	p.inFlight++
+	return nil
+}
+
+// ClientRelease returns one in-flight slot to the client.
+func (p *Pool) ClientRelease(client string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := p.clients[client]; n > 1 {
+		p.clients[client] = n - 1
+	} else if n == 1 {
+		delete(p.clients, client) // bound the table: idle clients cost nothing
+	}
+	if p.inFlight > 0 {
+		p.inFlight--
+	}
+}
+
+// NoteFlow records payload bytes sent to a client — the flow accounting
+// the serving layer's min-recv-rate stream timeouts and the service
+// benchmark read back through Stats.
+func (p *Pool) NoteFlow(nbytes int) {
+	if nbytes <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.BytesOut += uint64(nbytes)
+}
+
+// Stats returns a point-in-time accounting snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Sessions = len(p.byID)
+	s.Resident = p.resident
+	s.Spilled = s.Sessions - s.Resident
+	s.Clients = len(p.clients)
+	s.InFlight = p.inFlight
+	return s
+}
+
+// bumpLocked marks e most recently used.
+func (p *Pool) bumpLocked(e *Entry) {
+	p.clock++
+	e.touch = p.clock
+}
+
+// noteResidentLocked maintains the high-water mark.
+func (p *Pool) noteResidentLocked() {
+	if p.resident > p.stats.MaxResidentObserved {
+		p.stats.MaxResidentObserved = p.resident
+	}
+}
+
+// makeRoomLocked selects least-recently-touched unpinned resident entries
+// until one more resident slot fits under MaxResident, counting them out
+// of the resident set immediately (the caller spills them before
+// materializing anything new, so true memory occupancy never exceeds the
+// cap). Victims come back pinned and flagged evicting.
+func (p *Pool) makeRoomLocked() ([]*Entry, error) {
+	var victims []*Entry
+	for p.resident >= p.cfg.MaxResident {
+		v := p.victimLocked()
+		if v == nil {
+			// Roll back the selections: nothing was spilled yet.
+			for _, w := range victims {
+				w.evicting = false
+				w.resident = true
+				w.pins--
+				p.resident++
+			}
+			p.stats.RejectedBusy++
+			return nil, ErrAllBusy
+		}
+		v.evicting = true
+		v.resident = false // re-counted now; spilled before the new slot is used
+		v.pins++
+		p.resident--
+		victims = append(victims, v)
+	}
+	return victims, nil
+}
+
+// victimLocked returns the LRU evictable entry, or nil. The scan walks
+// the insertion-ordered list, so ties (equal touch cannot happen — the
+// clock is strictly increasing) and the scan order itself are
+// deterministic.
+func (p *Pool) victimLocked() *Entry {
+	var best *Entry
+	for _, e := range p.order {
+		if !e.resident || e.evicting || e.pins > 0 || e.gone {
+			continue
+		}
+		if best == nil || e.touch < best.touch {
+			best = e
+		}
+	}
+	return best
+}

@@ -1,0 +1,254 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func ids(entries []*Entry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID()
+	}
+	return out
+}
+
+// admitAndSettle admits a session and immediately completes any victim
+// spills, the way the serving layer does (spill before materialize).
+func admitAndSettle(t *testing.T, p *Pool, id string) []string {
+	t.Helper()
+	e, victims, err := p.Admit(id, id)
+	if err != nil {
+		t.Fatalf("Admit(%s): %v", id, err)
+	}
+	for _, v := range victims {
+		p.MarkSpilled(v)
+	}
+	p.Release(e)
+	return ids(victims)
+}
+
+func TestAdmitEvictsLRU(t *testing.T) {
+	p := New(Config{MaxResident: 2, MaxSessions: 16})
+	if v := admitAndSettle(t, p, "a"); len(v) != 0 {
+		t.Fatalf("admit a evicted %v, want none", v)
+	}
+	if v := admitAndSettle(t, p, "b"); len(v) != 0 {
+		t.Fatalf("admit b evicted %v, want none", v)
+	}
+	// a is least recently touched.
+	if v := admitAndSettle(t, p, "c"); len(v) != 1 || v[0] != "a" {
+		t.Fatalf("admit c evicted %v, want [a]", v)
+	}
+	// Touch b so c becomes the LRU.
+	e, err := p.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(e)
+	if v := admitAndSettle(t, p, "d"); len(v) != 1 || v[0] != "c" {
+		t.Fatalf("admit d evicted %v, want [c]", v)
+	}
+	st := p.Stats()
+	if st.Sessions != 4 || st.Resident != 2 || st.Spilled != 2 {
+		t.Fatalf("stats = %+v, want 4 sessions, 2 resident, 2 spilled", st)
+	}
+	if st.Evictions != 2 || st.Created != 4 {
+		t.Fatalf("stats = %+v, want 2 evictions, 4 created", st)
+	}
+	if st.MaxResidentObserved > 2 {
+		t.Fatalf("MaxResidentObserved = %d, want ≤ MaxResident 2", st.MaxResidentObserved)
+	}
+}
+
+func TestPinnedEntriesAreNotVictims(t *testing.T) {
+	p := New(Config{MaxResident: 2, MaxSessions: 16})
+	admitAndSettle(t, p, "a")
+	admitAndSettle(t, p, "b")
+	ea, err := p.Acquire("a") // pin the LRU
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := admitAndSettle(t, p, "c"); len(v) != 1 || v[0] != "b" {
+		t.Fatalf("admit c evicted %v, want [b] (a is pinned)", v)
+	}
+	p.Release(ea)
+}
+
+func TestAllBusyRollsBack(t *testing.T) {
+	p := New(Config{MaxResident: 2, MaxSessions: 16})
+	admitAndSettle(t, p, "a")
+	admitAndSettle(t, p, "b")
+	ea, _ := p.Acquire("a")
+	eb, _ := p.Acquire("b")
+	if _, _, err := p.Admit("c", nil); !errors.Is(err, ErrAllBusy) {
+		t.Fatalf("Admit with all pinned: err = %v, want ErrAllBusy", err)
+	}
+	st := p.Stats()
+	if st.Resident != 2 || st.Sessions != 2 {
+		t.Fatalf("rollback left stats %+v, want 2 resident / 2 sessions", st)
+	}
+	if st.RejectedBusy != 1 {
+		t.Fatalf("RejectedBusy = %d, want 1", st.RejectedBusy)
+	}
+	p.Release(ea)
+	p.Release(eb)
+	// With the pins gone the same admission succeeds and evicts the LRU.
+	if v := admitAndSettle(t, p, "c"); len(v) != 1 || v[0] != "a" {
+		t.Fatalf("admit c after release evicted %v, want [a]", v)
+	}
+}
+
+func TestPoolFull(t *testing.T) {
+	p := New(Config{MaxResident: 8, MaxSessions: 2})
+	admitAndSettle(t, p, "a")
+	admitAndSettle(t, p, "b")
+	if _, _, err := p.Admit("c", nil); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("err = %v, want ErrPoolFull", err)
+	}
+	if st := p.Stats(); st.RejectedFull != 1 {
+		t.Fatalf("RejectedFull = %d, want 1", st.RejectedFull)
+	}
+	// Deleting makes room again.
+	if err := p.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	admitAndSettle(t, p, "c")
+}
+
+func TestReserveResidentRestores(t *testing.T) {
+	p := New(Config{MaxResident: 1, MaxSessions: 16})
+	admitAndSettle(t, p, "a")
+	if v := admitAndSettle(t, p, "b"); len(v) != 1 || v[0] != "a" {
+		t.Fatalf("admit b evicted %v, want [a]", v)
+	}
+	// Touch spilled a: pin, reserve a slot (evicting b), "restore".
+	ea, err := p.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident(ea) {
+		t.Fatal("a should be spilled")
+	}
+	victims, err := p.ReserveResident(ea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(victims); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("ReserveResident evicted %v, want [b]", got)
+	}
+	for _, v := range victims {
+		p.MarkSpilled(v)
+	}
+	if !p.Resident(ea) {
+		t.Fatal("a should be resident after reserve")
+	}
+	// Reserving an already resident entry is a no-op.
+	if v, err := p.ReserveResident(ea); err != nil || len(v) != 0 {
+		t.Fatalf("second reserve = (%v, %v), want (none, nil)", ids(v), err)
+	}
+	p.Release(ea)
+	st := p.Stats()
+	if st.Restores != 1 {
+		t.Fatalf("Restores = %d, want 1", st.Restores)
+	}
+	if st.Resident != 1 || st.MaxResidentObserved != 1 {
+		t.Fatalf("stats %+v: resident accounting drifted past MaxResident 1", st)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := New(Config{MaxResident: 4, MaxSessions: 16})
+	admitAndSettle(t, p, "a")
+	if err := p.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Acquire after Remove: err = %v, want ErrNotFound", err)
+	}
+	if err := p.Remove("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Remove: err = %v, want ErrNotFound", err)
+	}
+	if st := p.Stats(); st.Sessions != 0 || st.Resident != 0 || st.Deletes != 1 {
+		t.Fatalf("stats after remove = %+v", st)
+	}
+	if got := p.Entries(); len(got) != 0 {
+		t.Fatalf("Entries() = %v, want empty", ids(got))
+	}
+}
+
+func TestClientInFlightCap(t *testing.T) {
+	p := New(Config{MaxInFlightPerClient: 2})
+	if err := p.ClientAcquire("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ClientAcquire("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ClientAcquire("alice"); !errors.Is(err, ErrClientLimit) {
+		t.Fatalf("third acquire: err = %v, want ErrClientLimit", err)
+	}
+	// Another client has its own budget.
+	if err := p.ClientAcquire("bob"); err != nil {
+		t.Fatalf("bob blocked by alice's cap: %v", err)
+	}
+	st := p.Stats()
+	if st.Clients != 2 || st.InFlight != 3 || st.RejectedClient != 1 {
+		t.Fatalf("stats = %+v, want 2 clients / 3 in flight / 1 rejection", st)
+	}
+	p.ClientRelease("alice")
+	if err := p.ClientAcquire("alice"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	p.ClientRelease("alice")
+	p.ClientRelease("alice")
+	p.ClientRelease("bob")
+	if st := p.Stats(); st.Clients != 0 || st.InFlight != 0 {
+		t.Fatalf("stats after drain = %+v, want empty client table", st)
+	}
+}
+
+// TestEvictionOrderDeterministic replays one operation sequence twice and
+// requires identical eviction decisions — the pool's seed-stability
+// contract (no wall clock, no map order; gatherlint pins the hygiene).
+func TestEvictionOrderDeterministic(t *testing.T) {
+	run := func() []string {
+		p := New(Config{MaxResident: 3, MaxSessions: 64})
+		var evicted []string
+		touch := func(id string) {
+			e, err := p.Acquire(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Release(e)
+		}
+		for i := 0; i < 12; i++ {
+			id := fmt.Sprintf("s%02d", i)
+			e, victims, err := p.Admit(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range victims {
+				evicted = append(evicted, v.ID())
+				p.MarkSpilled(v)
+			}
+			p.Release(e)
+			// A deterministic but non-trivial touch pattern.
+			if i%3 == 0 && i > 0 {
+				touch(fmt.Sprintf("s%02d", i-1))
+			}
+			if i%4 == 0 && i > 3 {
+				touch(fmt.Sprintf("s%02d", i-3))
+			}
+		}
+		return evicted
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("eviction order not deterministic:\n  %v\n  %v", a, b)
+	}
+	if len(a) != 9 {
+		t.Fatalf("12 admissions at MaxResident 3 should evict 9, got %d (%v)", len(a), a)
+	}
+}

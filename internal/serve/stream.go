@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"gridgather/internal/serve/pool"
+)
+
+// handleEvents is the NDJSON event stream: one JSON record per line, the
+// first a "status" record describing the session, then simulation events
+// filtered by the ?mask= parameter. Subscribing touches the session (it
+// restores if spilled) but the stream itself does not pin it — the
+// subscriber list lives on the server-side wrapper, so a session can be
+// evicted and restored mid-stream and the consumer just keeps receiving
+// events from wherever stepping resumes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	mask, err := ParseEventMask(r.URL.Query().Get("mask"))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	select {
+	case <-s.done:
+		s.httpError(w, http.StatusServiceUnavailable, "serve: shutting down")
+		return
+	default:
+	}
+	var (
+		sub     *subscriber
+		owner   *session
+		opening EventRecord
+	)
+	s.withSession(w, r.PathValue("id"), func(e *pool.Entry, sess *session) error {
+		sub = sess.subscribe(mask, s.cfg.StreamBuffer)
+		owner = sess
+		info := sess.refreshInfo(true)
+		opening = EventRecord{Kind: "status", Round: info.Round, Robots: info.Robots}
+		return nil
+	})
+	if sub == nil {
+		return // withSession already wrote the error
+	}
+	s.streamLoop(w, r, owner, sub, opening)
+}
+
+// streamLoop pumps records to one consumer until it falls behind, hangs
+// up, or the server shuts down. Every write carries a deadline
+// (StreamWriteTimeout) — the min-recv-rate rule: a consumer that cannot
+// drain one record per deadline is evicted rather than allowed to stall.
+func (s *Server) streamLoop(w http.ResponseWriter, r *http.Request, sess *session, sub *subscriber, opening EventRecord) {
+	defer sess.unsubscribe(sub)
+	s.streamsOpen.Add(1)
+	s.streamsOpened.Add(1)
+	defer s.streamsOpen.Add(-1)
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(rec EventRecord) bool {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return false
+		}
+		line = append(line, '\n')
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		n, err := w.Write(line)
+		s.pool.NoteFlow(n)
+		if err != nil {
+			sub.evict("slow consumer: write timeout")
+			s.noteSlowEviction()
+			return false
+		}
+		_ = rc.Flush()
+		return true
+	}
+
+	if !write(opening) {
+		return
+	}
+	for {
+		select {
+		case rec := <-sub.ch:
+			if !write(rec) {
+				return
+			}
+		case <-sub.done:
+			// Evicted server-side (buffer overflow, session deleted):
+			// say why, then hang up.
+			write(EventRecord{Kind: "evicted", Error: sub.reason})
+			return
+		case <-s.done:
+			write(EventRecord{Kind: "closed"})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

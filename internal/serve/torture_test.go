@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"gridgather/internal/serve/pool"
+)
+
+// TestPoolTorture races creates, steps, evictions, restores, snapshot
+// downloads and deletes from many goroutines against a tiny resident cap,
+// then checks the pool's books balance, the cap was never exceeded, and —
+// the eviction differential under fire — a session that lived through the
+// torture spilling and restoring matches its untouched twin bit for bit.
+func TestPoolTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test skipped in -short")
+	}
+	const (
+		workers     = 8
+		opsPer      = 30
+		maxResident = 3
+	)
+	s, hs := newTestServer(t, Config{Pool: pool.Config{
+		MaxResident:          maxResident,
+		MaxInFlightPerClient: 4,
+	}})
+	base := hs.URL
+
+	// The control pair: stepped identically by the main goroutine while
+	// the torture churns the pool around them. victim is evicted and
+	// restored as a side effect of the pressure; twin gets stepped through
+	// the very same handler path.
+	victim := createSession(t, base, faultyCreate("victim"))
+	twin := createSession(t, base, faultyCreate("twin"))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			do := func(method, path string, body string) int {
+				var rd *strings.Reader
+				if body != "" {
+					rd = strings.NewReader(body)
+				} else {
+					rd = strings.NewReader("")
+				}
+				req, err := http.NewRequest(method, base+path, rd)
+				if err != nil {
+					t.Error(err)
+					return 0
+				}
+				req.Header.Set("X-Client", fmt.Sprintf("torture-%d", w))
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Error(err)
+					return 0
+				}
+				defer resp.Body.Close()
+				var sink bytes.Buffer
+				sink.ReadFrom(resp.Body)
+				return resp.StatusCode
+			}
+			var mine []string
+			for i := 0; i < opsPer; i++ {
+				switch i % 6 {
+				case 0: // create
+					req, _ := http.NewRequest("POST", base+"/v1/sessions",
+						strings.NewReader(fmt.Sprintf(`{"workload":"hollow","n":40,"label":"w%d-%d"}`, w, i)))
+					req.Header.Set("X-Client", fmt.Sprintf("torture-%d", w))
+					resp, err := client.Do(req)
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					var info SessionInfo
+					code := resp.StatusCode
+					if code == http.StatusCreated {
+						if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+							t.Error(err)
+						} else {
+							mine = append(mine, info.ID)
+						}
+					}
+					resp.Body.Close()
+					// 503 (all busy / full) is legitimate backpressure;
+					// anything else is a bug.
+					if code != http.StatusCreated && code != http.StatusServiceUnavailable {
+						t.Errorf("create: unexpected status %d", code)
+					}
+				case 1, 2: // step something of mine (restores if spilled)
+					if len(mine) > 0 {
+						id := mine[i%len(mine)]
+						if code := do("POST", "/v1/sessions/"+id+"/step", `{"rounds":2}`); code != http.StatusOK &&
+							code != http.StatusNotFound && code != http.StatusServiceUnavailable {
+							t.Errorf("step: unexpected status %d", code)
+						}
+					}
+				case 3: // explicit evict
+					if len(mine) > 0 {
+						id := mine[(i/2)%len(mine)]
+						if code := do("POST", "/v1/sessions/"+id+"/evict", ""); code != http.StatusOK &&
+							code != http.StatusNotFound {
+							t.Errorf("evict: unexpected status %d", code)
+						}
+					}
+				case 4: // snapshot download
+					if len(mine) > 0 {
+						id := mine[(i/3)%len(mine)]
+						if code := do("GET", "/v1/sessions/"+id+"/snapshot", ""); code != http.StatusOK &&
+							code != http.StatusNotFound {
+							t.Errorf("snapshot: unexpected status %d", code)
+						}
+					}
+				case 5: // delete the oldest, keep the table churning
+					if len(mine) > 2 {
+						id := mine[0]
+						mine = mine[1:]
+						if code := do("DELETE", "/v1/sessions/"+id, ""); code != http.StatusNoContent &&
+							code != http.StatusNotFound {
+							t.Errorf("delete: unexpected status %d", code)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Meanwhile, march the control pair in lockstep through the same
+	// contended pool. 503 is legitimate all-busy backpressure — retry.
+	stepControl := func(id string) StepResponse {
+		t.Helper()
+		for {
+			var resp StepResponse
+			code := doJSON(t, "POST", base+"/v1/sessions/"+id+"/step", StepRequest{Rounds: 3}, &resp)
+			switch code {
+			case http.StatusOK:
+				return resp
+			case http.StatusServiceUnavailable:
+				continue
+			default:
+				t.Fatalf("control step %s: status %d", id, code)
+			}
+		}
+	}
+	for i := 0; i < 12; i++ {
+		sv := stepControl(victim.ID)
+		st := stepControl(twin.ID)
+		if sv.Status.Round != st.Status.Round {
+			t.Fatalf("control pair diverged at iteration %d: %d vs %d rounds",
+				i, sv.Status.Round, st.Status.Round)
+		}
+	}
+	wg.Wait()
+
+	// The control pair must be bit-identical regardless of how often the
+	// churn evicted and restored them.
+	snapV := fetchSnapshot(t, base, victim.ID)
+	snapT := fetchSnapshot(t, base, twin.ID)
+	if !bytes.Equal(snapV, snapT) {
+		t.Fatal("victim and twin snapshots differ after torture")
+	}
+
+	st := s.Pool().Stats()
+	if st.MaxResidentObserved > maxResident {
+		t.Fatalf("MaxResidentObserved = %d exceeded the cap %d", st.MaxResidentObserved, maxResident)
+	}
+	if st.Resident > maxResident {
+		t.Fatalf("Resident = %d exceeded the cap %d", st.Resident, maxResident)
+	}
+	if st.InFlight != 0 || st.Clients != 0 {
+		t.Fatalf("in-flight accounting leaked: %+v", st)
+	}
+	// Books balance: sessions = created - deleted.
+	if got, want := st.Sessions, int(st.Created)-int(st.Deletes); got != want {
+		t.Fatalf("session table %d, want created-deleted = %d (%+v)", got, want, st)
+	}
+	// Every surviving session must still respond (restorable from disk).
+	for _, e := range s.Pool().Entries() {
+		if code := doJSON(t, "GET", base+"/v1/sessions/"+e.ID(), nil, nil); code != http.StatusOK {
+			t.Fatalf("survivor %s: status %d", e.ID(), code)
+		}
+	}
+	if st := s.Pool().Stats(); st.MaxResidentObserved > maxResident {
+		t.Fatalf("post-sweep MaxResidentObserved = %d", st.MaxResidentObserved)
+	}
+}

@@ -1,0 +1,103 @@
+package gridgather
+
+import (
+	"errors"
+	"testing"
+
+	"gridgather/internal/fsync"
+)
+
+// declaredReasons is the documented Status.Reason enum. Keep in sync with
+// the Reason* constants block in session.go — the tests below fail if
+// statusReason can produce a label outside this set or if a declared label
+// became unreachable.
+var declaredReasons = map[string]bool{
+	ReasonRunning:      true,
+	ReasonGathered:     true,
+	ReasonDegraded:     true,
+	ReasonRoundLimit:   true,
+	ReasonDisconnected: true,
+	ReasonStuck:        true,
+	ReasonError:        true,
+}
+
+// TestStatusReasonExhaustive drives statusReason through every input class
+// it distinguishes (each abort error type × gathered × degraded) and
+// checks (a) every output is a declared constant and (b) every declared
+// constant is produced by some input — the enum and the derivation cannot
+// drift apart silently.
+func TestStatusReasonExhaustive(t *testing.T) {
+	errs := []error{
+		nil,
+		fsync.ErrRoundLimit{Rounds: 7},
+		fsync.ErrDisconnected{Round: 7},
+		fsync.ErrStuck{Round: 7, SinceMerge: 3},
+		errors.New("algorithm exploded"),          // the catch-all class
+		restoredAbortError{msg: "carried across"}, // snapshot-carried abort
+		fsync.ErrRoundLimit{},                     // zero values classify the same
+	}
+	produced := map[string]bool{}
+	for _, err := range errs {
+		for _, gathered := range []bool{false, true} {
+			for _, degraded := range []bool{false, true} {
+				got := statusReason(err, gathered, degraded)
+				if !declaredReasons[got] {
+					t.Errorf("statusReason(%v, gathered=%v, degraded=%v) = %q: not a declared Reason constant",
+						err, gathered, degraded, got)
+				}
+				produced[got] = true
+			}
+		}
+	}
+	for reason := range declaredReasons {
+		if !produced[reason] {
+			t.Errorf("declared reason %q is unreachable from statusReason", reason)
+		}
+	}
+}
+
+// TestStatusReasonPrecedence pins the documented ordering: aborts win over
+// gathered, gathered wins over degraded.
+func TestStatusReasonPrecedence(t *testing.T) {
+	if got := statusReason(fsync.ErrStuck{}, true, true); got != ReasonStuck {
+		t.Errorf("abort should win over gathered: got %q", got)
+	}
+	if got := statusReason(nil, true, true); got != ReasonGathered {
+		t.Errorf("gathered should win over degraded: got %q", got)
+	}
+	if got := statusReason(nil, false, true); got != ReasonDegraded {
+		t.Errorf("degraded session should read %q, got %q", ReasonDegraded, got)
+	}
+	if got := statusReason(nil, false, false); got != ReasonRunning {
+		t.Errorf("running session should read %q, got %q", ReasonRunning, got)
+	}
+}
+
+// TestStatusReasonStability pins the literal wire strings: these are
+// serialized by gatherd and matched by network clients, so a change here
+// is a wire-format break, not a refactor.
+func TestStatusReasonStability(t *testing.T) {
+	want := map[string]string{
+		"ReasonRunning":      "",
+		"ReasonGathered":     "gathered",
+		"ReasonDegraded":     "degraded",
+		"ReasonRoundLimit":   "round-limit",
+		"ReasonDisconnected": "disconnected",
+		"ReasonStuck":        "stuck",
+		"ReasonError":        "error",
+	}
+	got := map[string]string{
+		"ReasonRunning":      ReasonRunning,
+		"ReasonGathered":     ReasonGathered,
+		"ReasonDegraded":     ReasonDegraded,
+		"ReasonRoundLimit":   ReasonRoundLimit,
+		"ReasonDisconnected": ReasonDisconnected,
+		"ReasonStuck":        ReasonStuck,
+		"ReasonError":        ReasonError,
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %q, want %q (stable wire format)", name, got[name], w)
+		}
+	}
+}

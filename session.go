@@ -273,14 +273,44 @@ type Status struct {
 	// Done reports whether the simulation has finished: gathered or
 	// aborted. A done session never executes further rounds.
 	Done bool
-	// Reason is a stable label for the session's condition: "" (running),
-	// "gathered", "degraded" (running toward a degraded gathering),
-	// "round-limit", "disconnected", "stuck", or "error". Aborts win over
-	// "gathered", which wins over "degraded".
+	// Reason is a stable label for the session's condition — one of the
+	// Reason* constants. Aborts win over ReasonGathered, which wins over
+	// ReasonDegraded. The strings are wire format (gatherd serializes them
+	// verbatim); they never change meaning and new ones are only added.
 	Reason string
 	// Err is the abort error (nil unless the simulation aborted).
 	Err error
 }
+
+// The Status.Reason vocabulary. These strings are a stable, documented
+// enum: network clients (the gatherd wire format), the sweep CSV and any
+// log scrapers may match on them verbatim. Existing values never change;
+// a future condition adds a new constant instead of repurposing one.
+// TestStatusReasonExhaustive pins statusReason to exactly this set.
+const (
+	// ReasonRunning labels a session still executing rounds (the empty
+	// string, so a zero Status reads as running).
+	ReasonRunning = ""
+	// ReasonGathered labels a successfully finished session: all (live)
+	// robots inside one 2×2 square.
+	ReasonGathered = "gathered"
+	// ReasonDegraded labels a running session that latched graceful
+	// degradation after a fault disconnection (WithFaults) and is still
+	// gathering the largest surviving component.
+	ReasonDegraded = "degraded"
+	// ReasonRoundLimit labels a session aborted by the round budget
+	// (fsync.ErrRoundLimit; see WithMaxRounds).
+	ReasonRoundLimit = "round-limit"
+	// ReasonDisconnected labels a session aborted because a movement
+	// disconnected the swarm (fsync.ErrDisconnected; fault-free runs with
+	// WithConnectivityCheck).
+	ReasonDisconnected = "disconnected"
+	// ReasonStuck labels a session aborted by the no-merge watchdog
+	// (fsync.ErrStuck; see WithNoMergeLimit).
+	ReasonStuck = "stuck"
+	// ReasonError labels a session aborted by any other error.
+	ReasonError = "error"
+)
 
 // Status returns the session's current progress.
 func (s *Simulation) Status() Status {
@@ -301,26 +331,27 @@ func (s *Simulation) Status() Status {
 	return st
 }
 
-// statusReason derives the Status.Reason label; see the field doc.
+// statusReason derives the Status.Reason label from the Reason* enum; see
+// the constants block for the contract.
 func statusReason(err error, gathered, degraded bool) string {
 	switch err.(type) {
 	case nil:
 	case fsync.ErrRoundLimit:
-		return "round-limit"
+		return ReasonRoundLimit
 	case fsync.ErrDisconnected:
-		return "disconnected"
+		return ReasonDisconnected
 	case fsync.ErrStuck:
-		return "stuck"
+		return ReasonStuck
 	default:
-		return "error"
+		return ReasonError
 	}
 	switch {
 	case gathered:
-		return "gathered"
+		return ReasonGathered
 	case degraded:
-		return "degraded"
+		return ReasonDegraded
 	default:
-		return ""
+		return ReasonRunning
 	}
 }
 
